@@ -1,0 +1,80 @@
+// Command datagen emits a synthetic Wikidata-shaped graph (and optionally
+// a matching query log) for use with cmd/rpq and external tooling.
+//
+// Usage:
+//
+//	datagen -nodes 20000 -edges 100000 -preds 60 -out graph.nt
+//	datagen -out graph.nt -queries 400 -queriesout log.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"ringrpq/internal/datagen"
+	"ringrpq/internal/triples"
+	"ringrpq/internal/workload"
+)
+
+func main() {
+	var (
+		nodes      = flag.Int("nodes", 20000, "graph nodes |V|")
+		edges      = flag.Int("edges", 100000, "edge draws before dedup")
+		preds      = flag.Int("preds", 60, "base predicates |P|")
+		seed       = flag.Int64("seed", 1, "generation seed")
+		out        = flag.String("out", "", "graph output file (required)")
+		queries    = flag.Int("queries", 0, "also generate this many queries")
+		queriesOut = flag.String("queriesout", "", "query log output file")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "datagen: -out is required")
+		os.Exit(2)
+	}
+
+	g := datagen.Generate(datagen.Config{
+		Seed: *seed, Nodes: *nodes, Edges: *edges, Preds: *preds,
+	})
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := triples.Dump(f, g); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d triples (%d nodes, %d predicates) to %s\n",
+		g.Len()/2, g.NumNodes(), g.NumPreds, *out)
+
+	if *queries > 0 {
+		if *queriesOut == "" {
+			fmt.Fprintln(os.Stderr, "datagen: -queriesout required with -queries")
+			os.Exit(2)
+		}
+		qs := workload.Generate(g, workload.Config{Seed: *seed + 1, Total: *queries})
+		qf, err := os.Create(*queriesOut)
+		if err != nil {
+			fatal(err)
+		}
+		w := bufio.NewWriter(qf)
+		for _, q := range qs {
+			fmt.Fprintln(w, q.String())
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := qf.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d queries to %s\n", len(qs), *queriesOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+	os.Exit(1)
+}

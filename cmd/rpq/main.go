@@ -1,0 +1,126 @@
+// Command rpq loads a triple file and evaluates regular path queries
+// against it using the ring index.
+//
+// Usage:
+//
+//	rpq -data graph.nt "Baquedano" "(l1|l2|l5)+" "?station"
+//	rpq -data graph.nt -count "?x" "p31/p279*" "?y"
+//
+// Endpoints starting with '?' are variables. The data file holds one
+// "subject predicate object" triple per line ('#' comments, optional
+// trailing dots, <IRI> tokens).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ringrpq"
+)
+
+func main() {
+	var (
+		data    = flag.String("data", "", "triple file to load")
+		index   = flag.String("index", "", "serialised index to load (instead of -data)")
+		save    = flag.String("save", "", "write the built index to this file")
+		count   = flag.Bool("count", false, "print only the solution count")
+		limit   = flag.Int("limit", 0, "cap the number of solutions (0 = all)")
+		timeout = flag.Duration("timeout", 0, "per-query timeout (0 = none)")
+		stats   = flag.Bool("stats", false, "print database statistics and exit")
+	)
+	flag.Parse()
+	if *data == "" && *index == "" {
+		fmt.Fprintln(os.Stderr, "rpq: one of -data or -index is required")
+		os.Exit(2)
+	}
+
+	var db *ringrpq.DB
+	start := time.Now()
+	if *index != "" {
+		f, err := os.Open(*index)
+		if err != nil {
+			fatal(err)
+		}
+		db, err = ringrpq.LoadDB(f)
+		if err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "loaded %s in %v\n", db, time.Since(start))
+	} else {
+		f, err := os.Open(*data)
+		if err != nil {
+			fatal(err)
+		}
+		b := ringrpq.NewBuilder()
+		if err := b.Load(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		db, err = b.Build()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "indexed %s in %v\n", db, time.Since(start))
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fatal(err)
+		}
+		if err := db.Save(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "saved index to %s\n", *save)
+	}
+
+	if *stats {
+		s := db.Stats()
+		fmt.Printf("nodes=%d edges=%d completed=%d predicates=%d index=%dB (%.2f B/edge)\n",
+			s.Nodes, s.Edges, s.CompletedEdges, s.Predicates, s.IndexBytes, db.BytesPerEdge())
+		return
+	}
+
+	if flag.NArg() != 3 {
+		fmt.Fprintln(os.Stderr, "rpq: want exactly three arguments: subject expr object")
+		os.Exit(2)
+	}
+	subject, expr, object := flag.Arg(0), flag.Arg(1), flag.Arg(2)
+
+	var opts []ringrpq.QueryOption
+	if *limit > 0 {
+		opts = append(opts, ringrpq.WithLimit(*limit))
+	}
+	if *timeout > 0 {
+		opts = append(opts, ringrpq.WithTimeout(*timeout))
+	}
+
+	n := 0
+	qstart := time.Now()
+	err := db.QueryFunc(subject, expr, object, func(s ringrpq.Solution) bool {
+		n++
+		if !*count {
+			fmt.Printf("%s\t%s\n", s.Subject, s.Object)
+		}
+		return true
+	}, opts...)
+	elapsed := time.Since(qstart)
+	if err == ringrpq.ErrTimeout {
+		fmt.Fprintf(os.Stderr, "timeout after %v (%d solutions so far)\n", elapsed, n)
+		os.Exit(1)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "%d solutions in %v\n", n, elapsed)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rpq: %v\n", err)
+	os.Exit(1)
+}

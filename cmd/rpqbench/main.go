@@ -1,0 +1,121 @@
+// Command rpqbench regenerates the paper's evaluation (§5): it builds a
+// synthetic Wikidata-shaped graph, indexes it with the ring and the three
+// baseline systems, generates a query log with the Table 1 pattern mix,
+// runs every query under a timeout and result cap, and prints Table 1,
+// Table 2 and the Fig. 8 per-pattern distributions.
+//
+// Usage:
+//
+//	rpqbench [-nodes N] [-edges N] [-preds N] [-queries N]
+//	         [-timeout D] [-limit N] [-seed N]
+//	         [-systems ring,bfs,alp,rel] [-table1] [-table2] [-fig8] [-build]
+//
+// Without a table selector, everything is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ringrpq/internal/datagen"
+	"ringrpq/internal/harness"
+	"ringrpq/internal/ring"
+	"ringrpq/internal/workload"
+)
+
+func main() {
+	var (
+		nodes   = flag.Int("nodes", 20000, "graph nodes |V|")
+		edges   = flag.Int("edges", 100000, "edge draws before dedup/completion")
+		preds   = flag.Int("preds", 60, "base predicates |P|")
+		queries = flag.Int("queries", 400, "queries in the generated log")
+		timeout = flag.Duration("timeout", 5*time.Second, "per-query timeout (paper: 60s)")
+		limit   = flag.Int("limit", 1000000, "result cap per query (paper: 1M)")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		systems = flag.String("systems", "ring,bfs,alp,rel", "comma-separated systems to run")
+		table1  = flag.Bool("table1", false, "print only Table 1")
+		table2  = flag.Bool("table2", false, "print only Table 2")
+		fig8    = flag.Bool("fig8", false, "print only Fig. 8")
+		build   = flag.Bool("build", false, "print only index construction stats")
+	)
+	flag.Parse()
+	all := !*table1 && !*table2 && !*fig8 && !*build
+
+	fmt.Printf("generating graph: %d nodes, %d edge draws, %d predicates (seed %d)\n",
+		*nodes, *edges, *preds, *seed)
+	g := datagen.Generate(datagen.Config{
+		Seed: *seed, Nodes: *nodes, Edges: *edges, Preds: *preds,
+	})
+	fmt.Printf("completed graph: %d edges, %d nodes, %d predicates (with inverses)\n\n",
+		g.Len(), g.NumNodes(), g.NumCompletedPreds())
+
+	qs := workload.Generate(g, workload.Config{Seed: *seed + 1, Total: *queries})
+	if *table1 || all {
+		fmt.Println(harness.RenderTable1(qs))
+	}
+	if *table1 && !all {
+		return
+	}
+
+	var systemsToRun []harness.System
+	for _, name := range strings.Split(*systems, ",") {
+		start := time.Now()
+		var sys harness.System
+		switch strings.TrimSpace(name) {
+		case "ring":
+			sys = harness.NewRing(g, ring.WaveletMatrix)
+		case "ringwt":
+			sys = harness.NewRing(g, ring.WaveletTree)
+		case "bfs":
+			sys = harness.NewBFS(g)
+		case "alp":
+			sys = harness.NewALP(g)
+		case "rel":
+			sys = harness.NewRelational(g)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown system %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Printf("built %-12s in %8.2fs  (%7.2f bytes/edge)\n",
+			sys.Name(), time.Since(start).Seconds(),
+			float64(sys.SizeBytes())/float64(g.Len()))
+		systemsToRun = append(systemsToRun, sys)
+	}
+	fmt.Println()
+	if *build && !all {
+		return
+	}
+
+	var reports []harness.Report
+	for _, sys := range systemsToRun {
+		fmt.Printf("running %d queries on %s (timeout %v, limit %d)...\n",
+			len(qs), sys.Name(), *timeout, *limit)
+		start := time.Now()
+		rep, err := harness.Run(sys, qs, *limit, *timeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  done in %.2fs\n", time.Since(start).Seconds())
+		reports = append(reports, rep)
+	}
+	fmt.Println()
+
+	if *table2 || all {
+		fmt.Println(harness.RenderTable2(reports, g.Len()))
+		if len(reports) >= 2 {
+			for i := 1; i < len(reports); i++ {
+				fmt.Printf("speedup of %s over %s: %.2fx\n",
+					reports[0].System, reports[i].System,
+					harness.Speedup(reports[0], reports[i]))
+			}
+			fmt.Println()
+		}
+	}
+	if *fig8 || all {
+		fmt.Println(harness.RenderFig8(reports))
+	}
+}

@@ -1,0 +1,438 @@
+// Package alp evaluates property paths the way the SPARQL 1.1 standard
+// prescribes and Jena implements (paper §5): fixed-length sub-paths are
+// evaluated as joins over predicate-sorted triple indexes, and
+// arbitrary-length sub-paths (* and +) run the spec's ALP procedure — a
+// BFS with a visited set per start binding. Variable-to-variable closures
+// iterate ALP over every graph node, which is exactly why such queries
+// time out on Jena in the paper's benchmark.
+package alp
+
+import (
+	"sort"
+	"time"
+
+	"ringrpq/internal/pathexpr"
+	"ringrpq/internal/triples"
+)
+
+// Index holds PSO- and POS-sorted copies of the completed triples, the
+// four predicate-keyed orders of Wang et al. collapsing to two because
+// the graph is completed with inverses.
+type Index struct {
+	nv  int
+	pso []triples.Triple
+	pos []triples.Triple
+	g   *triples.Graph
+}
+
+// New indexes the completed graph g.
+func New(g *triples.Graph) *Index {
+	ix := &Index{nv: g.NumNodes(), g: g}
+	ix.pso = append([]triples.Triple(nil), g.Triples...)
+	sort.Slice(ix.pso, func(i, j int) bool {
+		a, b := ix.pso[i], ix.pso[j]
+		if a.P != b.P {
+			return a.P < b.P
+		}
+		if a.S != b.S {
+			return a.S < b.S
+		}
+		return a.O < b.O
+	})
+	ix.pos = append([]triples.Triple(nil), g.Triples...)
+	sort.Slice(ix.pos, func(i, j int) bool {
+		a, b := ix.pos[i], ix.pos[j]
+		if a.P != b.P {
+			return a.P < b.P
+		}
+		if a.O != b.O {
+			return a.O < b.O
+		}
+		return a.S < b.S
+	})
+	return ix
+}
+
+// SizeBytes reports the index footprint.
+func (ix *Index) SizeBytes() int { return 12*(len(ix.pso)+len(ix.pos)) + 64 }
+
+// objects lists the o with (s, p, o) ∈ G.
+func (ix *Index) objects(p, s uint32) []uint32 {
+	lo := sort.Search(len(ix.pso), func(i int) bool {
+		t := ix.pso[i]
+		return t.P > p || (t.P == p && t.S >= s)
+	})
+	var out []uint32
+	for i := lo; i < len(ix.pso) && ix.pso[i].P == p && ix.pso[i].S == s; i++ {
+		out = append(out, ix.pso[i].O)
+	}
+	return out
+}
+
+// subjects lists the s with (s, p, o) ∈ G.
+func (ix *Index) subjects(p, o uint32) []uint32 {
+	lo := sort.Search(len(ix.pos), func(i int) bool {
+		t := ix.pos[i]
+		return t.P > p || (t.P == p && t.O >= o)
+	})
+	var out []uint32
+	for i := lo; i < len(ix.pos) && ix.pos[i].P == p && ix.pos[i].O == o; i++ {
+		out = append(out, ix.pos[i].S)
+	}
+	return out
+}
+
+// predPairs lists all (s, o) with predicate p.
+func (ix *Index) predPairs(p uint32) []triples.Triple {
+	lo := sort.Search(len(ix.pso), func(i int) bool { return ix.pso[i].P >= p })
+	hi := sort.Search(len(ix.pso), func(i int) bool { return ix.pso[i].P > p })
+	return ix.pso[lo:hi]
+}
+
+// Options mirror core.Options.
+type Options struct {
+	Limit   int
+	Timeout time.Duration
+}
+
+// ErrTimeout reports an exceeded timeout.
+var ErrTimeout = errTimeout{}
+
+type errTimeout struct{}
+
+func (errTimeout) Error() string { return "alp: query timeout" }
+
+// Eval evaluates the 2RPQ (subject, expr, object); endpoints are node ids
+// or -1 for variables. Distinct pairs are emitted (DISTINCT semantics).
+func (ix *Index) Eval(subject int64, expr pathexpr.Node, object int64, opts Options, emit func(s, o uint32) bool) error {
+	expr = expandNegSets(expr, ix.g)
+	e := &eval{ix: ix, limit: opts.Limit, emit: emit, seen: map[[2]uint32]bool{}}
+	if opts.Timeout > 0 {
+		e.deadline = time.Now().Add(opts.Timeout)
+	}
+	pairs, err := e.path(expr, subject, object)
+	if err != nil {
+		return err
+	}
+	for _, p := range pairs {
+		if !e.send(p[0], p[1]) {
+			return nil
+		}
+	}
+	return nil
+}
+
+type eval struct {
+	ix       *Index
+	limit    int
+	count    int
+	steps    int
+	deadline time.Time
+	emit     func(s, o uint32) bool
+	seen     map[[2]uint32]bool
+}
+
+func (e *eval) send(s, o uint32) bool {
+	k := [2]uint32{s, o}
+	if e.seen[k] {
+		return true
+	}
+	e.seen[k] = true
+	e.count++
+	if !e.emit(s, o) {
+		return false
+	}
+	return e.limit == 0 || e.count < e.limit
+}
+
+func (e *eval) tick() error {
+	e.steps++
+	if e.deadline.IsZero() || e.steps%1024 != 0 {
+		return nil
+	}
+	if time.Now().After(e.deadline) {
+		return ErrTimeout
+	}
+	return nil
+}
+
+// path evaluates expr under the given bindings, returning distinct pairs.
+func (e *eval) path(n pathexpr.Node, s, o int64) ([][2]uint32, error) {
+	if err := e.tick(); err != nil {
+		return nil, err
+	}
+	switch x := n.(type) {
+	case pathexpr.Sym:
+		return e.atom(x, s, o)
+	case pathexpr.Eps:
+		return e.zeroLength(s, o), nil
+	case pathexpr.Concat:
+		// Evaluate the bound side first; SPARQL engines pick the more
+		// selective end — we prefer a bound subject, then a bound object.
+		if s >= 0 || o < 0 {
+			left, err := e.path(x.L, s, -1)
+			if err != nil {
+				return nil, err
+			}
+			return e.joinRight(left, x.R, o)
+		}
+		right, err := e.path(x.R, -1, o)
+		if err != nil {
+			return nil, err
+		}
+		return e.joinLeft(x.L, right, s)
+	case pathexpr.Alt:
+		l, err := e.path(x.L, s, o)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.path(x.R, s, o)
+		if err != nil {
+			return nil, err
+		}
+		return dedup(append(l, r...)), nil
+	case pathexpr.Star:
+		return e.closure(x.X, s, o, true)
+	case pathexpr.Plus:
+		return e.closure(x.X, s, o, false)
+	case pathexpr.Opt:
+		ps, err := e.path(x.X, s, o)
+		if err != nil {
+			return nil, err
+		}
+		return dedup(append(ps, e.zeroLength(s, o)...)), nil
+	default:
+		panic("alp: unknown node")
+	}
+}
+
+// zeroLength implements the spec's zero-length path semantics: every
+// node relates to itself.
+func (e *eval) zeroLength(s, o int64) [][2]uint32 {
+	switch {
+	case s >= 0 && o >= 0:
+		if s == o && int(s) < e.ix.nv {
+			return [][2]uint32{{uint32(s), uint32(o)}}
+		}
+		return nil
+	case s >= 0:
+		if int(s) < e.ix.nv {
+			return [][2]uint32{{uint32(s), uint32(s)}}
+		}
+		return nil
+	case o >= 0:
+		if int(o) < e.ix.nv {
+			return [][2]uint32{{uint32(o), uint32(o)}}
+		}
+		return nil
+	default:
+		out := make([][2]uint32, e.ix.nv)
+		for v := 0; v < e.ix.nv; v++ {
+			out[v] = [2]uint32{uint32(v), uint32(v)}
+		}
+		return out
+	}
+}
+
+func (e *eval) atom(x pathexpr.Sym, s, o int64) ([][2]uint32, error) {
+	p, ok := e.ix.g.PredID(x.Name, x.Inverse)
+	if !ok {
+		return nil, nil
+	}
+	switch {
+	case s >= 0 && o >= 0:
+		for _, obj := range e.ix.objects(p, uint32(s)) {
+			if int64(obj) == o {
+				return [][2]uint32{{uint32(s), uint32(o)}}, nil
+			}
+		}
+		return nil, nil
+	case s >= 0:
+		var out [][2]uint32
+		for _, obj := range e.ix.objects(p, uint32(s)) {
+			out = append(out, [2]uint32{uint32(s), obj})
+		}
+		return out, nil
+	case o >= 0:
+		var out [][2]uint32
+		for _, sub := range e.ix.subjects(p, uint32(o)) {
+			out = append(out, [2]uint32{sub, uint32(o)})
+		}
+		return out, nil
+	default:
+		ts := e.ix.predPairs(p)
+		out := make([][2]uint32, len(ts))
+		for i, t := range ts {
+			out[i] = [2]uint32{t.S, t.O}
+		}
+		return out, nil
+	}
+}
+
+// joinRight extends (s, mid) pairs through expr towards o.
+func (e *eval) joinRight(left [][2]uint32, expr pathexpr.Node, o int64) ([][2]uint32, error) {
+	// Group by mid to evaluate each distinct continuation once.
+	mids := map[uint32][]uint32{}
+	for _, p := range left {
+		mids[p[1]] = append(mids[p[1]], p[0])
+	}
+	var out [][2]uint32
+	for mid, sources := range mids {
+		rs, err := e.path(expr, int64(mid), o)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rs {
+			for _, src := range sources {
+				out = append(out, [2]uint32{src, r[1]})
+			}
+		}
+	}
+	return dedup(out), nil
+}
+
+// joinLeft extends expr towards a bound object side.
+func (e *eval) joinLeft(expr pathexpr.Node, right [][2]uint32, s int64) ([][2]uint32, error) {
+	mids := map[uint32][]uint32{}
+	for _, p := range right {
+		mids[p[0]] = append(mids[p[0]], p[1])
+	}
+	var out [][2]uint32
+	for mid, objs := range mids {
+		ls, err := e.path(expr, s, int64(mid))
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range ls {
+			for _, obj := range objs {
+				out = append(out, [2]uint32{l[0], obj})
+			}
+		}
+	}
+	return dedup(out), nil
+}
+
+// closure implements the ALP procedure for X* / X+.
+func (e *eval) closure(x pathexpr.Node, s, o int64, reflexive bool) ([][2]uint32, error) {
+	switch {
+	case s >= 0:
+		reach, err := e.alpForward(x, uint32(s))
+		if err != nil {
+			return nil, err
+		}
+		var out [][2]uint32
+		for _, r := range reach {
+			if !reflexive && r.zero {
+				continue
+			}
+			if o >= 0 && int64(r.node) != o {
+				continue
+			}
+			out = append(out, [2]uint32{uint32(s), r.node})
+		}
+		return out, nil
+	case o >= 0:
+		// Evaluate backwards with the inverse of x, then flip.
+		reach, err := e.alpForward(pathexpr.InverseOf(x), uint32(o))
+		if err != nil {
+			return nil, err
+		}
+		var out [][2]uint32
+		for _, r := range reach {
+			if !reflexive && r.zero {
+				continue
+			}
+			out = append(out, [2]uint32{r.node, uint32(o)})
+		}
+		return out, nil
+	default:
+		// The spec's unbound case: ALP from every node (Jena behaviour).
+		var out [][2]uint32
+		for v := 0; v < e.ix.nv; v++ {
+			ps, err := e.closure(x, int64(v), -1, reflexive)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ps...)
+		}
+		return dedup(out), nil
+	}
+}
+
+type reached struct {
+	node uint32
+	zero bool // reached only by the zero-length path
+}
+
+// alpForward is the spec's ALP: BFS over one-step X-neighbourhoods with a
+// visited set.
+func (e *eval) alpForward(x pathexpr.Node, start uint32) ([]reached, error) {
+	if int(start) >= e.ix.nv {
+		return nil, nil
+	}
+	visited := map[uint32]bool{start: true}
+	out := []reached{{start, true}}
+	queue := []uint32{start}
+	for head := 0; head < len(queue); head++ {
+		if err := e.tick(); err != nil {
+			return nil, err
+		}
+		cur := queue[head]
+		steps, err := e.path(x, int64(cur), -1)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range steps {
+			next := p[1]
+			if visited[next] {
+				if next == start {
+					// A non-trivial loop back to the start upgrades it
+					// from zero-length-only.
+					for i := range out {
+						if out[i].node == start {
+							out[i].zero = false
+						}
+					}
+				}
+				continue
+			}
+			visited[next] = true
+			out = append(out, reached{next, false})
+			queue = append(queue, next)
+		}
+	}
+	return out, nil
+}
+
+func dedup(ps [][2]uint32) [][2]uint32 {
+	if len(ps) < 2 {
+		return ps
+	}
+	seen := make(map[[2]uint32]bool, len(ps))
+	out := ps[:0]
+	for _, p := range ps {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// expandNegSets rewrites negated property sets into explicit
+// alternations over the graph's predicates.
+func expandNegSets(n pathexpr.Node, g *triples.Graph) pathexpr.Node {
+	if !pathexpr.HasNegSets(n) {
+		return n
+	}
+	return pathexpr.ExpandNegSets(n, func(ns pathexpr.NegSet) []pathexpr.Sym {
+		var out []pathexpr.Sym
+		for i := uint32(0); i < g.NumPreds; i++ {
+			name := g.Preds.Name(i)
+			if !ns.Excludes(name) {
+				out = append(out, pathexpr.Sym{Name: name, Inverse: ns.Inverse})
+			}
+		}
+		return out
+	})
+}

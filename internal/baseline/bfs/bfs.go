@@ -1,0 +1,330 @@
+// Package bfs implements the traditional RPQ algorithm (paper §3.2): lazy
+// BFS over the product of the data graph and a Thompson NFA, node by
+// node. The graph is stored as in-memory forward and backward adjacency
+// lists — the representation a navigational engine such as Blazegraph
+// effectively touches (B+-tree SPO/OPS indexes resident in cache). This
+// is the strongest time baseline and the space baseline the ring is
+// compared against, and it also serves as the oracle for the ring
+// engine's correctness tests.
+package bfs
+
+import (
+	"sort"
+	"time"
+
+	"ringrpq/internal/glushkov"
+	"ringrpq/internal/pathexpr"
+	"ringrpq/internal/thompson"
+	"ringrpq/internal/triples"
+)
+
+// halfEdge is one endpoint of an adjacency entry.
+type halfEdge struct {
+	pred uint32
+	node uint32
+}
+
+// Index is the adjacency-list graph index.
+type Index struct {
+	nv  int
+	fwd [][]halfEdge // fwd[s] sorted by (pred, node)
+	bwd [][]halfEdge // bwd[o] sorted by (pred, node)
+	ids glushkov.SymbolIDs
+	g   *triples.Graph
+	n   int
+}
+
+// New indexes the completed graph g.
+func New(g *triples.Graph) *Index {
+	ix := &Index{nv: g.NumNodes(), n: g.Len(), ids: symbolIDs(g), g: g}
+	ix.fwd = make([][]halfEdge, ix.nv)
+	ix.bwd = make([][]halfEdge, ix.nv)
+	for _, t := range g.Triples {
+		ix.fwd[t.S] = append(ix.fwd[t.S], halfEdge{t.P, t.O})
+		ix.bwd[t.O] = append(ix.bwd[t.O], halfEdge{t.P, t.S})
+	}
+	for _, adj := range [][][]halfEdge{ix.fwd, ix.bwd} {
+		for _, edges := range adj {
+			sort.Slice(edges, func(i, j int) bool {
+				if edges[i].pred != edges[j].pred {
+					return edges[i].pred < edges[j].pred
+				}
+				return edges[i].node < edges[j].node
+			})
+		}
+	}
+	return ix
+}
+
+func symbolIDs(g *triples.Graph) glushkov.SymbolIDs {
+	return func(s pathexpr.Sym) (uint32, bool) { return g.PredID(s.Name, s.Inverse) }
+}
+
+// SizeBytes reports the index footprint (both directions, as a system
+// supporting 2RPQs must index).
+func (ix *Index) SizeBytes() int {
+	sz := 48
+	for _, edges := range ix.fwd {
+		sz += 24 + 8*len(edges)
+	}
+	for _, edges := range ix.bwd {
+		sz += 24 + 8*len(edges)
+	}
+	return sz
+}
+
+// Options mirror core.Options.
+type Options struct {
+	Limit   int
+	Timeout time.Duration
+}
+
+// ErrTimeout reports an exceeded timeout.
+var ErrTimeout = errTimeout{}
+
+type errTimeout struct{}
+
+func (errTimeout) Error() string { return "bfs: query timeout" }
+
+// Eval evaluates the 2RPQ (subject, expr, object) where endpoints are
+// node ids or -1 for variables, emitting distinct pairs. Negated
+// property sets are rewritten to explicit alternations (the baselines
+// have no native class support).
+func (ix *Index) Eval(subject int64, expr pathexpr.Node, object int64, opts Options, emit func(s, o uint32) bool) error {
+	expr = expandNegSets(expr, ix.g)
+	e := &eval{
+		ix:    ix,
+		nfa:   thompson.Build(expr, ix.ids),
+		limit: opts.Limit,
+		emit:  emit,
+	}
+	if opts.Timeout > 0 {
+		e.deadline = time.Now().Add(opts.Timeout)
+	}
+	switch {
+	case subject >= 0 && object >= 0:
+		return e.constConst(uint32(subject), uint32(object))
+	case subject >= 0:
+		return e.fromSource(uint32(subject), func(o uint32) bool {
+			return e.send(uint32(subject), o)
+		})
+	case object >= 0:
+		return e.fromObject(uint32(object))
+	default:
+		return e.bothVar(expr)
+	}
+}
+
+type eval struct {
+	ix       *Index
+	nfa      *thompson.NFA
+	limit    int
+	count    int
+	steps    int
+	deadline time.Time
+	emit     func(s, o uint32) bool
+	stopped  bool
+}
+
+func (e *eval) send(s, o uint32) bool {
+	e.count++
+	if !e.emit(s, o) {
+		e.stopped = true
+		return false
+	}
+	if e.limit > 0 && e.count >= e.limit {
+		e.stopped = true
+		return false
+	}
+	return true
+}
+
+func (e *eval) tick() error {
+	e.steps++
+	if e.deadline.IsZero() || e.steps%1024 != 0 {
+		return nil
+	}
+	if time.Now().After(e.deadline) {
+		return ErrTimeout
+	}
+	return nil
+}
+
+// pgState is a product-graph node.
+type pgState struct {
+	node uint32
+	q    int32
+}
+
+// fromSource BFSes forward from (src, initial), reporting nodes reached
+// in a final state.
+func (e *eval) fromSource(src uint32, report func(o uint32) bool) error {
+	if int(src) >= e.ix.nv {
+		return nil
+	}
+	if e.nfa.MatchesEmpty() {
+		if !report(src) {
+			return nil
+		}
+	}
+	seen := map[pgState]bool{}
+	reported := map[uint32]bool{src: e.nfa.MatchesEmpty()}
+	start := pgState{src, e.nfa.Initial}
+	seen[start] = true
+	queue := []pgState{start}
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		if err := e.tick(); err != nil {
+			return err
+		}
+		for _, t := range e.nfa.Trans[cur.q] {
+			// Adjacency entries are sorted by predicate: binary search.
+			edges := e.ix.fwd[cur.node]
+			i := sort.Search(len(edges), func(i int) bool { return edges[i].pred >= t.Sym })
+			for ; i < len(edges) && edges[i].pred == t.Sym; i++ {
+				next := pgState{edges[i].node, t.To}
+				if seen[next] {
+					continue
+				}
+				seen[next] = true
+				queue = append(queue, next)
+				if e.nfa.Final[t.To] && !reported[next.node] {
+					reported[next.node] = true
+					if !report(next.node) {
+						return nil
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// fromObject BFSes backward from (obj, finals), reporting nodes that
+// reach obj from the initial state.
+func (e *eval) fromObject(obj uint32) error {
+	if int(obj) >= e.ix.nv {
+		return nil
+	}
+	reported := map[uint32]bool{}
+	if e.nfa.MatchesEmpty() {
+		reported[obj] = true
+		if !e.send(obj, obj) {
+			return nil
+		}
+	}
+	seen := map[pgState]bool{}
+	var queue []pgState
+	for q := int32(0); q < int32(e.nfa.NumStates); q++ {
+		if e.nfa.Final[q] {
+			st := pgState{obj, q}
+			seen[st] = true
+			queue = append(queue, st)
+			if q == e.nfa.Initial && !reported[obj] {
+				reported[obj] = true
+				if !e.send(obj, obj) {
+					return nil
+				}
+			}
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		if err := e.tick(); err != nil {
+			return err
+		}
+		for _, t := range e.nfa.Rev[cur.q] { // t.To is the *source* state
+			edges := e.ix.bwd[cur.node]
+			i := sort.Search(len(edges), func(i int) bool { return edges[i].pred >= t.Sym })
+			for ; i < len(edges) && edges[i].pred == t.Sym; i++ {
+				next := pgState{edges[i].node, t.To}
+				if seen[next] {
+					continue
+				}
+				seen[next] = true
+				queue = append(queue, next)
+				if next.q == e.nfa.Initial && !reported[next.node] {
+					reported[next.node] = true
+					if !e.send(next.node, obj) {
+						return nil
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// constConst reuses fromSource with an early exit.
+func (e *eval) constConst(src, obj uint32) error {
+	return e.fromSource(src, func(o uint32) bool {
+		if o == obj {
+			e.send(src, obj)
+			return false
+		}
+		return true
+	})
+}
+
+// bothVar runs a forward BFS from every candidate source: the subjects of
+// edges whose predicate can be read first (plus, under nullability, every
+// node paired with itself).
+func (e *eval) bothVar(expr pathexpr.Node) error {
+	if e.nfa.MatchesEmpty() {
+		for v := 0; v < e.ix.nv; v++ {
+			if !e.send(uint32(v), uint32(v)) {
+				return nil
+			}
+		}
+	}
+	// Candidate sources: nodes with an out-edge labelled by a predicate
+	// readable from the initial state.
+	firstPreds := map[uint32]bool{}
+	for _, t := range e.nfa.Trans[e.nfa.Initial] {
+		firstPreds[t.Sym] = true
+	}
+	for v := 0; v < e.ix.nv; v++ {
+		if e.stopped {
+			return nil
+		}
+		hasStart := false
+		for _, h := range e.ix.fwd[v] {
+			if firstPreds[h.pred] {
+				hasStart = true
+				break
+			}
+		}
+		if !hasStart {
+			continue
+		}
+		src := uint32(v)
+		err := e.fromSource(src, func(o uint32) bool {
+			if e.nfa.MatchesEmpty() && o == src {
+				return true // already emitted by the nullable sweep
+			}
+			return e.send(src, o)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// expandNegSets rewrites negated property sets into explicit
+// alternations over the graph's predicates.
+func expandNegSets(n pathexpr.Node, g *triples.Graph) pathexpr.Node {
+	if !pathexpr.HasNegSets(n) {
+		return n
+	}
+	return pathexpr.ExpandNegSets(n, func(ns pathexpr.NegSet) []pathexpr.Sym {
+		var out []pathexpr.Sym
+		for i := uint32(0); i < g.NumPreds; i++ {
+			name := g.Preds.Name(i)
+			if !ns.Excludes(name) {
+				out = append(out, pathexpr.Sym{Name: name, Inverse: ns.Inverse})
+			}
+		}
+		return out
+	})
+}

@@ -1,0 +1,127 @@
+package bfs
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ringrpq/internal/enginetest"
+	"ringrpq/internal/pathexpr"
+	"ringrpq/internal/triples"
+)
+
+func collect(t *testing.T, ix *Index, s int64, expr string, o int64) []enginetest.Pair {
+	t.Helper()
+	var out []enginetest.Pair
+	err := ix.Eval(s, pathexpr.MustParse(expr), o, Options{}, func(s, o uint32) bool {
+		out = append(out, enginetest.Pair{S: s, O: o})
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enginetest.SortPairs(out)
+}
+
+func check(t *testing.T, g *triples.Graph, ix *Index, s int64, expr string, o int64) {
+	t.Helper()
+	got := collect(t, ix, s, expr, o)
+	want := enginetest.SortPairs(enginetest.Oracle(g, s, pathexpr.MustParse(expr), o))
+	if len(got) == 0 && len(want) == 0 {
+		return
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("(%d,%s,%d): got %v, want %v", s, expr, o, got, want)
+	}
+}
+
+func TestMetroAgainstOracle(t *testing.T) {
+	g := enginetest.Metro()
+	ix := New(g)
+	sa, _ := g.Nodes.Lookup("SA")
+	baq, _ := g.Nodes.Lookup("Baq")
+	for _, expr := range []string{
+		"l1", "^bus", "l5+/bus", "^bus/l5+", "(l1|l2|l5)+", "l1*", "l1/l2", "bus|l5",
+	} {
+		for _, ends := range [][2]int64{
+			{-1, -1}, {int64(sa), -1}, {-1, int64(baq)}, {int64(sa), int64(baq)},
+		} {
+			check(t, g, ix, ends[0], expr, ends[1])
+		}
+	}
+}
+
+func TestPaperExample(t *testing.T) {
+	g := enginetest.Metro()
+	ix := New(g)
+	baq, _ := g.Nodes.Lookup("Baq")
+	got := collect(t, ix, int64(baq), "l5+/bus", -1)
+	names := map[string]bool{}
+	for _, p := range got {
+		names[g.Nodes.Name(p.O)] = true
+	}
+	if !names["SA"] || !names["UCh"] || len(names) != 2 {
+		t.Fatalf("targets=%v, want {SA, UCh}", names)
+	}
+}
+
+func TestRandomAgainstOracle(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed + 100))
+		g := enginetest.RandomGraph(seed+100, 10+rng.Intn(10), 3, 40+rng.Intn(40))
+		ix := New(g)
+		for trial := 0; trial < 5; trial++ {
+			expr := pathexpr.String(enginetest.RandomExpr(rng, 3, 3))
+			s := int64(rng.Intn(g.NumNodes()))
+			o := int64(rng.Intn(g.NumNodes()))
+			check(t, g, ix, -1, expr, -1)
+			check(t, g, ix, s, expr, -1)
+			check(t, g, ix, -1, expr, o)
+			check(t, g, ix, s, expr, o)
+		}
+	}
+}
+
+func TestLimitAndStop(t *testing.T) {
+	g := enginetest.RandomGraph(7, 20, 2, 120)
+	ix := New(g)
+	count := 0
+	err := ix.Eval(-1, pathexpr.MustParse("pa*"), -1, Options{Limit: 5}, func(s, o uint32) bool {
+		count++
+		return true
+	})
+	if err != nil || count != 5 {
+		t.Fatalf("limit: count=%d err=%v", count, err)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	g := enginetest.RandomGraph(9, 300, 2, 6000)
+	ix := New(g)
+	err := ix.Eval(-1, pathexpr.MustParse("(pa|pb)*"), -1, Options{Timeout: 1}, func(s, o uint32) bool {
+		return true
+	})
+	if err != ErrTimeout {
+		t.Fatalf("err=%v, want ErrTimeout", err)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	g := enginetest.Metro()
+	ix := New(g)
+	if ix.SizeBytes() < 8*g.Len() {
+		t.Fatalf("SizeBytes=%d implausibly small", ix.SizeBytes())
+	}
+}
+
+// Negated property sets are supported via rewriting; results must match
+// the oracle.
+func TestNegatedSets(t *testing.T) {
+	g := enginetest.Metro()
+	ix := New(g)
+	baq, _ := g.Nodes.Lookup("Baq")
+	for _, expr := range []string{"!bus", "!(l1|l2)+", "!^l5"} {
+		check(t, g, ix, -1, expr, -1)
+		check(t, g, ix, -1, expr, int64(baq))
+	}
+}

@@ -1,0 +1,402 @@
+// Package relational evaluates RPQs the way a relational engine with a
+// transitive-closure operator does (paper §5: Virtuoso translates
+// property paths to its relational engine). Expressions compile
+// bottom-up to pair relations: atoms select per-predicate relations,
+// concatenation is a hash join, alternation a union, and Kleene closures
+// run semi-naive fixpoint iteration. Constant endpoints are pushed into
+// the plan as seeds, the optimisation that makes Virtuoso competitive on
+// c-to-v queries while unbounded v-to-v closures stay expensive.
+package relational
+
+import (
+	"sort"
+	"time"
+
+	"ringrpq/internal/pathexpr"
+	"ringrpq/internal/triples"
+)
+
+// Index stores per-predicate pair relations sorted by subject.
+type Index struct {
+	nv   int
+	rels map[uint32][]pair // keyed by completed predicate id
+	g    *triples.Graph
+}
+
+type pair struct{ s, o uint32 }
+
+// New indexes the completed graph g.
+func New(g *triples.Graph) *Index {
+	ix := &Index{nv: g.NumNodes(), rels: map[uint32][]pair{}, g: g}
+	for _, t := range g.Triples {
+		ix.rels[t.P] = append(ix.rels[t.P], pair{t.S, t.O})
+	}
+	for p := range ix.rels {
+		rel := ix.rels[p]
+		sort.Slice(rel, func(i, j int) bool {
+			if rel[i].s != rel[j].s {
+				return rel[i].s < rel[j].s
+			}
+			return rel[i].o < rel[j].o
+		})
+	}
+	return ix
+}
+
+// SizeBytes reports the index footprint.
+func (ix *Index) SizeBytes() int {
+	sz := 64
+	for _, rel := range ix.rels {
+		sz += 8*len(rel) + 48
+	}
+	return sz
+}
+
+// Options mirror core.Options.
+type Options struct {
+	Limit   int
+	Timeout time.Duration
+}
+
+// ErrTimeout reports an exceeded timeout.
+var ErrTimeout = errTimeout{}
+
+type errTimeout struct{}
+
+func (errTimeout) Error() string { return "relational: query timeout" }
+
+// Eval evaluates the 2RPQ (subject, expr, object); endpoints are node ids
+// or -1 for variables.
+func (ix *Index) Eval(subject int64, expr pathexpr.Node, object int64, opts Options, emit func(s, o uint32) bool) error {
+	expr = expandNegSets(expr, ix.g)
+	e := &eval{ix: ix}
+	if opts.Timeout > 0 {
+		e.deadline = time.Now().Add(opts.Timeout)
+	}
+
+	var rel map[pair]bool
+	var err error
+	switch {
+	case subject >= 0:
+		rel, err = e.seeded(expr, []uint32{uint32(subject)})
+	case object >= 0:
+		rel, err = e.seeded(pathexpr.InverseOf(expr), []uint32{uint32(object)})
+		if err == nil {
+			flipped := make(map[pair]bool, len(rel))
+			for p := range rel {
+				flipped[pair{p.o, p.s}] = true
+			}
+			rel = flipped
+		}
+	default:
+		rel, err = e.full(expr)
+	}
+	if err != nil {
+		return err
+	}
+
+	count := 0
+	for p := range rel {
+		if subject >= 0 && int64(p.s) != subject {
+			continue
+		}
+		if object >= 0 && int64(p.o) != object {
+			continue
+		}
+		count++
+		if !emit(p.s, p.o) {
+			return nil
+		}
+		if opts.Limit > 0 && count >= opts.Limit {
+			return nil
+		}
+	}
+	return nil
+}
+
+type eval struct {
+	ix       *Index
+	steps    int
+	deadline time.Time
+}
+
+func (e *eval) tick(work int) error {
+	e.steps += work
+	if e.deadline.IsZero() {
+		return nil
+	}
+	if e.steps > 1024 {
+		e.steps = 0
+		if time.Now().After(e.deadline) {
+			return ErrTimeout
+		}
+	}
+	return nil
+}
+
+// identity is the zero-length relation over all nodes.
+func (e *eval) identity() map[pair]bool {
+	out := make(map[pair]bool, e.ix.nv)
+	for v := 0; v < e.ix.nv; v++ {
+		out[pair{uint32(v), uint32(v)}] = true
+	}
+	return out
+}
+
+// full materialises the complete relation of expr.
+func (e *eval) full(n pathexpr.Node) (map[pair]bool, error) {
+	if err := e.tick(1); err != nil {
+		return nil, err
+	}
+	switch x := n.(type) {
+	case pathexpr.Sym:
+		out := map[pair]bool{}
+		if p, ok := e.ix.g.PredID(x.Name, x.Inverse); ok {
+			for _, pr := range e.ix.rels[p] {
+				out[pr] = true
+			}
+		}
+		return out, nil
+	case pathexpr.Eps:
+		return e.identity(), nil
+	case pathexpr.Concat:
+		l, err := e.full(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.full(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return e.join(l, r)
+	case pathexpr.Alt:
+		l, err := e.full(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.full(x.R)
+		if err != nil {
+			return nil, err
+		}
+		for p := range r {
+			l[p] = true
+		}
+		return l, nil
+	case pathexpr.Star:
+		r, err := e.full(x.X)
+		if err != nil {
+			return nil, err
+		}
+		tc, err := e.transitiveClosure(r)
+		if err != nil {
+			return nil, err
+		}
+		for p := range e.identity() {
+			tc[p] = true
+		}
+		return tc, nil
+	case pathexpr.Plus:
+		r, err := e.full(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return e.transitiveClosure(r)
+	case pathexpr.Opt:
+		r, err := e.full(x.X)
+		if err != nil {
+			return nil, err
+		}
+		for p := range e.identity() {
+			r[p] = true
+		}
+		return r, nil
+	default:
+		panic("relational: unknown node")
+	}
+}
+
+// join hash-joins l.o = r.s.
+func (e *eval) join(l, r map[pair]bool) (map[pair]bool, error) {
+	byS := map[uint32][]uint32{}
+	for p := range r {
+		byS[p.s] = append(byS[p.s], p.o)
+	}
+	out := map[pair]bool{}
+	for p := range l {
+		if err := e.tick(1 + len(byS[p.o])); err != nil {
+			return nil, err
+		}
+		for _, o := range byS[p.o] {
+			out[pair{p.s, o}] = true
+		}
+	}
+	return out, nil
+}
+
+// transitiveClosure is the semi-naive fixpoint: Δ₀ = R,
+// Δᵢ₊₁ = (Δᵢ ⋈ R) − acc.
+func (e *eval) transitiveClosure(r map[pair]bool) (map[pair]bool, error) {
+	byS := map[uint32][]uint32{}
+	for p := range r {
+		byS[p.s] = append(byS[p.s], p.o)
+	}
+	acc := make(map[pair]bool, len(r))
+	delta := make(map[pair]bool, len(r))
+	for p := range r {
+		acc[p] = true
+		delta[p] = true
+	}
+	for len(delta) > 0 {
+		next := map[pair]bool{}
+		for p := range delta {
+			if err := e.tick(1 + len(byS[p.o])); err != nil {
+				return nil, err
+			}
+			for _, o := range byS[p.o] {
+				np := pair{p.s, o}
+				if !acc[np] {
+					acc[np] = true
+					next[np] = true
+				}
+			}
+		}
+		delta = next
+	}
+	return acc, nil
+}
+
+// seeded evaluates expr restricted to the given source nodes, pushing the
+// constant down the plan.
+func (e *eval) seeded(n pathexpr.Node, sources []uint32) (map[pair]bool, error) {
+	if err := e.tick(len(sources)); err != nil {
+		return nil, err
+	}
+	switch x := n.(type) {
+	case pathexpr.Sym:
+		out := map[pair]bool{}
+		p, ok := e.ix.g.PredID(x.Name, x.Inverse)
+		if !ok {
+			return out, nil
+		}
+		rel := e.ix.rels[p]
+		for _, s := range sources {
+			lo := sort.Search(len(rel), func(i int) bool { return rel[i].s >= s })
+			for ; lo < len(rel) && rel[lo].s == s; lo++ {
+				out[rel[lo]] = true
+			}
+		}
+		return out, nil
+	case pathexpr.Eps:
+		return e.seedIdentity(sources), nil
+	case pathexpr.Concat:
+		l, err := e.seeded(x.L, sources)
+		if err != nil {
+			return nil, err
+		}
+		mids := objectsOf(l)
+		r, err := e.seeded(x.R, mids)
+		if err != nil {
+			return nil, err
+		}
+		return e.join(l, r)
+	case pathexpr.Alt:
+		l, err := e.seeded(x.L, sources)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.seeded(x.R, sources)
+		if err != nil {
+			return nil, err
+		}
+		for p := range r {
+			l[p] = true
+		}
+		return l, nil
+	case pathexpr.Star:
+		return e.seededClosure(x.X, sources, true)
+	case pathexpr.Plus:
+		return e.seededClosure(x.X, sources, false)
+	case pathexpr.Opt:
+		r, err := e.seeded(x.X, sources)
+		if err != nil {
+			return nil, err
+		}
+		for p := range e.seedIdentity(sources) {
+			r[p] = true
+		}
+		return r, nil
+	default:
+		panic("relational: unknown node")
+	}
+}
+
+func (e *eval) seedIdentity(sources []uint32) map[pair]bool {
+	out := make(map[pair]bool, len(sources))
+	for _, s := range sources {
+		if int(s) < e.ix.nv {
+			out[pair{s, s}] = true
+		}
+	}
+	return out
+}
+
+// seededClosure runs the fixpoint from the seeds only.
+func (e *eval) seededClosure(x pathexpr.Node, sources []uint32, reflexive bool) (map[pair]bool, error) {
+	acc := map[pair]bool{}
+	delta := e.seedIdentity(sources)
+	if reflexive {
+		for p := range delta {
+			acc[p] = true
+		}
+	}
+	for len(delta) > 0 {
+		step, err := e.seeded(x, objectsOf(delta))
+		if err != nil {
+			return nil, err
+		}
+		joined, err := e.join(delta, step)
+		if err != nil {
+			return nil, err
+		}
+		next := map[pair]bool{}
+		for p := range joined {
+			if !acc[p] {
+				acc[p] = true
+				next[p] = true
+			}
+		}
+		delta = next
+	}
+	return acc, nil
+}
+
+// objectsOf collects the distinct objects of a relation.
+func objectsOf(rel map[pair]bool) []uint32 {
+	seen := map[uint32]bool{}
+	var out []uint32
+	for p := range rel {
+		if !seen[p.o] {
+			seen[p.o] = true
+			out = append(out, p.o)
+		}
+	}
+	return out
+}
+
+// expandNegSets rewrites negated property sets into explicit
+// alternations over the graph's predicates.
+func expandNegSets(n pathexpr.Node, g *triples.Graph) pathexpr.Node {
+	if !pathexpr.HasNegSets(n) {
+		return n
+	}
+	return pathexpr.ExpandNegSets(n, func(ns pathexpr.NegSet) []pathexpr.Sym {
+		var out []pathexpr.Sym
+		for i := uint32(0); i < g.NumPreds; i++ {
+			name := g.Preds.Name(i)
+			if !ns.Excludes(name) {
+				out = append(out, pathexpr.Sym{Name: name, Inverse: ns.Inverse})
+			}
+		}
+		return out
+	})
+}

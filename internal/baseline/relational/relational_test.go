@@ -1,0 +1,128 @@
+package relational
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ringrpq/internal/enginetest"
+	"ringrpq/internal/pathexpr"
+	"ringrpq/internal/triples"
+)
+
+func check(t *testing.T, g *triples.Graph, ix *Index, s int64, expr string, o int64) {
+	t.Helper()
+	var got []enginetest.Pair
+	err := ix.Eval(s, pathexpr.MustParse(expr), o, Options{}, func(s, o uint32) bool {
+		got = append(got, enginetest.Pair{S: s, O: o})
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := enginetest.SortPairs(enginetest.Oracle(g, s, pathexpr.MustParse(expr), o))
+	gotS := enginetest.SortPairs(got)
+	if len(gotS) == 0 && len(want) == 0 {
+		return
+	}
+	if !reflect.DeepEqual(gotS, want) {
+		t.Fatalf("(%d,%s,%d): got %v, want %v", s, expr, o, gotS, want)
+	}
+}
+
+func TestMetroAgainstOracle(t *testing.T) {
+	g := enginetest.Metro()
+	ix := New(g)
+	sa, _ := g.Nodes.Lookup("SA")
+	baq, _ := g.Nodes.Lookup("Baq")
+	for _, expr := range []string{
+		"l1", "^bus", "l5+/bus", "(l1|l2|l5)+", "l1*", "l1/l2", "bus|l5", "(l1/l2)+",
+	} {
+		for _, ends := range [][2]int64{
+			{-1, -1}, {int64(sa), -1}, {-1, int64(baq)}, {int64(sa), int64(baq)},
+		} {
+			check(t, g, ix, ends[0], expr, ends[1])
+		}
+	}
+}
+
+func TestRandomAgainstOracle(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed + 300))
+		g := enginetest.RandomGraph(seed+300, 10+rng.Intn(8), 3, 35+rng.Intn(30))
+		ix := New(g)
+		for trial := 0; trial < 4; trial++ {
+			expr := pathexpr.String(enginetest.RandomExpr(rng, 3, 3))
+			s := int64(rng.Intn(g.NumNodes()))
+			o := int64(rng.Intn(g.NumNodes()))
+			check(t, g, ix, -1, expr, -1)
+			check(t, g, ix, s, expr, -1)
+			check(t, g, ix, -1, expr, o)
+			check(t, g, ix, s, expr, o)
+		}
+	}
+}
+
+// The seeded plan must agree with the full materialisation.
+func TestSeededMatchesFull(t *testing.T) {
+	g := enginetest.RandomGraph(11, 14, 3, 70)
+	ix := New(g)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		expr := enginetest.RandomExpr(rng, 3, 3)
+		s := int64(rng.Intn(g.NumNodes()))
+		var viaSeed, viaFull []enginetest.Pair
+		if err := ix.Eval(s, expr, -1, Options{}, func(a, b uint32) bool {
+			viaSeed = append(viaSeed, enginetest.Pair{S: a, O: b})
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Eval(-1, expr, -1, Options{}, func(a, b uint32) bool {
+			if int64(a) == s {
+				viaFull = append(viaFull, enginetest.Pair{S: a, O: b})
+			}
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		a := enginetest.SortPairs(viaSeed)
+		b := enginetest.SortPairs(viaFull)
+		if len(a) == 0 && len(b) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s from %d: seeded=%v full=%v", pathexpr.String(expr), s, a, b)
+		}
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	g := enginetest.RandomGraph(9, 400, 2, 8000)
+	ix := New(g)
+	err := ix.Eval(-1, pathexpr.MustParse("(pa|pb)*"), -1, Options{Timeout: 1},
+		func(s, o uint32) bool { return true })
+	if err != ErrTimeout {
+		t.Fatalf("err=%v, want ErrTimeout", err)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	g := enginetest.RandomGraph(7, 20, 2, 120)
+	ix := New(g)
+	count := 0
+	err := ix.Eval(-1, pathexpr.MustParse("pa*"), -1, Options{Limit: 5}, func(s, o uint32) bool {
+		count++
+		return true
+	})
+	if err != nil || count != 5 {
+		t.Fatalf("limit: count=%d err=%v", count, err)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	g := enginetest.Metro()
+	if New(g).SizeBytes() < 8*g.Len() {
+		t.Fatal("SizeBytes implausibly small")
+	}
+}

@@ -1,0 +1,25 @@
+package bitvec
+
+import "ringrpq/internal/serial"
+
+// Encode writes the vector's bits; the rank/select directories are
+// rebuilt on load.
+func (v *Vector) Encode(w *serial.Writer) {
+	w.Magic("bv01")
+	w.Int(v.n)
+	w.Uint64s(v.words)
+}
+
+// Decode reads a vector written by Encode.
+func Decode(r *serial.Reader) *Vector {
+	r.Magic("bv01")
+	n := r.Int()
+	words := r.Uint64s()
+	if r.Err() != nil {
+		return nil
+	}
+	v := &Vector{words: words, n: n}
+	v.buildRank()
+	v.buildSelect()
+	return v
+}

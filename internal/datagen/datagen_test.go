@@ -1,0 +1,107 @@
+package datagen
+
+import (
+	"testing"
+
+	"ringrpq/internal/triples"
+)
+
+func TestDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 7, Nodes: 500, Edges: 2000, Preds: 10})
+	b := Generate(Config{Seed: 7, Nodes: 500, Edges: 2000, Preds: 10})
+	if a.Len() != b.Len() {
+		t.Fatalf("same seed, different sizes: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Triples {
+		if a.Triples[i] != b.Triples[i] {
+			t.Fatalf("triple %d differs", i)
+		}
+	}
+	c := Generate(Config{Seed: 8, Nodes: 500, Edges: 2000, Preds: 10})
+	if c.Len() == a.Len() {
+		same := true
+		for i := range a.Triples {
+			if a.Triples[i] != c.Triples[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Nodes == 0 || cfg.Edges == 0 || cfg.Preds == 0 || cfg.PredSkew == 0 {
+		t.Fatal("defaults not applied")
+	}
+}
+
+func TestSkewShape(t *testing.T) {
+	g := Generate(Config{Seed: 1, Nodes: 2000, Edges: 20000, Preds: 20})
+	// Predicate usage must be skewed: the most frequent base predicate
+	// should exceed the least frequent by a large factor.
+	counts := make([]int, g.NumPreds)
+	for _, tr := range g.Triples {
+		if tr.P < g.NumPreds {
+			counts[tr.P]++
+		}
+	}
+	max, min := 0, 1<<30
+	used := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c > 0 {
+			used++
+			if c < min {
+				min = c
+			}
+		}
+	}
+	if used < 5 {
+		t.Fatalf("only %d predicates used", used)
+	}
+	if max < 8*min {
+		t.Fatalf("predicate distribution not skewed: max=%d min=%d", max, min)
+	}
+	// Node degrees must have hubs.
+	deg := map[uint32]int{}
+	for _, tr := range g.Triples {
+		deg[tr.S]++
+	}
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 20 {
+		t.Fatalf("no hub nodes: max degree %d", maxDeg)
+	}
+}
+
+func TestCompletedAndNamed(t *testing.T) {
+	g := Generate(Config{Seed: 3, Nodes: 100, Edges: 400, Preds: 5})
+	if g.NumCompletedPreds() != 10 {
+		t.Fatalf("completed preds=%d, want 10", g.NumCompletedPreds())
+	}
+	set := map[triples.Triple]bool{}
+	for _, tr := range g.Triples {
+		set[tr] = true
+	}
+	for _, tr := range g.Triples {
+		if !set[triples.Triple{S: tr.O, P: g.Inverse(tr.P), O: tr.S}] {
+			t.Fatal("missing inverse edge")
+		}
+	}
+	if _, ok := g.Nodes.Lookup("Q1"); !ok {
+		t.Fatal("node naming scheme broken")
+	}
+	if _, ok := g.Preds.Lookup("P1"); !ok {
+		t.Fatal("predicate naming scheme broken")
+	}
+}

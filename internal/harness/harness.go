@@ -1,0 +1,236 @@
+// Package harness runs the paper's benchmark protocol (§5) over the
+// competing systems: every query of the log is evaluated with a timeout
+// and a result cap under set semantics, per-query wall-clock times are
+// recorded, and the aggregations of Table 2 (space, average, median,
+// timeouts, c-to-v / v-to-v splits) and Fig. 8 (per-pattern quantile
+// distributions) are rendered as text tables.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"ringrpq/internal/workload"
+)
+
+// System is one competitor: an index over a fixed graph that can
+// evaluate log queries.
+type System interface {
+	// Name labels the system in reports.
+	Name() string
+	// SizeBytes reports the index footprint.
+	SizeBytes() int
+	// Run evaluates q, returning the result count and whether the
+	// timeout fired.
+	Run(q workload.Query, limit int, timeout time.Duration) (results int, timedOut bool, err error)
+}
+
+// QueryResult is one (system, query) measurement.
+type QueryResult struct {
+	Pattern    string
+	ConstToVar bool
+	Duration   time.Duration
+	Results    int
+	TimedOut   bool
+}
+
+// Report holds one system's measurements over a log.
+type Report struct {
+	System    string
+	SizeBytes int
+	Results   []QueryResult
+}
+
+// Run evaluates the whole log on one system. Timed-out queries are
+// recorded with the full timeout as their duration, following the
+// paper's accounting.
+func Run(sys System, qs []workload.Query, limit int, timeout time.Duration) (Report, error) {
+	rep := Report{System: sys.Name(), SizeBytes: sys.SizeBytes()}
+	for _, q := range qs {
+		start := time.Now()
+		n, timedOut, err := sys.Run(q, limit, timeout)
+		if err != nil {
+			return rep, fmt.Errorf("harness: %s on %s: %w", sys.Name(), q, err)
+		}
+		d := time.Since(start)
+		if timedOut {
+			d = timeout
+		}
+		rep.Results = append(rep.Results, QueryResult{
+			Pattern:    workload.Classify(q),
+			ConstToVar: q.ConstToVar(),
+			Duration:   d,
+			Results:    n,
+			TimedOut:   timedOut,
+		})
+	}
+	return rep, nil
+}
+
+// durations extracts the (sorted) durations matching the filter.
+func durations(rep Report, filter func(QueryResult) bool) []time.Duration {
+	var out []time.Duration
+	for _, r := range rep.Results {
+		if filter == nil || filter(r) {
+			out = append(out, r.Duration)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func mean(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, d := range ds {
+		total += d
+	}
+	return total / time.Duration(len(ds))
+}
+
+// quantile returns the q-quantile (0..1) of sorted durations by linear
+// interpolation.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	hi := lo + 1
+	if hi >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo] + time.Duration(frac*float64(sorted[hi]-sorted[lo]))
+}
+
+func timeouts(rep Report) int {
+	n := 0
+	for _, r := range rep.Results {
+		if r.TimedOut {
+			n++
+		}
+	}
+	return n
+}
+
+// RenderTable1 prints the pattern mix of a log in the paper's Table 1
+// layout.
+func RenderTable1(qs []workload.Query) string {
+	counts := workload.CountPatterns(qs)
+	type row struct {
+		pattern string
+		count   int
+	}
+	rows := make([]row, 0, len(counts))
+	for p, c := range counts {
+		rows = append(rows, row{p, c})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].count != rows[j].count {
+			return rows[i].count > rows[j].count
+		}
+		return rows[i].pattern < rows[j].pattern
+	})
+	var sb strings.Builder
+	sb.WriteString("Table 1: RPQ patterns in the generated query log\n")
+	sb.WriteString(fmt.Sprintf("%-20s %8s\n", "pattern", "#"))
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-20s %8d\n", r.pattern, r.count))
+	}
+	return sb.String()
+}
+
+// RenderTable2 prints index space and query-time statistics in the
+// paper's Table 2 layout; edges is the completed edge count for the
+// bytes/edge normalisation.
+func RenderTable2(reports []Report, edges int) string {
+	var sb strings.Builder
+	sb.WriteString("Table 2: index space (bytes per edge) and query time statistics (seconds)\n")
+	sb.WriteString(fmt.Sprintf("%-18s", ""))
+	for _, rep := range reports {
+		sb.WriteString(fmt.Sprintf("%14s", rep.System))
+	}
+	sb.WriteString("\n")
+
+	writeRow := func(label string, val func(Report) string) {
+		sb.WriteString(fmt.Sprintf("%-18s", label))
+		for _, rep := range reports {
+			sb.WriteString(fmt.Sprintf("%14s", val(rep)))
+		}
+		sb.WriteString("\n")
+	}
+	secs := func(d time.Duration) string { return fmt.Sprintf("%.4f", d.Seconds()) }
+	c2v := func(r QueryResult) bool { return r.ConstToVar }
+	v2v := func(r QueryResult) bool { return !r.ConstToVar }
+
+	writeRow("Space (B/edge)", func(r Report) string {
+		return fmt.Sprintf("%.2f", float64(r.SizeBytes)/float64(edges))
+	})
+	writeRow("Average", func(r Report) string { return secs(mean(durations(r, nil))) })
+	writeRow("Median", func(r Report) string { return secs(quantile(durations(r, nil), 0.5)) })
+	writeRow("Timeouts", func(r Report) string { return fmt.Sprintf("%d", timeouts(r)) })
+	writeRow("Average c-to-v", func(r Report) string { return secs(mean(durations(r, c2v))) })
+	writeRow("Median c-to-v", func(r Report) string { return secs(quantile(durations(r, c2v), 0.5)) })
+	writeRow("Average v-to-v", func(r Report) string { return secs(mean(durations(r, v2v))) })
+	writeRow("Median v-to-v", func(r Report) string { return secs(quantile(durations(r, v2v), 0.5)) })
+	return sb.String()
+}
+
+// RenderFig8 prints, per pattern and system, the five-number summary
+// that Fig. 8 draws as boxplots.
+func RenderFig8(reports []Report) string {
+	patterns := map[string]bool{}
+	for _, rep := range reports {
+		for _, r := range rep.Results {
+			patterns[r.Pattern] = true
+		}
+	}
+	ordered := make([]string, 0, len(patterns))
+	// Keep the paper's Table 1 order where applicable.
+	for _, pf := range workload.Table1 {
+		if patterns[pf.Pattern] {
+			ordered = append(ordered, pf.Pattern)
+			delete(patterns, pf.Pattern)
+		}
+	}
+	var rest []string
+	for p := range patterns {
+		rest = append(rest, p)
+	}
+	sort.Strings(rest)
+	ordered = append(ordered, rest...)
+
+	var sb strings.Builder
+	sb.WriteString("Fig. 8: query time distributions per pattern (seconds: min/q1/median/q3/max)\n")
+	for _, pat := range ordered {
+		sb.WriteString(fmt.Sprintf("pattern %q\n", pat))
+		for _, rep := range reports {
+			ds := durations(rep, func(r QueryResult) bool { return r.Pattern == pat })
+			if len(ds) == 0 {
+				continue
+			}
+			sb.WriteString(fmt.Sprintf("  %-12s n=%-5d %.4f / %.4f / %.4f / %.4f / %.4f\n",
+				rep.System, len(ds),
+				quantile(ds, 0).Seconds(), quantile(ds, 0.25).Seconds(),
+				quantile(ds, 0.5).Seconds(), quantile(ds, 0.75).Seconds(),
+				quantile(ds, 1).Seconds()))
+		}
+	}
+	return sb.String()
+}
+
+// Speedup reports how much faster a is than b on average (the paper's
+// "1.67 times faster than Blazegraph" style of claim).
+func Speedup(a, b Report) float64 {
+	ma := mean(durations(a, nil))
+	mb := mean(durations(b, nil))
+	if ma == 0 {
+		return 0
+	}
+	return float64(mb) / float64(ma)
+}

@@ -1,0 +1,89 @@
+// Package intvec provides fixed-width packed integer vectors: n values of
+// w bits each stored contiguously in ⌈nw/64⌉ words. The ring stores its
+// packed triple components and the wavelet matrix stores its intermediate
+// level sequences this way, matching the paper's "packed form" accounting
+// (⌈log|S|⌉+⌈log|P|⌉+⌈log|O|⌉ bits per triple).
+package intvec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Vector is a mutable fixed-width packed integer vector.
+type Vector struct {
+	words []uint64
+	n     int
+	width uint
+	mask  uint64
+}
+
+// New returns a vector of n zero values of the given bit width (1..64).
+func New(n int, width uint) *Vector {
+	if width < 1 || width > 64 {
+		panic(fmt.Sprintf("intvec: invalid width %d", width))
+	}
+	nw := (n*int(width) + 63) / 64
+	var mask uint64
+	if width == 64 {
+		mask = ^uint64(0)
+	} else {
+		mask = 1<<width - 1
+	}
+	return &Vector{words: make([]uint64, nw+1), n: n, width: width, mask: mask}
+}
+
+// WidthFor reports the number of bits needed to store values in [0, max].
+func WidthFor(max uint64) uint {
+	if max == 0 {
+		return 1
+	}
+	return uint(bits.Len64(max))
+}
+
+// FromSlice packs the given values using the minimal width for their maximum.
+func FromSlice(vals []uint64) *Vector {
+	var max uint64
+	for _, x := range vals {
+		if x > max {
+			max = x
+		}
+	}
+	v := New(len(vals), WidthFor(max))
+	for i, x := range vals {
+		v.Set(i, x)
+	}
+	return v
+}
+
+// Len reports the number of values.
+func (v *Vector) Len() int { return v.n }
+
+// Width reports the per-value bit width.
+func (v *Vector) Width() uint { return v.width }
+
+// Get returns value i.
+func (v *Vector) Get(i int) uint64 {
+	bit := uint(i) * v.width
+	wi, off := bit/64, bit%64
+	w := v.words[wi] >> off
+	if off+v.width > 64 {
+		w |= v.words[wi+1] << (64 - off)
+	}
+	return w & v.mask
+}
+
+// Set stores x (truncated to the width) at position i.
+func (v *Vector) Set(i int, x uint64) {
+	x &= v.mask
+	bit := uint(i) * v.width
+	wi, off := bit/64, bit%64
+	v.words[wi] = v.words[wi]&^(v.mask<<off) | x<<off
+	if off+v.width > 64 {
+		rem := 64 - off
+		v.words[wi+1] = v.words[wi+1]&^(v.mask>>rem) | x>>rem
+	}
+}
+
+// SizeBytes reports the memory footprint.
+func (v *Vector) SizeBytes() int { return 8*len(v.words) + 24 }

@@ -1,0 +1,132 @@
+package intvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWidthFor(t *testing.T) {
+	cases := []struct {
+		max  uint64
+		want uint
+	}{
+		{0, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {255, 8}, {256, 9},
+		{1<<63 - 1, 63}, {1 << 63, 64}, {^uint64(0), 64},
+	}
+	for _, c := range cases {
+		if got := WidthFor(c.max); got != c.want {
+			t.Errorf("WidthFor(%d)=%d, want %d", c.max, got, c.want)
+		}
+	}
+}
+
+func TestSetGetAllWidths(t *testing.T) {
+	for width := uint(1); width <= 64; width++ {
+		rng := rand.New(rand.NewSource(int64(width)))
+		n := 200
+		v := New(n, width)
+		want := make([]uint64, n)
+		var mask uint64
+		if width == 64 {
+			mask = ^uint64(0)
+		} else {
+			mask = 1<<width - 1
+		}
+		for i := 0; i < n; i++ {
+			want[i] = rng.Uint64() & mask
+			v.Set(i, want[i])
+		}
+		for i := 0; i < n; i++ {
+			if got := v.Get(i); got != want[i] {
+				t.Fatalf("width=%d Get(%d)=%d, want %d", width, i, got, want[i])
+			}
+		}
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	v := New(100, 7)
+	for i := 0; i < 100; i++ {
+		v.Set(i, uint64(i))
+	}
+	// Overwrite a middle run and check neighbours untouched.
+	for i := 40; i < 60; i++ {
+		v.Set(i, 127)
+	}
+	for i := 0; i < 100; i++ {
+		want := uint64(i)
+		if i >= 40 && i < 60 {
+			want = 127
+		}
+		if v.Get(i) != want {
+			t.Fatalf("Get(%d)=%d, want %d", i, v.Get(i), want)
+		}
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	v := New(4, 3)
+	v.Set(1, 0xff)
+	if v.Get(1) != 7 {
+		t.Errorf("Get(1)=%d, want 7 (truncated)", v.Get(1))
+	}
+	if v.Get(0) != 0 || v.Get(2) != 0 {
+		t.Errorf("neighbours clobbered: %d %d", v.Get(0), v.Get(2))
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	vals := []uint64{5, 0, 1023, 42, 7}
+	v := FromSlice(vals)
+	if v.Width() != 10 {
+		t.Errorf("Width=%d, want 10", v.Width())
+	}
+	for i, want := range vals {
+		if v.Get(i) != want {
+			t.Errorf("Get(%d)=%d, want %d", i, v.Get(i), want)
+		}
+	}
+}
+
+func TestInvalidWidthPanics(t *testing.T) {
+	for _, w := range []uint{0, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(_, %d) should panic", w)
+				}
+			}()
+			New(1, w)
+		}()
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(vals []uint64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		v := FromSlice(vals)
+		for i, want := range vals {
+			if v.Get(i) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	v := New(1<<16, 17)
+	for i := 0; i < v.Len(); i++ {
+		v.Set(i, uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Get(i % v.Len())
+	}
+}

@@ -1,0 +1,389 @@
+// Package ltj implements Leapfrog Triejoin over the ring — the
+// worst-case-optimal multijoin algorithm the ring was originally built
+// for (Arroyuelo et al., SIGMOD'21), and the integration point the RPQ
+// paper's conclusion (§6) sketches for mixing RPQs into basic graph
+// patterns.
+//
+// Each triple pattern is evaluated by walking the ring's LF cycle: a
+// pattern binds its components in a rotation of (s → o → p), narrowing a
+// range of one BWT sequence per step with backward search. The values
+// available for the next component are exactly the distinct symbols of
+// the current range, which the wavelet trees enumerate — and, crucially
+// for leapfrog, seek with MinAtLeast in O(log σ). A join picks one
+// global variable order and intersects, per variable, the candidate
+// streams of all patterns where that variable is next.
+//
+// A single ring supports the three rotations of (s, o, p); patterns
+// whose variables would need a different binding order are rejected
+// (the SIGMOD paper adds a second, reversed ring for full generality).
+package ltj
+
+import (
+	"fmt"
+	"sort"
+
+	"ringrpq/internal/ring"
+)
+
+// Term is one position of a triple pattern: a constant symbol or a
+// variable name.
+type Term struct {
+	// Const holds the symbol when Var is empty.
+	Const uint32
+	// Var names the variable; empty means constant.
+	Var string
+}
+
+// C makes a constant term.
+func C(v uint32) Term { return Term{Const: v} }
+
+// V makes a variable term.
+func V(name string) Term { return Term{Var: name} }
+
+// Pattern is a triple pattern (S, P, O) over completed predicate ids and
+// node ids.
+type Pattern struct {
+	S, P, O Term
+}
+
+// axis identifies a triple component; the ring's LF cycle visits them in
+// the order s → o → p → s.
+type axis int
+
+const (
+	axS axis = iota
+	axO
+	axP
+)
+
+// next follows the LF cycle.
+func (a axis) next() axis { return (a + 1) % 3 }
+
+func (p Pattern) term(a axis) Term {
+	switch a {
+	case axS:
+		return p.S
+	case axO:
+		return p.O
+	default:
+		return p.P
+	}
+}
+
+// Row is one join result: variable name → bound symbol.
+type Row map[string]uint32
+
+// Join evaluates the natural join of the patterns on r, calling emit for
+// every result row; emit returning false stops the enumeration. It
+// returns an error when no single-ring binding order exists.
+func Join(r *ring.Ring, patterns []Pattern, emit func(Row) bool) error {
+	if len(patterns) == 0 {
+		return nil
+	}
+	vars := collectVars(patterns)
+	order, rotations, ok := chooseOrder(patterns, vars)
+	if !ok {
+		return fmt.Errorf("ltj: no single-ring variable order for these patterns")
+	}
+	j := &joiner{
+		r:         r,
+		patterns:  patterns,
+		rotations: rotations,
+		order:     order,
+		emit:      emit,
+		states:    make([]state, len(patterns)),
+		row:       Row{},
+	}
+	for i := range j.states {
+		j.states[i] = state{step: 0, b: -1, e: -1}
+	}
+	// Apply leading constants before the first variable.
+	saved := j.snapshot()
+	if !j.applyConstants() {
+		return nil
+	}
+	j.run(0)
+	j.restore(saved)
+	return nil
+}
+
+// state is a pattern's position in its rotation walk: step counts bound
+// components; [b, e) is the current range, with b == -1 meaning the
+// pattern is still unconstrained (full range).
+type state struct {
+	step int
+	b, e int
+}
+
+type joiner struct {
+	r         *ring.Ring
+	patterns  []Pattern
+	rotations []axis // starting axis per pattern
+	order     []string
+	emit      func(Row) bool
+	states    []state
+	row       Row
+	stopped   bool
+}
+
+func (j *joiner) snapshot() []state { return append([]state(nil), j.states...) }
+
+func (j *joiner) restore(s []state) { copy(j.states, s) }
+
+// axisAt returns pattern i's axis at rotation step k.
+func (j *joiner) axisAt(i, k int) axis {
+	a := j.rotations[i]
+	for ; k > 0; k-- {
+		a = a.next()
+	}
+	return a
+}
+
+// applyConstants advances every pattern through the constants at its
+// current rotation position; false means some pattern's range became
+// empty (no results).
+func (j *joiner) applyConstants() bool {
+	for i := range j.patterns {
+		for j.states[i].step < 3 {
+			t := j.patterns[i].term(j.axisAt(i, j.states[i].step))
+			if t.Var != "" {
+				break
+			}
+			if !j.bind(i, t.Const) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// bind narrows pattern i's range by the value of its next component,
+// following the LF cycle. It reports whether the range stays nonempty.
+func (j *joiner) bind(i int, v uint32) bool {
+	st := &j.states[i]
+	a := j.axisAt(i, st.step)
+	if st.b == -1 {
+		// First binding: jump straight to the component's C-array range.
+		switch a {
+		case axS:
+			if int(v) >= j.r.NumNodes {
+				return false
+			}
+			st.b, st.e = j.r.SubjectRange(v) // range of L_o
+		case axO:
+			if int(v) >= j.r.NumNodes {
+				return false
+			}
+			st.b, st.e = j.r.ObjectRange(v) // range of L_p
+		case axP:
+			if v >= j.r.NumPreds {
+				return false
+			}
+			st.b, st.e = j.r.PredRange(v) // range of L_s
+		}
+	} else {
+		// Backward-search step: the current range's sequence holds
+		// exactly the values of axis a.
+		switch a {
+		case axS:
+			st.b, st.e = j.r.BackwardBySubj(st.b, st.e, v)
+		case axO:
+			st.b, st.e = j.r.BackwardByObj(st.b, st.e, v)
+		case axP:
+			st.b, st.e = j.r.BackwardByPred(st.b, st.e, v)
+		}
+	}
+	st.step++
+	return st.b < st.e
+}
+
+// seqFor returns the sequence whose symbols are the values of axis a.
+func (j *joiner) seqFor(a axis) interface {
+	MinAtLeast(b, e int, x uint32) (uint32, bool)
+	Sigma() uint32
+} {
+	switch a {
+	case axS:
+		return j.r.Ls
+	case axO:
+		return j.r.Lo
+	default:
+		return j.r.Lp
+	}
+}
+
+// seek returns the smallest candidate ≥ x for pattern i's next
+// component.
+func (j *joiner) seek(i int, x uint32) (uint32, bool) {
+	st := j.states[i]
+	a := j.axisAt(i, st.step)
+	seq := j.seqFor(a)
+	if st.b == -1 {
+		// Unconstrained: every symbol is a candidate.
+		if x < seq.Sigma() {
+			return x, true
+		}
+		return 0, false
+	}
+	return seq.MinAtLeast(st.b, st.e, x)
+}
+
+// run binds j.order[level] by leapfrog intersection and recurses.
+func (j *joiner) run(level int) {
+	if j.stopped {
+		return
+	}
+	if level == len(j.order) {
+		out := Row{}
+		for k, v := range j.row {
+			out[k] = v
+		}
+		if !j.emit(out) {
+			j.stopped = true
+		}
+		return
+	}
+	name := j.order[level]
+	var participants []int
+	for i := range j.patterns {
+		if j.states[i].step < 3 && j.patterns[i].term(j.axisAt(i, j.states[i].step)).Var == name {
+			participants = append(participants, i)
+		}
+	}
+	if len(participants) == 0 {
+		// Unreachable given chooseOrder's feasibility checks.
+		panic("ltj: variable with no participating pattern")
+	}
+
+	// Leapfrog over the participants' sorted candidate streams.
+	x := uint32(0)
+	for {
+		agreed := true
+		for _, i := range participants {
+			c, ok := j.seek(i, x)
+			if !ok {
+				return
+			}
+			if c > x {
+				x = c
+				agreed = false
+			}
+		}
+		if !agreed {
+			continue
+		}
+		// All participants can produce x: bind, recurse, backtrack. A
+		// pattern may mention the variable on several components
+		// (e.g. (?x, p, ?x)); bind each consecutive occurrence.
+		saved := j.snapshot()
+		ok := true
+		for _, i := range participants {
+			for ok && j.states[i].step < 3 &&
+				j.patterns[i].term(j.axisAt(i, j.states[i].step)).Var == name {
+				ok = j.bind(i, x)
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok && j.applyConstants() {
+			j.row[name] = x
+			j.run(level + 1)
+			delete(j.row, name)
+			if j.stopped {
+				return
+			}
+		}
+		j.restore(saved)
+		if x == ^uint32(0) {
+			return
+		}
+		x++
+	}
+}
+
+func collectVars(patterns []Pattern) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range patterns {
+		for _, t := range []Term{p.S, p.P, p.O} {
+			if t.Var != "" && !seen[t.Var] {
+				seen[t.Var] = true
+				out = append(out, t.Var)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// chooseOrder searches the permutations of the variables for one where
+// every pattern admits a rotation whose variables appear in permutation
+// order (constants may sit anywhere in the rotation; they are applied
+// as their turn comes). Variable counts in graph patterns are small, so
+// exhaustive search is fine.
+func chooseOrder(patterns []Pattern, vars []string) ([]string, []axis, bool) {
+	perm := append([]string(nil), vars...)
+	var result []string
+	var rotations []axis
+	var try func(k int) bool
+	try = func(k int) bool {
+		if k == len(perm) {
+			rots, ok := feasible(patterns, perm)
+			if ok {
+				result = append([]string(nil), perm...)
+				rotations = rots
+			}
+			return ok
+		}
+		for i := k; i < len(perm); i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			if try(k + 1) {
+				return true
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		return false
+	}
+	if !try(0) {
+		return nil, nil, false
+	}
+	return result, rotations, true
+}
+
+// feasible checks every pattern against a variable order, returning the
+// chosen rotation starts.
+func feasible(patterns []Pattern, order []string) ([]axis, bool) {
+	pos := map[string]int{}
+	for i, v := range order {
+		pos[v] = i
+	}
+	rots := make([]axis, len(patterns))
+	for i, p := range patterns {
+		found := false
+		for _, start := range []axis{axS, axO, axP} {
+			last := -1
+			ok := true
+			a := start
+			for k := 0; k < 3; k++ {
+				if t := p.term(a); t.Var != "" {
+					if pos[t.Var] < last {
+						ok = false
+						break
+					}
+					last = pos[t.Var]
+				}
+				a = a.next()
+			}
+			if ok {
+				rots[i] = start
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	return rots, true
+}

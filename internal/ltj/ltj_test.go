@@ -1,0 +1,263 @@
+package ltj
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"ringrpq/internal/enginetest"
+	"ringrpq/internal/ring"
+	"ringrpq/internal/triples"
+)
+
+// naiveJoin evaluates the join by brute force over all bindings.
+func naiveJoin(g *triples.Graph, patterns []Pattern) []Row {
+	edgeSet := map[triples.Triple]bool{}
+	for _, t := range g.Triples {
+		edgeSet[t] = true
+	}
+	vars := collectVars(patterns)
+	var out []Row
+	row := Row{}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(vars) {
+			for _, p := range patterns {
+				val := func(t Term) uint32 {
+					if t.Var != "" {
+						return row[t.Var]
+					}
+					return t.Const
+				}
+				if !edgeSet[triples.Triple{S: val(p.S), P: val(p.P), O: val(p.O)}] {
+					return
+				}
+			}
+			cp := Row{}
+			for k, v := range row {
+				cp[k] = v
+			}
+			out = append(out, cp)
+			return
+		}
+		for v := 0; v < g.NumNodes()+int(g.NumCompletedPreds()); v++ {
+			// Variables range over nodes and predicates; out-of-domain
+			// bindings simply fail the edge check.
+			row[vars[k]] = uint32(v)
+			rec(k + 1)
+		}
+		delete(row, vars[k])
+	}
+	rec(0)
+	return out
+}
+
+func sortRows(rows []Row, vars []string) []Row {
+	sort.Slice(rows, func(i, j int) bool {
+		for _, v := range vars {
+			if rows[i][v] != rows[j][v] {
+				return rows[i][v] < rows[j][v]
+			}
+		}
+		return false
+	})
+	return rows
+}
+
+func runJoin(t *testing.T, r *ring.Ring, patterns []Pattern) []Row {
+	t.Helper()
+	var rows []Row
+	err := Join(r, patterns, func(row Row) bool {
+		rows = append(rows, row)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestSinglePatternModes(t *testing.T) {
+	g := enginetest.Metro()
+	r := ring.New(g, ring.WaveletMatrix)
+	l1, _ := g.PredID("l1", false)
+	baq, _ := g.Nodes.Lookup("Baq")
+
+	// (?x, l1, ?y): all l1 edges.
+	rows := runJoin(t, r, []Pattern{{S: V("x"), P: C(l1), O: V("y")}})
+	want := 0
+	for _, tr := range g.Triples {
+		if tr.P == l1 {
+			want++
+		}
+	}
+	if len(rows) != want {
+		t.Fatalf("l1 edges: %d rows, want %d", len(rows), want)
+	}
+
+	// (Baq, ?p, ?y): all edges out of Baq, any predicate.
+	rows = runJoin(t, r, []Pattern{{S: C(baq), P: V("p"), O: V("y")}})
+	want = 0
+	for _, tr := range g.Triples {
+		if tr.S == baq {
+			want++
+		}
+	}
+	if len(rows) != want {
+		t.Fatalf("edges out of Baq: %d rows, want %d", len(rows), want)
+	}
+
+	// Fully constant pattern: present and absent.
+	uch, _ := g.Nodes.Lookup("UCh")
+	rows = runJoin(t, r, []Pattern{{S: C(baq), P: C(l1), O: C(uch)}})
+	if len(rows) != 1 {
+		t.Fatalf("existing edge check: %d rows, want 1", len(rows))
+	}
+	sa, _ := g.Nodes.Lookup("SA")
+	rows = runJoin(t, r, []Pattern{{S: C(baq), P: C(l1), O: C(sa)}})
+	if len(rows) != 0 {
+		t.Fatalf("absent edge check: %d rows, want 0", len(rows))
+	}
+}
+
+func TestTwoPatternJoin(t *testing.T) {
+	g := enginetest.Metro()
+	r := ring.New(g, ring.WaveletMatrix)
+	l1, _ := g.PredID("l1", false)
+	l2, _ := g.PredID("l2", false)
+	// Paths x -l1-> y -l2-> z.
+	patterns := []Pattern{
+		{S: V("x"), P: C(l1), O: V("y")},
+		{S: V("y"), P: C(l2), O: V("z")},
+	}
+	got := sortRows(runJoin(t, r, patterns), []string{"x", "y", "z"})
+	want := sortRows(naiveJoin(g, patterns), []string{"x", "y", "z"})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("join: got %v, want %v", got, want)
+	}
+	if len(got) == 0 {
+		t.Fatal("expected nonempty join (UCh -l1-> LH -l2-> SA exists)")
+	}
+}
+
+func TestTriangleJoin(t *testing.T) {
+	// A graph with a known triangle, joined on three patterns.
+	b := triples.NewBuilder()
+	b.Add("a", "p", "b")
+	b.Add("b", "p", "c")
+	b.Add("c", "p", "a")
+	b.Add("a", "p", "d") // dead end
+	g := b.Build()
+	r := ring.New(g, ring.WaveletMatrix)
+	p, _ := g.PredID("p", false)
+	patterns := []Pattern{
+		{S: V("x"), P: C(p), O: V("y")},
+		{S: V("y"), P: C(p), O: V("z")},
+		{S: V("z"), P: C(p), O: V("x")},
+	}
+	got := sortRows(runJoin(t, r, patterns), []string{"x", "y", "z"})
+	want := sortRows(naiveJoin(g, patterns), []string{"x", "y", "z"})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("triangle: got %v, want %v", got, want)
+	}
+	if len(got) != 3 {
+		t.Fatalf("triangle count=%d, want 3 rotations", len(got))
+	}
+}
+
+func TestVariablePredicateJoin(t *testing.T) {
+	g := enginetest.Metro()
+	r := ring.New(g, ring.WaveletMatrix)
+	sa, _ := g.Nodes.Lookup("SA")
+	// Two edges sharing an unknown predicate: (SA, ?p, ?x), (?x, ?p, ?y).
+	patterns := []Pattern{
+		{S: C(sa), P: V("p"), O: V("x")},
+		{S: V("x"), P: V("p"), O: V("y")},
+	}
+	got := sortRows(runJoin(t, r, patterns), []string{"p", "x", "y"})
+	want := sortRows(naiveJoin(g, patterns), []string{"p", "x", "y"})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("var-pred join: got %v, want %v", got, want)
+	}
+}
+
+func TestRepeatedVariable(t *testing.T) {
+	b := triples.NewBuilder()
+	b.Add("a", "p", "a") // self loop
+	b.Add("a", "p", "b")
+	b.Add("b", "p", "c")
+	g := b.Build()
+	r := ring.New(g, ring.WaveletMatrix)
+	p, _ := g.PredID("p", false)
+	rows := runJoin(t, r, []Pattern{{S: V("x"), P: C(p), O: V("x")}})
+	if len(rows) != 1 {
+		t.Fatalf("self loops: %d rows, want 1", len(rows))
+	}
+	a, _ := g.Nodes.Lookup("a")
+	if rows[0]["x"] != a {
+		t.Fatalf("self loop on %d, want %d", rows[0]["x"], a)
+	}
+}
+
+func TestRandomJoinsAgainstNaive(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := enginetest.RandomGraph(seed+400, 8, 2, 25)
+		r := ring.New(g, ring.WaveletMatrix)
+		p0, _ := g.PredID("pa", false)
+		p1, _ := g.PredID("pb", false)
+		cases := [][]Pattern{
+			{{S: V("x"), P: C(p0), O: V("y")}, {S: V("y"), P: C(p1), O: V("z")}},
+			{{S: V("x"), P: C(p0), O: V("y")}, {S: V("x"), P: C(p1), O: V("z")}},
+			{{S: V("x"), P: V("p"), O: V("y")}},
+			{{S: V("x"), P: C(p0), O: V("y")}, {S: V("y"), P: C(p0), O: V("x")}},
+		}
+		for ci, patterns := range cases {
+			vars := collectVars(patterns)
+			got := sortRows(runJoin(t, r, patterns), vars)
+			want := sortRows(naiveJoin(g, patterns), vars)
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d case %d: got %d rows, want %d\n%v\n%v",
+					seed, ci, len(got), len(want), got, want)
+			}
+		}
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	g := enginetest.Metro()
+	r := ring.New(g, ring.WaveletMatrix)
+	count := 0
+	err := Join(r, []Pattern{{S: V("x"), P: V("p"), O: V("y")}}, func(Row) bool {
+		count++
+		return count < 3
+	})
+	if err != nil || count != 3 {
+		t.Fatalf("early stop: count=%d err=%v", count, err)
+	}
+}
+
+func TestEmptyPatterns(t *testing.T) {
+	g := enginetest.Metro()
+	r := ring.New(g, ring.WaveletMatrix)
+	if err := Join(r, nil, func(Row) bool { t.Fatal("emitted"); return false }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Two patterns whose variable rotations conflict in every combination
+// must be rejected (a second, reversed ring would be needed).
+func TestInfeasibleOrderRejected(t *testing.T) {
+	g := enginetest.Metro()
+	r := ring.New(g, ring.WaveletMatrix)
+	patterns := []Pattern{
+		{S: V("x"), P: V("y"), O: V("z")},
+		{S: V("x"), P: V("z"), O: V("y")},
+	}
+	err := Join(r, patterns, func(Row) bool { return true })
+	if err == nil {
+		t.Fatal("conflicting rotations must be rejected")
+	}
+}

@@ -1,0 +1,260 @@
+// Package pathexpr parses and manipulates the regular expressions of
+// two-way regular path queries (2RPQs, paper §3.1). Expressions are built
+// from edge labels (predicates) and their inverses (^p), concatenation
+// (E1/E2), alternation (E1|E2), Kleene closure (E*), E+ = E*/E, and
+// E? = ε|E. A two-way expression is rewritten to atomic inverses at parse
+// time, so the engine only ever sees symbols over Σ↔.
+package pathexpr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is an expression-tree node. Implementations: Sym, Eps, Concat,
+// Alt, Star, Plus, Opt.
+type Node interface {
+	// writeTo appends the canonical textual form, parenthesised according
+	// to prec, the binding power of the context.
+	writeTo(sb *strings.Builder, prec int)
+	// pattern appends the operator-skeleton form used by the Table 1
+	// classifier (predicates erased, operators kept).
+	pattern(sb *strings.Builder)
+}
+
+// Sym is a single predicate occurrence, optionally inverted.
+type Sym struct {
+	Name    string
+	Inverse bool
+}
+
+// Eps matches the empty path.
+type Eps struct{}
+
+// Concat matches L followed by R (written L/R).
+type Concat struct{ L, R Node }
+
+// Alt matches L or R (written L|R).
+type Alt struct{ L, R Node }
+
+// Star matches zero or more repetitions of X.
+type Star struct{ X Node }
+
+// Plus matches one or more repetitions of X.
+type Plus struct{ X Node }
+
+// Opt matches X or the empty path.
+type Opt struct{ X Node }
+
+// Binding powers: alternation < concatenation < postfix.
+const (
+	precAlt = iota
+	precConcat
+	precPostfix
+)
+
+func (s Sym) writeTo(sb *strings.Builder, prec int) {
+	if s.Inverse {
+		sb.WriteByte('^')
+	}
+	if identLike(s.Name) {
+		sb.WriteString(s.Name)
+	} else {
+		sb.WriteByte('<')
+		sb.WriteString(s.Name)
+		sb.WriteByte('>')
+	}
+}
+
+// identLike reports whether name can be printed bare and reparsed.
+func identLike(name string) bool {
+	if name == "" || name[0] == '-' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		if !isIdentByte(name[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (Eps) writeTo(sb *strings.Builder, prec int) { sb.WriteString("()") }
+
+func (c Concat) writeTo(sb *strings.Builder, prec int) {
+	if prec > precConcat {
+		sb.WriteByte('(')
+	}
+	c.L.writeTo(sb, precConcat)
+	sb.WriteByte('/')
+	// The parser is left-associative, so a right-nested concat needs
+	// explicit parentheses to round-trip.
+	c.R.writeTo(sb, precConcat+1)
+	if prec > precConcat {
+		sb.WriteByte(')')
+	}
+}
+
+func (a Alt) writeTo(sb *strings.Builder, prec int) {
+	if prec > precAlt {
+		sb.WriteByte('(')
+	}
+	a.L.writeTo(sb, precAlt)
+	sb.WriteByte('|')
+	a.R.writeTo(sb, precAlt+1)
+	if prec > precAlt {
+		sb.WriteByte(')')
+	}
+}
+
+func (s Star) writeTo(sb *strings.Builder, prec int) {
+	s.X.writeTo(sb, precPostfix+1)
+	sb.WriteByte('*')
+}
+
+func (p Plus) writeTo(sb *strings.Builder, prec int) {
+	p.X.writeTo(sb, precPostfix+1)
+	sb.WriteByte('+')
+}
+
+func (o Opt) writeTo(sb *strings.Builder, prec int) {
+	o.X.writeTo(sb, precPostfix+1)
+	sb.WriteByte('?')
+}
+
+// String renders a node in the canonical syntax accepted by Parse.
+func String(n Node) string {
+	var sb strings.Builder
+	n.writeTo(&sb, precAlt)
+	return sb.String()
+}
+
+// InverseOf returns Ê, matching exactly the reverses of the paths matched
+// by n: concatenations are flipped and atoms inverted (§3.1, §4).
+func InverseOf(n Node) Node {
+	switch x := n.(type) {
+	case Sym:
+		return Sym{Name: x.Name, Inverse: !x.Inverse}
+	case NegSet:
+		// The reverse of "a forward edge not labelled p1..pk" is "an
+		// inverse edge not labelled ^p1..^pk", and vice versa.
+		return NegSet{Inverse: !x.Inverse, Names: x.Names}
+	case Eps:
+		return x
+	case Concat:
+		return Concat{L: InverseOf(x.R), R: InverseOf(x.L)}
+	case Alt:
+		return Alt{L: InverseOf(x.L), R: InverseOf(x.R)}
+	case Star:
+		return Star{X: InverseOf(x.X)}
+	case Plus:
+		return Plus{X: InverseOf(x.X)}
+	case Opt:
+		return Opt{X: InverseOf(x.X)}
+	default:
+		panic(fmt.Sprintf("pathexpr: unknown node %T", n))
+	}
+}
+
+// CountSyms reports the number of predicate occurrences (the m of §3.3).
+func CountSyms(n Node) int {
+	switch x := n.(type) {
+	case Sym:
+		return 1
+	case NegSet:
+		return 1 // one automaton position, however many names it excludes
+	case Eps:
+		return 0
+	case Concat:
+		return CountSyms(x.L) + CountSyms(x.R)
+	case Alt:
+		return CountSyms(x.L) + CountSyms(x.R)
+	case Star:
+		return CountSyms(x.X)
+	case Plus:
+		return CountSyms(x.X)
+	case Opt:
+		return CountSyms(x.X)
+	default:
+		panic(fmt.Sprintf("pathexpr: unknown node %T", n))
+	}
+}
+
+// Predicates returns the distinct predicate occurrences (name, inverse)
+// in order of first appearance.
+func Predicates(n Node) []Sym {
+	var out []Sym
+	seen := map[Sym]bool{}
+	var walk func(Node)
+	walk = func(n Node) {
+		switch x := n.(type) {
+		case Sym:
+			if !seen[x] {
+				seen[x] = true
+				out = append(out, x)
+			}
+		case Concat:
+			walk(x.L)
+			walk(x.R)
+		case Alt:
+			walk(x.L)
+			walk(x.R)
+		case Star:
+			walk(x.X)
+		case Plus:
+			walk(x.X)
+		case Opt:
+			walk(x.X)
+		}
+	}
+	walk(n)
+	return out
+}
+
+func (s Sym) pattern(sb *strings.Builder) {
+	if s.Inverse {
+		sb.WriteByte('^')
+	}
+}
+func (Eps) pattern(sb *strings.Builder) {}
+func (c Concat) pattern(sb *strings.Builder) {
+	c.L.pattern(sb)
+	sb.WriteByte('/')
+	c.R.pattern(sb)
+}
+func (a Alt) pattern(sb *strings.Builder) {
+	a.L.pattern(sb)
+	sb.WriteByte('|')
+	a.R.pattern(sb)
+}
+func (s Star) pattern(sb *strings.Builder) {
+	s.X.pattern(sb)
+	sb.WriteByte('*')
+}
+func (p Plus) pattern(sb *strings.Builder) {
+	p.X.pattern(sb)
+	sb.WriteByte('+')
+}
+func (o Opt) pattern(sb *strings.Builder) {
+	o.X.pattern(sb)
+	sb.WriteByte('?')
+}
+
+// Pattern classifies an RPQ into the notation of Table 1: subject/object
+// constness ("c" or "v") around the operator skeleton of the expression,
+// e.g. (x, p1/p2*, Baq) → "v /* c".
+func Pattern(subjectConst bool, n Node, objectConst bool) string {
+	var sb strings.Builder
+	if subjectConst {
+		sb.WriteString("c ")
+	} else {
+		sb.WriteString("v ")
+	}
+	n.pattern(&sb)
+	if objectConst {
+		sb.WriteString(" c")
+	} else {
+		sb.WriteString(" v")
+	}
+	return sb.String()
+}

@@ -1,0 +1,47 @@
+package pathexpr
+
+// Matches reports whether the word (a sequence of edge labels) belongs to
+// the language of n. It is a direct recursive implementation of the
+// language semantics of §3.1, intended as an executable specification for
+// cross-checking the automata packages; its cost can be exponential in
+// the word length, so use it only on short words.
+func Matches(n Node, word []Sym) bool {
+	return matches(n, word)
+}
+
+func matches(n Node, w []Sym) bool {
+	switch x := n.(type) {
+	case Sym:
+		return len(w) == 1 && w[0] == x
+	case NegSet:
+		return len(w) == 1 && x.MatchesSym(w[0])
+	case Eps:
+		return len(w) == 0
+	case Concat:
+		for i := 0; i <= len(w); i++ {
+			if matches(x.L, w[:i]) && matches(x.R, w[i:]) {
+				return true
+			}
+		}
+		return false
+	case Alt:
+		return matches(x.L, w) || matches(x.R, w)
+	case Star:
+		if len(w) == 0 {
+			return true
+		}
+		// Try non-empty first chunks only, to guarantee progress.
+		for i := 1; i <= len(w); i++ {
+			if matches(x.X, w[:i]) && matches(Star{X: x.X}, w[i:]) {
+				return true
+			}
+		}
+		return false
+	case Plus:
+		return matches(Concat{L: x.X, R: Star{X: x.X}}, w)
+	case Opt:
+		return len(w) == 0 || matches(x.X, w)
+	default:
+		return false
+	}
+}

@@ -1,0 +1,158 @@
+package pathexpr
+
+import (
+	"sort"
+	"strings"
+)
+
+// NegSet is a SPARQL-style negated property set: it matches a single
+// edge whose label has the given direction (forward, or inverse when
+// Inverse is set) and whose base name is not listed. Following the
+// SPARQL 1.1 semantics, a mixed set !(p1|^p2) is split at parse time
+// into !(p1) | !(^p2), so every NegSet is direction-homogeneous.
+//
+// The paper's §6 points out that the bit-parallel Glushkov simulation
+// handles such symbol classes without enlarging the NFA: a NegSet is a
+// single automaton position whose B-membership is computed per symbol.
+type NegSet struct {
+	// Inverse selects which direction of edge labels the set ranges
+	// over.
+	Inverse bool
+	// Names lists the excluded base predicate names, sorted.
+	Names []string
+}
+
+// Excludes reports whether the (name, inverse) label is excluded — i.e.
+// the label has the set's direction but is listed.
+func (n NegSet) Excludes(name string) bool {
+	i := sort.SearchStrings(n.Names, name)
+	return i < len(n.Names) && n.Names[i] == name
+}
+
+// MatchesSym reports whether a single edge label matches the set.
+func (n NegSet) MatchesSym(s Sym) bool {
+	return s.Inverse == n.Inverse && !n.Excludes(s.Name)
+}
+
+func (n NegSet) writeTo(sb *strings.Builder, prec int) {
+	sb.WriteByte('!')
+	if len(n.Names) == 1 {
+		if n.Inverse {
+			sb.WriteByte('^')
+		}
+		writeName(sb, n.Names[0])
+		return
+	}
+	sb.WriteByte('(')
+	for i, name := range n.Names {
+		if i > 0 {
+			sb.WriteByte('|')
+		}
+		if n.Inverse {
+			sb.WriteByte('^')
+		}
+		writeName(sb, name)
+	}
+	sb.WriteByte(')')
+}
+
+func writeName(sb *strings.Builder, name string) {
+	if identLike(name) {
+		sb.WriteString(name)
+	} else {
+		sb.WriteByte('<')
+		sb.WriteString(name)
+		sb.WriteByte('>')
+	}
+}
+
+func (n NegSet) pattern(sb *strings.Builder) { sb.WriteByte('!') }
+
+// newNegSet normalises a member list into the Alt-of-NegSets form:
+// members are grouped by direction, names sorted and deduplicated.
+func newNegSet(members []Sym) Node {
+	var fwd, inv []string
+	for _, m := range members {
+		if m.Inverse {
+			inv = append(inv, m.Name)
+		} else {
+			fwd = append(fwd, m.Name)
+		}
+	}
+	normalize := func(names []string, inverse bool) Node {
+		sort.Strings(names)
+		names = dedupStrings(names)
+		return NegSet{Inverse: inverse, Names: names}
+	}
+	switch {
+	case len(inv) == 0:
+		return normalize(fwd, false)
+	case len(fwd) == 0:
+		return normalize(inv, true)
+	default:
+		return Alt{L: normalize(fwd, false), R: normalize(inv, true)}
+	}
+}
+
+func dedupStrings(xs []string) []string {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// ExpandNegSets rewrites every negated property set into an alternation
+// of the concrete predicates it matches, as supplied by expand. Systems
+// without native class support (the baselines) use this to stay
+// comparable; a set matching nothing becomes an unresolvable symbol, so
+// it correctly never fires.
+func ExpandNegSets(n Node, expand func(NegSet) []Sym) Node {
+	switch x := n.(type) {
+	case NegSet:
+		syms := expand(x)
+		if len(syms) == 0 {
+			return Sym{Name: "\x00nothing"}
+		}
+		var out Node = syms[0]
+		for _, s := range syms[1:] {
+			out = Alt{L: out, R: s}
+		}
+		return out
+	case Concat:
+		return Concat{L: ExpandNegSets(x.L, expand), R: ExpandNegSets(x.R, expand)}
+	case Alt:
+		return Alt{L: ExpandNegSets(x.L, expand), R: ExpandNegSets(x.R, expand)}
+	case Star:
+		return Star{X: ExpandNegSets(x.X, expand)}
+	case Plus:
+		return Plus{X: ExpandNegSets(x.X, expand)}
+	case Opt:
+		return Opt{X: ExpandNegSets(x.X, expand)}
+	default:
+		return n
+	}
+}
+
+// HasNegSets reports whether the expression contains a negated property
+// set.
+func HasNegSets(n Node) bool {
+	switch x := n.(type) {
+	case NegSet:
+		return true
+	case Concat:
+		return HasNegSets(x.L) || HasNegSets(x.R)
+	case Alt:
+		return HasNegSets(x.L) || HasNegSets(x.R)
+	case Star:
+		return HasNegSets(x.X)
+	case Plus:
+		return HasNegSets(x.X)
+	case Opt:
+		return HasNegSets(x.X)
+	default:
+		return false
+	}
+}

@@ -1,0 +1,134 @@
+package pathexpr
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNegSetParse(t *testing.T) {
+	n := MustParse("!a")
+	ns, ok := n.(NegSet)
+	if !ok || ns.Inverse || !reflect.DeepEqual(ns.Names, []string{"a"}) {
+		t.Fatalf("!a parsed as %#v", n)
+	}
+	n = MustParse("!^a")
+	ns, ok = n.(NegSet)
+	if !ok || !ns.Inverse {
+		t.Fatalf("!^a parsed as %#v", n)
+	}
+	n = MustParse("!(a|b|c)")
+	ns, ok = n.(NegSet)
+	if !ok || !reflect.DeepEqual(ns.Names, []string{"a", "b", "c"}) {
+		t.Fatalf("!(a|b|c) parsed as %#v", n)
+	}
+	// Duplicates collapse, order normalises.
+	n = MustParse("!(c|a|c)")
+	ns = n.(NegSet)
+	if !reflect.DeepEqual(ns.Names, []string{"a", "c"}) {
+		t.Fatalf("normalisation: %#v", ns)
+	}
+}
+
+// Mixed-direction sets split into Alt per the SPARQL 1.1 semantics.
+func TestNegSetMixedSplit(t *testing.T) {
+	n := MustParse("!(a|^b)")
+	alt, ok := n.(Alt)
+	if !ok {
+		t.Fatalf("!(a|^b) parsed as %#v", n)
+	}
+	fwd, ok1 := alt.L.(NegSet)
+	inv, ok2 := alt.R.(NegSet)
+	if !ok1 || !ok2 || fwd.Inverse || !inv.Inverse {
+		t.Fatalf("split wrong: %#v | %#v", alt.L, alt.R)
+	}
+	if !reflect.DeepEqual(fwd.Names, []string{"a"}) || !reflect.DeepEqual(inv.Names, []string{"b"}) {
+		t.Fatalf("split members wrong: %v %v", fwd.Names, inv.Names)
+	}
+}
+
+func TestNegSetRoundTrip(t *testing.T) {
+	for _, src := range []string{"!a", "!^a", "!(a|b)", "!(a|b)*", "c/!a", "!(^a|^b)"} {
+		n := MustParse(src)
+		out := String(n)
+		n2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("reparse of %q -> %q: %v", src, out, err)
+		}
+		if !reflect.DeepEqual(n, n2) {
+			t.Fatalf("round trip %q -> %q changed tree", src, out)
+		}
+	}
+}
+
+func TestNegSetParseErrors(t *testing.T) {
+	for _, src := range []string{"!", "!(", "!()", "!(a|", "!(a*)", "!(a/b)"} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestNegSetMatches(t *testing.T) {
+	n := MustParse("!(a|b)")
+	if !Matches(n, []Sym{{Name: "c"}}) {
+		t.Error("!(a|b) must match c")
+	}
+	if Matches(n, []Sym{{Name: "a"}}) {
+		t.Error("!(a|b) must not match a")
+	}
+	if Matches(n, []Sym{{Name: "c", Inverse: true}}) {
+		t.Error("forward set must not match inverse labels")
+	}
+	if Matches(n, []Sym{{Name: "c"}, {Name: "c"}}) {
+		t.Error("single-edge class must not match length-2 words")
+	}
+}
+
+func TestNegSetInverseOf(t *testing.T) {
+	n := MustParse("!(a|b)")
+	inv := InverseOf(n).(NegSet)
+	if !inv.Inverse || !reflect.DeepEqual(inv.Names, []string{"a", "b"}) {
+		t.Fatalf("InverseOf(!(a|b)) = %#v", inv)
+	}
+	if !reflect.DeepEqual(InverseOf(inv), n) {
+		t.Fatal("double inverse not identity")
+	}
+}
+
+func TestNegSetPatternAndCount(t *testing.T) {
+	n := MustParse("!a/b*")
+	if got := Pattern(false, n, true); got != "v !/* c" {
+		t.Fatalf("Pattern=%q", got)
+	}
+	if CountSyms(MustParse("!(a|b|c)")) != 1 {
+		t.Fatal("a negated set is one position")
+	}
+}
+
+func TestExpandNegSets(t *testing.T) {
+	n := MustParse("!(a)/d")
+	expanded := ExpandNegSets(n, func(ns NegSet) []Sym {
+		var out []Sym
+		for _, name := range []string{"a", "b", "c"} {
+			if !ns.Excludes(name) {
+				out = append(out, Sym{Name: name, Inverse: ns.Inverse})
+			}
+		}
+		return out
+	})
+	want := MustParse("(b|c)/d")
+	if !reflect.DeepEqual(expanded, want) {
+		t.Fatalf("expanded to %s, want %s", String(expanded), String(want))
+	}
+	if HasNegSets(expanded) {
+		t.Fatal("expansion left a NegSet behind")
+	}
+	if !HasNegSets(n) {
+		t.Fatal("HasNegSets misses the original")
+	}
+	// Empty expansion must produce a never-matching atom.
+	none := ExpandNegSets(MustParse("!a"), func(NegSet) []Sym { return nil })
+	if Matches(none, []Sym{{Name: "a"}}) || Matches(none, nil) {
+		t.Fatal("empty expansion must match nothing")
+	}
+}

@@ -1,0 +1,215 @@
+package pathexpr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses a 2RPQ regular expression. The grammar, lowest precedence
+// first:
+//
+//	expr   := concat ('|' concat)*
+//	concat := unary ('/' unary)*
+//	unary  := atom ('*' | '+' | '?')*
+//	atom   := '^' atom | ident | '<' ... '>' | '(' expr ')'
+//
+// Predicates are identifiers (letters, digits, '_', ':', '.', '-', not
+// starting with '-') or arbitrary IRIs wrapped in angle brackets. A '^'
+// before a parenthesised group inverts the whole group, which is rewritten
+// to atomic inverses immediately (§3.1).
+func Parse(s string) (Node, error) {
+	p := &parser{src: s}
+	n, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("pathexpr: unexpected %q at offset %d", p.src[p.pos], p.pos)
+	}
+	return n, nil
+}
+
+// MustParse is Parse that panics on error; for tests and examples.
+func MustParse(s string) Node {
+	n, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) parseAlt() (Node, error) {
+	left, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == '|' {
+		p.pos++
+		right, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		left = Alt{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseConcat() (Node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == '/' {
+		p.pos++
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = Concat{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Node, error) {
+	n, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek() {
+		case '*':
+			p.pos++
+			n = Star{X: n}
+		case '+':
+			p.pos++
+			n = Plus{X: n}
+		case '?':
+			p.pos++
+			n = Opt{X: n}
+		default:
+			return n, nil
+		}
+	}
+}
+
+func isIdentByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '_' || c == ':' || c == '.' || c == '-'
+}
+
+func (p *parser) parseAtom() (Node, error) {
+	switch c := p.peek(); {
+	case c == '!':
+		p.pos++
+		return p.parseNegSet()
+	case c == '^':
+		p.pos++
+		inner, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		return InverseOf(inner), nil
+	case c == '(':
+		p.pos++
+		if p.peek() == ')' { // "()" is ε
+			p.pos++
+			return Eps{}, nil
+		}
+		inner, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("pathexpr: missing ')' at offset %d", p.pos)
+		}
+		p.pos++
+		return inner, nil
+	case c == '<':
+		p.pos++
+		end := strings.IndexByte(p.src[p.pos:], '>')
+		if end < 0 {
+			return nil, fmt.Errorf("pathexpr: unterminated '<' at offset %d", p.pos-1)
+		}
+		name := p.src[p.pos : p.pos+end]
+		p.pos += end + 1
+		if name == "" {
+			return nil, fmt.Errorf("pathexpr: empty IRI at offset %d", p.pos)
+		}
+		return Sym{Name: name}, nil
+	case isIdentByte(c) && c != '-':
+		start := p.pos
+		for p.pos < len(p.src) && isIdentByte(p.src[p.pos]) {
+			p.pos++
+		}
+		return Sym{Name: p.src[start:p.pos]}, nil
+	case c == 0:
+		return nil, fmt.Errorf("pathexpr: unexpected end of expression")
+	default:
+		return nil, fmt.Errorf("pathexpr: unexpected %q at offset %d", c, p.pos)
+	}
+}
+
+// parseNegSet parses the body of a '!' negated property set: a single
+// (possibly inverse) predicate, or a parenthesised alternation of them.
+// Mixed-direction sets are split per the SPARQL semantics (see NegSet).
+func (p *parser) parseNegSet() (Node, error) {
+	var members []Sym
+	appendMember := func() error {
+		inv := false
+		if p.peek() == '^' {
+			p.pos++
+			inv = true
+		}
+		atom, err := p.parseAtom()
+		if err != nil {
+			return err
+		}
+		s, ok := atom.(Sym)
+		if !ok || s.Inverse && inv {
+			return fmt.Errorf("pathexpr: negated property sets may only contain predicates, at offset %d", p.pos)
+		}
+		members = append(members, Sym{Name: s.Name, Inverse: s.Inverse != inv})
+		return nil
+	}
+	if p.peek() == '(' {
+		p.pos++
+		for {
+			if err := appendMember(); err != nil {
+				return nil, err
+			}
+			switch p.peek() {
+			case '|':
+				p.pos++
+			case ')':
+				p.pos++
+				return newNegSet(members), nil
+			default:
+				return nil, fmt.Errorf("pathexpr: expected '|' or ')' in negated set at offset %d", p.pos)
+			}
+		}
+	}
+	if err := appendMember(); err != nil {
+		return nil, err
+	}
+	return newNegSet(members), nil
+}

@@ -1,0 +1,228 @@
+package pathexpr
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"math/rand"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"a",
+		"^a",
+		"a/b",
+		"a|b",
+		"a*",
+		"a+",
+		"a?",
+		"(a|b)*",
+		"a/b*/c",
+		"(a/b)|c",
+		"a/(b|c)/d",
+		"^a/b+",
+		"(a|b|c)+",
+		"a**",
+		"<http://example.org/p1>/<p2>",
+		"l1|l2|l5",
+		"wdt:P31/wdt:P279*",
+	}
+	for _, src := range cases {
+		n, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		out := String(n)
+		n2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("reparse of String(%q)=%q: %v", src, out, err)
+		}
+		if String(n2) != out {
+			t.Fatalf("print/parse not a fixpoint: %q -> %q -> %q", src, out, String(n2))
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// '|' binds loosest, '/' next, postfix tightest.
+	n := MustParse("a|b/c*")
+	alt, ok := n.(Alt)
+	if !ok {
+		t.Fatalf("a|b/c* parsed as %T, want Alt at top", n)
+	}
+	cat, ok := alt.R.(Concat)
+	if !ok {
+		t.Fatalf("right of | is %T, want Concat", alt.R)
+	}
+	if _, ok := cat.R.(Star); !ok {
+		t.Fatalf("right of / is %T, want Star", cat.R)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "(", ")", "a|", "a/", "*", "a)(", "(a", "^", "a b", "<p",
+		"<>", "a||b", "|a",
+	}
+	for _, src := range bad {
+		if n, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded as %v, want error", src, String(n))
+		}
+	}
+}
+
+func TestEpsilon(t *testing.T) {
+	n := MustParse("()")
+	if _, ok := n.(Eps); !ok {
+		t.Fatalf("() parsed as %T, want Eps", n)
+	}
+	if CountSyms(n) != 0 {
+		t.Error("eps has symbols")
+	}
+}
+
+func TestInverseOfAtoms(t *testing.T) {
+	n := MustParse("^a")
+	s, ok := n.(Sym)
+	if !ok || !s.Inverse || s.Name != "a" {
+		t.Fatalf("^a parsed as %#v", n)
+	}
+	if got := InverseOf(n).(Sym); got.Inverse || got.Name != "a" {
+		t.Fatalf("InverseOf(^a)=%#v, want a", got)
+	}
+}
+
+func TestInverseOfGroupRewrites(t *testing.T) {
+	// ^(a/b) must become ^b/^a at parse time.
+	n := MustParse("^(a/b)")
+	want := MustParse("^b/^a")
+	if !reflect.DeepEqual(n, want) {
+		t.Fatalf("^(a/b) parsed as %s, want %s", String(n), String(want))
+	}
+	// Double inversion is identity.
+	n2 := MustParse("^(^(a/b*))")
+	if !reflect.DeepEqual(n2, MustParse("a/b*")) {
+		t.Fatalf("double inverse = %s", String(n2))
+	}
+}
+
+func TestInverseOfInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		n := randomExpr(rand.New(rand.NewSource(seed)), 4)
+		return reflect.DeepEqual(InverseOf(InverseOf(n)), n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountSyms(t *testing.T) {
+	cases := map[string]int{
+		"a":           1,
+		"a/b*/b":      3,
+		"(a|b)+/c?":   3,
+		"^a/^a":       2,
+		"()":          0,
+		"(a|b|c)*/d":  4,
+		"a?/b?/c?/d?": 4,
+	}
+	for src, want := range cases {
+		if got := CountSyms(MustParse(src)); got != want {
+			t.Errorf("CountSyms(%q)=%d, want %d", src, got, want)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	n := MustParse("a/b*/^a/a|^c")
+	got := Predicates(n)
+	want := []Sym{{"a", false}, {"b", false}, {"a", true}, {"c", true}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Predicates=%v, want %v", got, want)
+	}
+}
+
+func TestPattern(t *testing.T) {
+	cases := []struct {
+		expr string
+		sc   bool
+		oc   bool
+		want string
+	}{
+		{"a/b*", false, true, "v /* c"},
+		{"a*", false, true, "v * c"},
+		{"a+", false, true, "v + c"},
+		{"a*", true, false, "c * v"},
+		{"a/b*", true, false, "c /* v"},
+		{"a/b", false, true, "v / c"},
+		{"a*/b*", false, true, "v */* c"},
+		{"a/b", false, false, "v / v"},
+		{"(a|b)*", false, true, "v |* c"},
+		{"a|b", false, false, "v | v"},
+		{"a*/b*/c*/d*/e*", false, true, "v */*/*/*/* c"},
+		{"^a", false, false, "v ^ v"},
+		{"a/b?", false, true, "v /? c"},
+		{"a/b+", false, true, "v /+ c"},
+		{"a|b|c", false, false, "v || v"},
+		{"a/^b", false, false, "v /^ v"},
+	}
+	for _, c := range cases {
+		if got := Pattern(c.sc, MustParse(c.expr), c.oc); got != c.want {
+			t.Errorf("Pattern(%v,%q,%v) = %q, want %q", c.sc, c.expr, c.oc, got, c.want)
+		}
+	}
+}
+
+func TestStringParens(t *testing.T) {
+	// String must parenthesise exactly enough to preserve structure.
+	n := Concat{L: Alt{L: Sym{Name: "a"}, R: Sym{Name: "b"}}, R: Sym{Name: "c"}}
+	if got := String(n); got != "(a|b)/c" {
+		t.Errorf("String=%q, want (a|b)/c", got)
+	}
+	n2 := Star{X: Concat{L: Sym{Name: "a"}, R: Sym{Name: "b"}}}
+	if got := String(n2); got != "(a/b)*" {
+		t.Errorf("String=%q, want (a/b)*", got)
+	}
+}
+
+// randomExpr builds a random expression tree of bounded depth.
+func randomExpr(rng *rand.Rand, depth int) Node {
+	if depth == 0 || rng.Intn(3) == 0 {
+		return Sym{Name: string(rune('a' + rng.Intn(4))), Inverse: rng.Intn(4) == 0}
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return Concat{L: randomExpr(rng, depth-1), R: randomExpr(rng, depth-1)}
+	case 1:
+		return Alt{L: randomExpr(rng, depth-1), R: randomExpr(rng, depth-1)}
+	case 2:
+		return Star{X: randomExpr(rng, depth-1)}
+	case 3:
+		return Plus{X: randomExpr(rng, depth-1)}
+	default:
+		return Opt{X: randomExpr(rng, depth-1)}
+	}
+}
+
+func TestRandomRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		n := randomExpr(rand.New(rand.NewSource(seed)), 5)
+		parsed, err := Parse(String(n))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(parsed, n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWhitespaceTolerated(t *testing.T) {
+	a := MustParse(" a / ( b | c ) * ")
+	b := MustParse("a/(b|c)*")
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("whitespace changes parse: %s vs %s", String(a), String(b))
+	}
+}

@@ -1,0 +1,81 @@
+package ring
+
+import (
+	"fmt"
+
+	"ringrpq/internal/serial"
+	"ringrpq/internal/wavelet"
+)
+
+// Encode writes the ring: the three wavelet sequences plus metadata.
+// The C arrays are rebuilt on load from the sequences' symbol counts.
+func (r *Ring) Encode(w *serial.Writer) {
+	w.Magic("rng1")
+	w.Int(r.N)
+	w.Int(r.NumNodes)
+	w.Uvarint(uint64(r.NumPreds))
+	for _, seq := range []wavelet.Seq{r.Lo, r.Ls, r.Lp} {
+		switch s := seq.(type) {
+		case *wavelet.Matrix:
+			w.Int(0)
+			s.Encode(w)
+		case *wavelet.Tree:
+			w.Int(1)
+			s.Encode(w)
+		}
+	}
+}
+
+// Decode reads a ring written by Encode.
+func Decode(rd *serial.Reader) (*Ring, error) {
+	rd.Magic("rng1")
+	r := &Ring{}
+	r.N = rd.Int()
+	r.NumNodes = rd.Int()
+	r.NumPreds = uint32(rd.Uvarint())
+	if err := rd.Err(); err != nil {
+		return nil, err
+	}
+	seqs := make([]wavelet.Seq, 3)
+	for i := range seqs {
+		kind := rd.Int()
+		if err := rd.Err(); err != nil {
+			return nil, err
+		}
+		var err error
+		switch kind {
+		case 0:
+			seqs[i], err = wavelet.DecodeMatrix(rd)
+		case 1:
+			seqs[i], err = wavelet.DecodeTree(rd)
+		default:
+			return nil, fmt.Errorf("ring: unknown sequence kind %d", kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if seqs[i].Len() != r.N {
+			return nil, fmt.Errorf("ring: sequence %d length %d, want %d", i, seqs[i].Len(), r.N)
+		}
+	}
+	r.Lo, r.Ls, r.Lp = seqs[0], seqs[1], seqs[2]
+
+	// C arrays are the CountBelow prefix sums of the aligned sequences:
+	// C_s partitions L_o by subject (subjects are the symbols of L_s)...
+	// more directly, C_s[x] counts triples with subject < x, which is
+	// the number of occurrences of symbols < x in L_s, and analogously
+	// for the others.
+	counts := func(seq wavelet.Seq, sigma int) []int {
+		type counter interface{ CountBelow(uint32) int }
+		c := seq.(counter)
+		out := make([]int, sigma+1)
+		for x := 0; x <= sigma; x++ {
+			out[x] = c.CountBelow(uint32(x))
+		}
+		return out
+	}
+	r.Cs = counts(r.Ls, r.NumNodes)
+	r.Co = counts(r.Lo, r.NumNodes)
+	r.Cp = counts(r.Lp, int(r.NumPreds))
+	return r, nil
+}

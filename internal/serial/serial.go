@@ -1,0 +1,213 @@
+// Package serial provides the small binary-encoding helpers shared by
+// the index serialisation code: little-endian fixed ints, uvarints, and
+// checked magic headers. Formats favour simplicity: derived structures
+// (rank/select directories, C arrays) are rebuilt on load rather than
+// stored.
+package serial
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Writer wraps a buffered writer with error-latching write helpers.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter returns a Writer over w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Flush flushes buffered data and returns the first error encountered.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Err returns the latched error.
+func (w *Writer) Err() error { return w.err }
+
+// Magic writes a 4-byte section tag.
+func (w *Writer) Magic(tag string) {
+	if w.err != nil {
+		return
+	}
+	if len(tag) != 4 {
+		w.err = fmt.Errorf("serial: magic %q is not 4 bytes", tag)
+		return
+	}
+	_, w.err = w.w.WriteString(tag)
+}
+
+// Uint64 writes a fixed 8-byte little-endian value.
+func (w *Writer) Uint64(x uint64) {
+	if w.err != nil {
+		return
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], x)
+	_, w.err = w.w.Write(buf[:])
+}
+
+// Uvarint writes a variable-length unsigned value.
+func (w *Writer) Uvarint(x uint64) {
+	if w.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], x)
+	_, w.err = w.w.Write(buf[:n])
+}
+
+// Int writes a non-negative int as a uvarint.
+func (w *Writer) Int(x int) {
+	if x < 0 {
+		if w.err == nil {
+			w.err = fmt.Errorf("serial: negative int %d", x)
+		}
+		return
+	}
+	w.Uvarint(uint64(x))
+}
+
+// Uint64s writes a length-prefixed word slice.
+func (w *Writer) Uint64s(xs []uint64) {
+	w.Int(len(xs))
+	for _, x := range xs {
+		w.Uint64(x)
+	}
+}
+
+// Ints writes a length-prefixed int slice as uvarints.
+func (w *Writer) Ints(xs []int) {
+	w.Int(len(xs))
+	for _, x := range xs {
+		w.Int(x)
+	}
+}
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Int(len(s))
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.WriteString(s)
+}
+
+// Reader wraps a buffered reader with error-latching read helpers.
+type Reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReader(r)} }
+
+// Err returns the latched error.
+func (r *Reader) Err() error { return r.err }
+
+// Magic reads and checks a 4-byte section tag.
+func (r *Reader) Magic(tag string) {
+	if r.err != nil {
+		return
+	}
+	var buf [4]byte
+	if _, err := io.ReadFull(r.r, buf[:]); err != nil {
+		r.err = err
+		return
+	}
+	if string(buf[:]) != tag {
+		r.err = fmt.Errorf("serial: bad magic %q, want %q", buf[:], tag)
+	}
+}
+
+// Uint64 reads a fixed 8-byte value.
+func (r *Reader) Uint64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(r.r, buf[:]); err != nil {
+		r.err = err
+		return 0
+	}
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// Uvarint reads a variable-length unsigned value.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	x, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		r.err = err
+		return 0
+	}
+	return x
+}
+
+// Int reads a non-negative int.
+func (r *Reader) Int() int { return int(r.Uvarint()) }
+
+// Uint64s reads a length-prefixed word slice.
+func (r *Reader) Uint64s() []uint64 {
+	n := r.Int()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	const maxPrealloc = 1 << 20
+	cap := n
+	if cap > maxPrealloc {
+		cap = maxPrealloc
+	}
+	out := make([]uint64, 0, cap)
+	for i := 0; i < n; i++ {
+		out = append(out, r.Uint64())
+		if r.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// Ints reads a length-prefixed int slice.
+func (r *Reader) Ints() []int {
+	n := r.Int()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	const maxPrealloc = 1 << 20
+	cap := n
+	if cap > maxPrealloc {
+		cap = maxPrealloc
+	}
+	out := make([]int, 0, cap)
+	for i := 0; i < n; i++ {
+		out = append(out, r.Int())
+		if r.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Int()
+	if r.err != nil {
+		return ""
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		r.err = err
+		return ""
+	}
+	return string(buf)
+}

@@ -1,0 +1,82 @@
+package triples
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Load reads a whitespace-separated triple file into the builder: one
+// "subject predicate object" triple per line. Tokens may be bare words or
+// IRIs in angle brackets; '#' starts a comment; a trailing '.' (N-Triples
+// style) is tolerated. Blank lines are skipped.
+func Load(r io.Reader, b *Builder) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		line = strings.TrimSuffix(line, " .")
+		line = strings.TrimSuffix(line, ".")
+		if line == "" {
+			continue
+		}
+		toks, err := tokens(line)
+		if err != nil {
+			return fmt.Errorf("triples: line %d: %v", lineNo, err)
+		}
+		if len(toks) != 3 {
+			return fmt.Errorf("triples: line %d: want 3 fields, got %d", lineNo, len(toks))
+		}
+		b.Add(toks[0], toks[1], toks[2])
+	}
+	return sc.Err()
+}
+
+// tokens splits a line into bare words and <...>-wrapped IRIs.
+func tokens(line string) ([]string, error) {
+	var out []string
+	i := 0
+	for i < len(line) {
+		switch {
+		case line[i] == ' ' || line[i] == '\t':
+			i++
+		case line[i] == '<':
+			end := strings.IndexByte(line[i:], '>')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated '<'")
+			}
+			out = append(out, line[i+1:i+end])
+			i += end + 1
+		default:
+			start := i
+			for i < len(line) && line[i] != ' ' && line[i] != '\t' {
+				i++
+			}
+			out = append(out, line[start:i])
+		}
+	}
+	return out, nil
+}
+
+// Dump writes the original (non-inverse) triples of g in the format Load
+// reads.
+func Dump(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range g.Triples {
+		if t.P >= g.NumPreds {
+			continue // skip completion edges
+		}
+		if _, err := fmt.Fprintf(bw, "%s %s %s\n",
+			g.Nodes.Name(t.S), g.Preds.Name(t.P), g.Nodes.Name(t.O)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

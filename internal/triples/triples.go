@@ -1,0 +1,185 @@
+// Package triples provides the dictionary-encoded labeled graph underlying
+// the ring (paper §3.1 and §5 "Index construction"): triples (s,p,o) over
+// integer ids, with the graph completion G↔ that materialises a reverse
+// edge with inverse label p̂ = p + |P| for every edge labeled p.
+package triples
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Triple is a dictionary-encoded edge s --p--> o.
+type Triple struct {
+	S, P, O uint32
+}
+
+// Dict maps strings to dense ids in insertion order.
+type Dict struct {
+	names []string
+	ids   map[string]uint32
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[string]uint32)}
+}
+
+// Intern returns the id of name, assigning the next id on first sight.
+func (d *Dict) Intern(name string) uint32 {
+	if id, ok := d.ids[name]; ok {
+		return id
+	}
+	id := uint32(len(d.names))
+	d.names = append(d.names, name)
+	d.ids[name] = id
+	return id
+}
+
+// Lookup returns the id of name if present.
+func (d *Dict) Lookup(name string) (uint32, bool) {
+	id, ok := d.ids[name]
+	return id, ok
+}
+
+// Name returns the string for id.
+func (d *Dict) Name(id uint32) string { return d.names[id] }
+
+// Len reports the number of interned strings.
+func (d *Dict) Len() int { return len(d.names) }
+
+// SizeBytes estimates the dictionary footprint.
+func (d *Dict) SizeBytes() int {
+	sz := 0
+	for _, n := range d.names {
+		sz += len(n) + 16 + // names slice entry
+			len(n) + 24 // map key and value, approximate
+	}
+	return sz + 48
+}
+
+// Builder accumulates string triples and freezes them into a Graph.
+type Builder struct {
+	nodes *Dict
+	preds *Dict
+	ts    []Triple
+	seen  map[Triple]bool
+}
+
+// NewBuilder returns an empty graph builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		nodes: NewDict(),
+		preds: NewDict(),
+		seen:  make(map[Triple]bool),
+	}
+}
+
+// Add inserts the triple (s, p, o); duplicates are ignored (graphs are
+// edge sets).
+func (b *Builder) Add(s, p, o string) {
+	t := Triple{b.nodes.Intern(s), b.preds.Intern(p), b.nodes.Intern(o)}
+	if !b.seen[t] {
+		b.seen[t] = true
+		b.ts = append(b.ts, t)
+	}
+}
+
+// AddIDs inserts a pre-encoded triple; callers must intern consistently.
+func (b *Builder) AddIDs(s, p, o uint32) {
+	t := Triple{s, p, o}
+	if !b.seen[t] {
+		b.seen[t] = true
+		b.ts = append(b.ts, t)
+	}
+}
+
+// Nodes exposes the node dictionary (shared with the built graph).
+func (b *Builder) Nodes() *Dict { return b.nodes }
+
+// Preds exposes the predicate dictionary (shared with the built graph).
+func (b *Builder) Preds() *Dict { return b.preds }
+
+// Build completes the graph: for every triple (s,p,o) the inverse
+// (o, p+|P|, s) is added, doubling edges and predicates (§5). The builder
+// must not be used afterwards.
+func (b *Builder) Build() *Graph {
+	np := uint32(len(b.preds.names))
+	g := &Graph{
+		Nodes:    b.nodes,
+		Preds:    b.preds,
+		NumPreds: np,
+		Triples:  make([]Triple, 0, 2*len(b.ts)),
+	}
+	for _, t := range b.ts {
+		g.Triples = append(g.Triples, t, Triple{t.O, t.P + np, t.S})
+	}
+	sort.Slice(g.Triples, func(i, j int) bool { return less(g.Triples[i], g.Triples[j]) })
+	return g
+}
+
+func less(a, b Triple) bool {
+	if a.S != b.S {
+		return a.S < b.S
+	}
+	if a.P != b.P {
+		return a.P < b.P
+	}
+	return a.O < b.O
+}
+
+// Graph is a completed, dictionary-encoded graph G↔.
+type Graph struct {
+	// Triples lists the 2n completed edges sorted by (s,p,o).
+	Triples []Triple
+	// Nodes maps node names; ids in [0, NumNodes()).
+	Nodes *Dict
+	// Preds maps original predicate names; completed predicate ids are
+	// [0, 2·NumPreds) where id+NumPreds is the inverse of id.
+	Preds *Dict
+	// NumPreds is the original predicate count |P|.
+	NumPreds uint32
+}
+
+// NumNodes reports |V|.
+func (g *Graph) NumNodes() int { return len(g.Nodes.names) }
+
+// NumCompletedPreds reports |Σ↔| = 2|P|.
+func (g *Graph) NumCompletedPreds() uint32 { return 2 * g.NumPreds }
+
+// Len reports the number of completed edges (2n).
+func (g *Graph) Len() int { return len(g.Triples) }
+
+// Inverse maps a completed predicate id to its inverse.
+func (g *Graph) Inverse(p uint32) uint32 {
+	if p < g.NumPreds {
+		return p + g.NumPreds
+	}
+	return p - g.NumPreds
+}
+
+// PredID resolves a (name, inverse) predicate occurrence to its completed
+// id.
+func (g *Graph) PredID(name string, inverse bool) (uint32, bool) {
+	id, ok := g.Preds.Lookup(name)
+	if !ok {
+		return 0, false
+	}
+	if inverse {
+		id += g.NumPreds
+	}
+	return id, true
+}
+
+// PredName renders a completed predicate id, prefixing inverses with '^'.
+func (g *Graph) PredName(p uint32) string {
+	if p >= g.NumPreds {
+		return "^" + g.Preds.Name(p-g.NumPreds)
+	}
+	return g.Preds.Name(p)
+}
+
+// String renders a triple for debugging.
+func (g *Graph) String(t Triple) string {
+	return fmt.Sprintf("%s -%s-> %s", g.Nodes.Name(t.S), g.PredName(t.P), g.Nodes.Name(t.O))
+}

@@ -1,0 +1,166 @@
+package triples
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// metroBuilder encodes the Santiago transport graph of Fig. 1.
+func metroBuilder() *Builder {
+	b := NewBuilder()
+	// Metro lines are bidirectional: both directions present as in §5's
+	// completion example (Fig. 3 adds ^bus only; l1, l2 and l5 already
+	// appear in both directions).
+	add := func(s, p, o string) { b.Add(s, p, o); b.Add(o, p, s) }
+	add("Baquedano", "l1", "UCh")
+	add("UCh", "l1", "LosHeroes")
+	add("LosHeroes", "l2", "SantaAna")
+	add("SantaAna", "l5", "BellasArtes")
+	add("BellasArtes", "l5", "Baquedano")
+	b.Add("SantaAna", "bus", "UCh")
+	b.Add("SantaAna", "bus", "BellasArtes")
+	return b
+}
+
+func TestDict(t *testing.T) {
+	d := NewDict()
+	a := d.Intern("alpha")
+	bID := d.Intern("beta")
+	if a == bID {
+		t.Fatal("distinct names share an id")
+	}
+	if again := d.Intern("alpha"); again != a {
+		t.Fatal("re-interning changes id")
+	}
+	if d.Name(a) != "alpha" || d.Name(bID) != "beta" {
+		t.Fatal("Name round trip broken")
+	}
+	if _, ok := d.Lookup("gamma"); ok {
+		t.Fatal("Lookup invents entries")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len=%d", d.Len())
+	}
+}
+
+func TestBuilderDeduplicates(t *testing.T) {
+	b := NewBuilder()
+	b.Add("x", "p", "y")
+	b.Add("x", "p", "y")
+	g := b.Build()
+	if g.Len() != 2 { // one edge + its inverse
+		t.Fatalf("Len=%d, want 2", g.Len())
+	}
+}
+
+func TestCompletion(t *testing.T) {
+	g := metroBuilder().Build()
+	if g.NumPreds != 4 {
+		t.Fatalf("NumPreds=%d, want 4 (l1,l2,l5,bus)", g.NumPreds)
+	}
+	if g.NumCompletedPreds() != 8 {
+		t.Fatalf("completed preds=%d", g.NumCompletedPreds())
+	}
+	// 12 original (10 bidirectional metro + 2 bus) doubled by completion.
+	if g.Len() != 24 {
+		t.Fatalf("Len=%d, want 24", g.Len())
+	}
+	// Every edge must have its inverse present.
+	set := map[Triple]bool{}
+	for _, tr := range g.Triples {
+		set[tr] = true
+	}
+	for _, tr := range g.Triples {
+		inv := Triple{tr.O, g.Inverse(tr.P), tr.S}
+		if !set[inv] {
+			t.Fatalf("missing inverse of %v", g.String(tr))
+		}
+	}
+	// Triples must be sorted by (s,p,o).
+	if !sort.SliceIsSorted(g.Triples, func(i, j int) bool { return less(g.Triples[i], g.Triples[j]) }) {
+		t.Fatal("triples not sorted")
+	}
+}
+
+func TestInverseInvolution(t *testing.T) {
+	g := metroBuilder().Build()
+	for p := uint32(0); p < g.NumCompletedPreds(); p++ {
+		if g.Inverse(g.Inverse(p)) != p {
+			t.Fatalf("Inverse not an involution at %d", p)
+		}
+	}
+}
+
+func TestPredID(t *testing.T) {
+	g := metroBuilder().Build()
+	fwd, ok := g.PredID("bus", false)
+	if !ok {
+		t.Fatal("bus not found")
+	}
+	inv, ok := g.PredID("bus", true)
+	if !ok || inv != fwd+g.NumPreds {
+		t.Fatalf("PredID(^bus)=%d, want %d", inv, fwd+g.NumPreds)
+	}
+	if _, ok := g.PredID("train", false); ok {
+		t.Fatal("unknown predicate resolved")
+	}
+	if got := g.PredName(inv); got != "^bus" {
+		t.Fatalf("PredName=%q", got)
+	}
+}
+
+func TestLoadDumpRoundTrip(t *testing.T) {
+	src := `
+# Santiago fragment
+Baquedano l1 UCh .
+UCh l1 LosHeroes
+<http://ex.org/SantaAna> <http://ex.org/bus> UCh
+`
+	b := NewBuilder()
+	if err := Load(strings.NewReader(src), b); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	if g.Len() != 6 {
+		t.Fatalf("Len=%d, want 6", g.Len())
+	}
+	if _, ok := g.Nodes.Lookup("http://ex.org/SantaAna"); !ok {
+		t.Fatal("IRI node not interned")
+	}
+
+	var buf bytes.Buffer
+	if err := Dump(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	b2 := NewBuilder()
+	if err := Load(&buf, b2); err != nil {
+		t.Fatal(err)
+	}
+	if g2 := b2.Build(); g2.Len() != g.Len() {
+		t.Fatalf("round trip Len=%d, want %d", g2.Len(), g.Len())
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	for _, src := range []string{"a b", "a b c d", "<unterminated b c"} {
+		b := NewBuilder()
+		if err := Load(strings.NewReader(src), b); err == nil {
+			t.Errorf("Load(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestAddIDs(t *testing.T) {
+	b := NewBuilder()
+	s := b.Nodes().Intern("s")
+	p := b.Preds().Intern("p")
+	o := b.Nodes().Intern("o")
+	b.AddIDs(s, p, o)
+	b.AddIDs(s, p, o)
+	g := b.Build()
+	if g.Len() != 2 {
+		t.Fatalf("Len=%d, want 2", g.Len())
+	}
+}

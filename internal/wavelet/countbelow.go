@@ -1,0 +1,75 @@
+package wavelet
+
+// RangeCountBelow counts the positions of [b, e) holding symbols < x,
+// in O(log σ): the dominance counting primitive behind the colored
+// range counting of §6 (Gagie et al.), where the ring's selectivity
+// statistics reduce distinct-counting to exactly this query over an
+// array of previous-occurrence positions.
+
+// RangeCountBelow on Tree.
+func (t *Tree) RangeCountBelow(b, e int, x uint32) int {
+	if b < 0 {
+		b = 0
+	}
+	if e > t.n {
+		e = t.n
+	}
+	return t.rangeCountBelow(1, 0, t.sigma, b, e, x)
+}
+
+func (t *Tree) rangeCountBelow(id int, lo, hi uint32, b, e int, x uint32) int {
+	if b >= e || x <= lo {
+		return 0
+	}
+	if hi <= x {
+		return e - b
+	}
+	if hi-lo == 1 {
+		return 0 // lo < x already handled by hi <= x; here lo >= x
+	}
+	bv := t.nodes[id]
+	if bv == nil {
+		return 0
+	}
+	mid := (lo + hi) / 2
+	lb, le := bv.Rank0(b), bv.Rank0(e)
+	n := t.rangeCountBelow(2*id, lo, mid, lb, le, x)
+	if x > mid {
+		n += t.rangeCountBelow(2*id+1, mid, hi, b-lb, e-le, x)
+	}
+	return n
+}
+
+// RangeCountBelow on Matrix.
+func (m *Matrix) RangeCountBelow(b, e int, x uint32) int {
+	if b < 0 {
+		b = 0
+	}
+	if e > m.n {
+		e = m.n
+	}
+	if b >= e || x == 0 {
+		return 0
+	}
+	if uint64(x) >= 1<<uint(m.width) {
+		return e - b
+	}
+	count := 0
+	for l := 0; l < m.width; l++ {
+		bv := m.levels[l]
+		lb, le := bv.Rank0(b), bv.Rank0(e)
+		if x>>(uint(m.width-1-l))&1 == 1 {
+			// Symbols with a 0-bit here are below x: count and follow
+			// the 1-side.
+			count += le - lb
+			z := m.zeros[l]
+			b, e = z+(b-lb), z+(e-le)
+		} else {
+			b, e = lb, le
+		}
+		if b >= e {
+			break
+		}
+	}
+	return count
+}

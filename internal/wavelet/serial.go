@@ -1,0 +1,123 @@
+package wavelet
+
+import (
+	"fmt"
+	"sort"
+
+	"ringrpq/internal/bitvec"
+	"ringrpq/internal/serial"
+)
+
+// Encode writes the matrix: levels and counts; zeros and bottom starts
+// are derived on load.
+func (m *Matrix) Encode(w *serial.Writer) {
+	w.Magic("wm01")
+	w.Int(m.n)
+	w.Uvarint(uint64(m.sigma))
+	w.Int(m.width)
+	for _, lv := range m.levels {
+		lv.Encode(w)
+	}
+	w.Ints(m.counts)
+}
+
+// DecodeMatrix reads a matrix written by Encode.
+func DecodeMatrix(r *serial.Reader) (*Matrix, error) {
+	r.Magic("wm01")
+	m := &Matrix{}
+	m.n = r.Int()
+	m.sigma = uint32(r.Uvarint())
+	m.width = r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if m.width < 1 || m.width > 32 {
+		return nil, fmt.Errorf("wavelet: corrupt matrix width %d", m.width)
+	}
+	m.levels = make([]*bitvec.Vector, m.width)
+	m.zeros = make([]int, m.width)
+	for l := 0; l < m.width; l++ {
+		m.levels[l] = bitvec.Decode(r)
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		m.zeros[l] = m.levels[l].Zeros()
+	}
+	m.counts = r.Ints()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if len(m.counts) != int(m.sigma)+1 {
+		return nil, fmt.Errorf("wavelet: corrupt counts length %d", len(m.counts))
+	}
+	// Rebuild the bottom-level starts (bit-reversal order prefix sums).
+	order := make([]uint32, m.sigma)
+	for c := uint32(0); c < m.sigma; c++ {
+		order[c] = c
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return revBits(order[i], m.width) < revBits(order[j], m.width)
+	})
+	m.bottomStart = make([]int, m.sigma)
+	pos := 0
+	for _, c := range order {
+		m.bottomStart[c] = pos
+		pos += m.Count(c)
+	}
+	return m, nil
+}
+
+// Encode writes the tree: counts plus the node bitvectors in heap order
+// (present-flag per slot).
+func (t *Tree) Encode(w *serial.Writer) {
+	w.Magic("wt01")
+	w.Int(t.n)
+	w.Uvarint(uint64(t.sigma))
+	w.Int(t.numIDs)
+	w.Ints(t.counts)
+	present := 0
+	for _, bv := range t.nodes {
+		if bv != nil {
+			present++
+		}
+	}
+	w.Int(present)
+	for id, bv := range t.nodes {
+		if bv != nil {
+			w.Int(id)
+			bv.Encode(w)
+		}
+	}
+}
+
+// DecodeTree reads a tree written by Encode.
+func DecodeTree(r *serial.Reader) (*Tree, error) {
+	r.Magic("wt01")
+	t := &Tree{}
+	t.n = r.Int()
+	t.sigma = uint32(r.Uvarint())
+	t.numIDs = r.Int()
+	t.counts = r.Ints()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if len(t.counts) != int(t.sigma)+1 || t.numIDs < 2 || t.numIDs > 1<<34 {
+		return nil, fmt.Errorf("wavelet: corrupt tree header")
+	}
+	t.nodes = make([]*bitvec.Vector, t.numIDs)
+	present := r.Int()
+	for i := 0; i < present; i++ {
+		id := r.Int()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if id < 1 || id >= t.numIDs {
+			return nil, fmt.Errorf("wavelet: corrupt node id %d", id)
+		}
+		t.nodes[id] = bitvec.Decode(r)
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+	}
+	return t, nil
+}

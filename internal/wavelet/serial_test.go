@@ -1,0 +1,95 @@
+package wavelet
+
+import (
+	"bytes"
+	"testing"
+
+	"ringrpq/internal/serial"
+)
+
+func TestMatrixEncodeDecode(t *testing.T) {
+	ns := randSeq(700, 37, 3)
+	m := NewMatrix(ns.data, ns.sigma)
+	var buf bytes.Buffer
+	w := serial.NewWriter(&buf)
+	m.Encode(w)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := DecodeMatrix(serial.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSeqEqual(t, m, m2, ns)
+}
+
+func TestTreeEncodeDecode(t *testing.T) {
+	ns := randSeq(700, 37, 3)
+	tr := NewTree(ns.data, ns.sigma)
+	var buf bytes.Buffer
+	w := serial.NewWriter(&buf)
+	tr.Encode(w)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := DecodeTree(serial.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSeqEqual(t, tr, tr2, ns)
+}
+
+func checkSeqEqual(t *testing.T, a, b Seq, ns naiveSeq) {
+	t.Helper()
+	if a.Len() != b.Len() || a.Sigma() != b.Sigma() || a.NumNodes() != b.NumNodes() {
+		t.Fatal("shape differs after decode")
+	}
+	for i := 0; i < a.Len(); i += 7 {
+		if a.Access(i) != b.Access(i) {
+			t.Fatalf("Access(%d) differs", i)
+		}
+	}
+	for c := uint32(0); c < a.Sigma(); c += 3 {
+		for i := 0; i <= a.Len(); i += 97 {
+			if a.Rank(c, i) != b.Rank(c, i) {
+				t.Fatalf("Rank(%d,%d) differs", c, i)
+			}
+		}
+		if cnt := a.Count(c); cnt > 0 && a.Select(c, cnt) != b.Select(c, cnt) {
+			t.Fatalf("Select(%d) differs", c)
+		}
+	}
+	// Traversal structure (leaf ranks, full flags) must survive.
+	type leafInfo struct {
+		sym    uint32
+		rb, re int
+	}
+	collect := func(s Seq) []leafInfo {
+		var out []leafInfo
+		s.Traverse(3, s.Len()-3, func(node NodeID, leaf bool, sym uint32, rb, re int, full bool) bool {
+			if leaf {
+				out = append(out, leafInfo{sym, rb, re})
+			}
+			return true
+		})
+		return out
+	}
+	la, lb := collect(a), collect(b)
+	if len(la) != len(lb) {
+		t.Fatalf("leaf counts differ: %d vs %d", len(la), len(lb))
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatalf("leaf %d differs: %+v vs %+v", i, la[i], lb[i])
+		}
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := DecodeMatrix(serial.NewReader(bytes.NewReader([]byte("nope")))); err == nil {
+		t.Fatal("garbage accepted as matrix")
+	}
+	if _, err := DecodeTree(serial.NewReader(bytes.NewReader([]byte("nope")))); err == nil {
+		t.Fatal("garbage accepted as tree")
+	}
+}

@@ -1,0 +1,96 @@
+// Package wavelet implements wavelet trees and wavelet matrices over
+// integer alphabets (paper §3.5). Beyond the classical access/rank/select
+// operations they support the extended capabilities the RPQ algorithm
+// builds on:
+//
+//   - enumerating the distinct symbols of a range together with their
+//     occurrence-rank ranges (one backward-search step per symbol, §4.1);
+//   - externally-filtered traversals, where the caller prunes subtrees by
+//     consulting per-node metadata such as the B[v] automaton masks (§4.1)
+//     and the D[v] visited-state masks (§4.2), addressed by heap-ordered
+//     node ids;
+//   - range intersection and "smallest symbol ≥ x in range" queries used
+//     by the join-like fast paths (§5) and the Leapfrog extension (§6).
+//
+// Both implementations satisfy Seq; the paper's artifact uses wavelet
+// matrices, and the ablation benchmarks compare the two.
+package wavelet
+
+// NodeID identifies a wavelet-tree node in heap order: the root is 1 and
+// the children of v are 2v and 2v+1. Leaf ids can be obtained via LeafID.
+// Callers use NodeIDs to attach per-node metadata in flat arrays of size
+// NumNodes().
+type NodeID int
+
+// Parent returns the heap parent of a node (the root's parent is 0).
+func (id NodeID) Parent() NodeID { return id / 2 }
+
+// Root is the NodeID of the root of every wavelet tree.
+const Root NodeID = 1
+
+// Visit is the callback of Traverse. It receives the node id, whether the
+// node is a leaf, the leaf's symbol (valid only when leaf), the local
+// half-open range covered within the node, and a full flag. For leaves
+// the local range equals the range of occurrence ranks of the symbol,
+// i.e. the range to which a backward search step by sym maps (up to the
+// C-array offset), and full reports exactly whether the range spans all
+// occurrences. For internal nodes the range is implementation-local and
+// full is only a hint: true implies full coverage, but implementations
+// may always report false. Returning false prunes the subtree.
+type Visit func(node NodeID, leaf bool, sym uint32, b, e int, full bool) bool
+
+// IntersectFunc receives a symbol present in both query ranges together
+// with its occurrence-rank ranges in each.
+type IntersectFunc func(c uint32, b1, e1, b2, e2 int)
+
+// Seq is the sequence capability required by the ring and the RPQ engine.
+type Seq interface {
+	// Len reports the sequence length.
+	Len() int
+	// Sigma reports the alphabet size; symbols are in [0, Sigma).
+	Sigma() uint32
+	// Access returns the symbol at position i.
+	Access(i int) uint32
+	// Rank counts occurrences of c in the prefix [0, i).
+	Rank(c uint32, i int) int
+	// Select returns the position of the k-th (1-based) occurrence of c,
+	// or -1 if there are fewer than k.
+	Select(c uint32, k int) int
+	// Count reports the total occurrences of c.
+	Count(c uint32) int
+	// NumNodes reports an exclusive upper bound on NodeIDs.
+	NumNodes() int
+	// LeafID returns the NodeID of the leaf representing c.
+	LeafID(c uint32) NodeID
+	// Traverse walks the nodes covering positions [b, e), consulting visit
+	// for pruning (see Visit).
+	Traverse(b, e int, visit Visit)
+	// Intersect enumerates the symbols occurring in both [b1,e1) and
+	// [b2,e2), with their occurrence-rank ranges.
+	Intersect(b1, e1, b2, e2 int, emit IntersectFunc)
+	// MinAtLeast returns the smallest symbol ≥ x occurring in [b, e).
+	MinAtLeast(b, e int, x uint32) (uint32, bool)
+	// SymRange reports the half-open symbol interval [lo, hi) a node
+	// covers (clamped to the alphabet; empty for pure padding nodes).
+	SymRange(id NodeID) (lo, hi uint32)
+	// PadNodes returns the canonical roots of maximal subtrees that cover
+	// no alphabet symbol (the wavelet matrix pads the alphabet to a power
+	// of two). Callers maintaining per-node metadata keyed by NodeID can
+	// pre-mark these so that bottom-up aggregation is not blocked by
+	// never-visited padding leaves. Empty for layouts without padding.
+	PadNodes() []NodeID
+	// SizeBytes reports the index memory footprint.
+	SizeBytes() int
+}
+
+// RangeDistinct enumerates the distinct symbols in [b, e) of s in
+// increasing order, with their occurrence-rank ranges. This is the
+// "warmup" algorithm at the end of §3.5: O(log σ) per reported symbol.
+func RangeDistinct(s Seq, b, e int, emit func(c uint32, rb, re int)) {
+	s.Traverse(b, e, func(node NodeID, leaf bool, sym uint32, lb, le int, full bool) bool {
+		if leaf {
+			emit(sym, lb, le)
+		}
+		return true
+	})
+}

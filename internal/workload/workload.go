@@ -1,0 +1,191 @@
+// Package workload generates RPQ query logs with the pattern mix of the
+// paper's Table 1: the 20 most popular RPQ patterns among the 1,952
+// hard (timed-out) queries of the Wikidata query logs, with their
+// observed frequencies. Patterns follow the paper's notation — node
+// constness (c/v) around the operator skeleton of the expression — and
+// generated queries instantiate predicates frequency-weighted from the
+// graph and constants from satisfiable endpoints.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ringrpq/internal/pathexpr"
+	"ringrpq/internal/triples"
+)
+
+// PatternFreq is one row of Table 1.
+type PatternFreq struct {
+	// Pattern is the paper's notation, e.g. "v /* c".
+	Pattern string
+	// Count is the number of log queries with this pattern.
+	Count int
+	// Template is the expression skeleton with predicate placeholders
+	// $1..$9.
+	Template string
+}
+
+// Table1 reproduces the paper's Table 1 (the 20 most popular RPQ
+// patterns in the Wikidata timeout log), with expression templates that
+// realise each operator skeleton.
+var Table1 = []PatternFreq{
+	{"v /* c", 537, "$1/$2*"},
+	{"v * c", 433, "$1*"},
+	{"v + c", 109, "$1+"},
+	{"c * v", 99, "$1*"},
+	{"c /* v", 95, "$1/$2*"},
+	{"v / c", 54, "$1/$2"},
+	{"v */* c", 44, "$1*/$2*"},
+	{"v / v", 41, "$1/$2"},
+	{"v |* c", 36, "($1|$2)*"},
+	{"v | v", 31, "$1|$2"},
+	{"v */*/*/*/* c", 28, "$1*/$2*/$3*/$4*/$5*"},
+	{"v ^ v", 26, "^$1"},
+	{"v /* v", 25, "$1/$2*"},
+	{"v * v", 25, "$1*"},
+	{"v /? c", 22, "$1/$2?"},
+	{"v + v", 17, "$1+"},
+	{"v /+ c", 12, "$1/$2+"},
+	{"v || v", 10, "$1|$2|$3"},
+	{"v | c", 10, "$1|$2"},
+	{"v /^ v", 7, "$1/^$2"},
+}
+
+// Total1 is the number of queries Table 1 covers.
+func Total1() int {
+	total := 0
+	for _, p := range Table1 {
+		total += p.Count
+	}
+	return total
+}
+
+// Query is one generated benchmark query.
+type Query struct {
+	// Subject and Object are node names, or "" for variables.
+	Subject, Object string
+	// Expr is the parsed expression.
+	Expr pathexpr.Node
+	// Pattern is the Table 1 pattern this query instantiates.
+	Pattern string
+}
+
+// ConstToVar reports whether the query fixes at least one endpoint
+// (the paper's "c-to-v" class; 84.7% of its log).
+func (q Query) ConstToVar() bool { return q.Subject != "" || q.Object != "" }
+
+// String renders the query in (s, E, o) form.
+func (q Query) String() string {
+	s, o := q.Subject, q.Object
+	if s == "" {
+		s = "?x"
+	}
+	if o == "" {
+		o = "?y"
+	}
+	return fmt.Sprintf("(%s, %s, %s)", s, pathexpr.String(q.Expr), o)
+}
+
+// Config controls generation.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Total is the number of queries to generate, distributed across the
+	// Table 1 patterns proportionally to their counts (default: Total1()).
+	Total int
+}
+
+// Generate instantiates a query log over g.
+func Generate(g *triples.Graph, cfg Config) []Query {
+	if cfg.Total == 0 {
+		cfg.Total = Total1()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gen := &generator{g: g, rng: rng}
+	total1 := Total1()
+	var out []Query
+	for _, pf := range Table1 {
+		n := pf.Count * cfg.Total / total1
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, gen.instantiate(pf))
+		}
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	if len(out) > cfg.Total {
+		out = out[:cfg.Total]
+	}
+	return out
+}
+
+type generator struct {
+	g   *triples.Graph
+	rng *rand.Rand
+}
+
+// randomEdge samples a completed edge uniformly, which weights predicates
+// and endpoints by their frequency — mirroring how real logs mention
+// popular predicates most.
+func (gen *generator) randomEdge() triples.Triple {
+	return gen.g.Triples[gen.rng.Intn(len(gen.g.Triples))]
+}
+
+// predOccurrence samples a base predicate frequency-weighted (an edge
+// drawn on an inverse predicate is flipped to its base form so the
+// operator skeleton of the template is preserved).
+func (gen *generator) predOccurrence() (string, triples.Triple) {
+	t := gen.randomEdge()
+	if t.P >= gen.g.NumPreds {
+		t = triples.Triple{S: t.O, P: t.P - gen.g.NumPreds, O: t.S}
+	}
+	return gen.g.Preds.Name(t.P), t
+}
+
+func (gen *generator) instantiate(pf PatternFreq) Query {
+	expr := pf.Template
+	var firstEdge, lastEdge triples.Triple
+	for i := 1; i <= 9; i++ {
+		ph := fmt.Sprintf("$%d", i)
+		if !strings.Contains(expr, ph) {
+			break
+		}
+		name, edge := gen.predOccurrence()
+		if i == 1 {
+			firstEdge = edge
+		}
+		lastEdge = edge
+		expr = strings.Replace(expr, ph, name, 1)
+	}
+	node := pathexpr.MustParse(expr)
+
+	q := Query{Expr: node, Pattern: pf.Pattern}
+	fields := strings.Fields(pf.Pattern)
+	if fields[0] == "c" {
+		// Subject constant: pick a node with an outgoing first-predicate
+		// edge so the query is satisfiable at least one step.
+		q.Subject = gen.g.Nodes.Name(firstEdge.S)
+	}
+	if fields[len(fields)-1] == "c" {
+		q.Object = gen.g.Nodes.Name(lastEdge.O)
+	}
+	return q
+}
+
+// Classify returns the Table 1 pattern string of a query.
+func Classify(q Query) string {
+	return pathexpr.Pattern(q.Subject != "", q.Expr, q.Object != "")
+}
+
+// CountPatterns tallies the pattern mix of a log, for regenerating
+// Table 1.
+func CountPatterns(qs []Query) map[string]int {
+	out := map[string]int{}
+	for _, q := range qs {
+		out[Classify(q)]++
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"ringrpq/internal/datagen"
+	"ringrpq/internal/pathexpr"
+)
+
+func TestTable1Shape(t *testing.T) {
+	if len(Table1) != 20 {
+		t.Fatalf("Table 1 has %d patterns, want 20", len(Table1))
+	}
+	if Total1() != 1661 {
+		t.Fatalf("Total1=%d, want 1661 (sum of the paper's counts)", Total1())
+	}
+	// The table must be ordered by decreasing popularity, as in the paper.
+	for i := 1; i < len(Table1); i++ {
+		if Table1[i].Count > Table1[i-1].Count {
+			t.Fatalf("Table 1 not sorted at %d", i)
+		}
+	}
+	// Each template must classify back to its own pattern.
+	for _, pf := range Table1 {
+		expr := pf.Template
+		for i := 1; i <= 9; i++ {
+			expr = strings.ReplaceAll(expr, "$"+string(rune('0'+i)), "p")
+		}
+		node := pathexpr.MustParse(expr)
+		fields := strings.Fields(pf.Pattern)
+		got := pathexpr.Pattern(fields[0] == "c", node, fields[len(fields)-1] == "c")
+		if got != pf.Pattern {
+			t.Errorf("template %q classifies as %q, want %q", pf.Template, got, pf.Pattern)
+		}
+	}
+}
+
+func TestGenerateMix(t *testing.T) {
+	g := datagen.Generate(datagen.Config{Seed: 2, Nodes: 1000, Edges: 5000, Preds: 20})
+	qs := Generate(g, Config{Seed: 5, Total: 400})
+	if len(qs) == 0 || len(qs) > 400 {
+		t.Fatalf("generated %d queries", len(qs))
+	}
+	counts := CountPatterns(qs)
+	// The dominant pattern must be the table's most popular one.
+	if counts["v /* c"] < counts["v /^ v"] {
+		t.Fatalf("mix not proportional: %v", counts)
+	}
+	// Every query must classify to a Table 1 pattern.
+	known := map[string]bool{}
+	for _, pf := range Table1 {
+		known[pf.Pattern] = true
+	}
+	for p, n := range counts {
+		if !known[p] {
+			t.Fatalf("generated %d queries of unknown pattern %q", n, p)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g := datagen.Generate(datagen.Config{Seed: 2, Nodes: 500, Edges: 2000, Preds: 10})
+	a := Generate(g, Config{Seed: 9, Total: 100})
+	b := Generate(g, Config{Seed: 9, Total: 100})
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("query %d differs: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestConstantsExistInGraph(t *testing.T) {
+	g := datagen.Generate(datagen.Config{Seed: 2, Nodes: 500, Edges: 2000, Preds: 10})
+	for _, q := range Generate(g, Config{Seed: 1, Total: 200}) {
+		if q.Subject != "" {
+			if _, ok := g.Nodes.Lookup(q.Subject); !ok {
+				t.Fatalf("subject %q not in graph", q.Subject)
+			}
+		}
+		if q.Object != "" {
+			if _, ok := g.Nodes.Lookup(q.Object); !ok {
+				t.Fatalf("object %q not in graph", q.Object)
+			}
+		}
+		for _, sym := range pathexpr.Predicates(q.Expr) {
+			if _, ok := g.PredID(sym.Name, sym.Inverse); !ok {
+				t.Fatalf("predicate %v not in graph", sym)
+			}
+		}
+	}
+}
+
+func TestConstToVar(t *testing.T) {
+	q := Query{Subject: "Q1", Expr: pathexpr.MustParse("p*")}
+	if !q.ConstToVar() {
+		t.Fatal("subject-bound query must be c-to-v")
+	}
+	q2 := Query{Expr: pathexpr.MustParse("p*")}
+	if q2.ConstToVar() {
+		t.Fatal("fully variable query must not be c-to-v")
+	}
+	if got := q2.String(); got != "(?x, p*, ?y)" {
+		t.Fatalf("String=%q", got)
+	}
+}

@@ -1,0 +1,49 @@
+package ringrpq
+
+import (
+	"fmt"
+	"io"
+
+	"ringrpq/internal/core"
+	"ringrpq/internal/pathexpr"
+	"ringrpq/internal/ring"
+	"ringrpq/internal/serial"
+	"ringrpq/internal/triples"
+)
+
+// fileMagic identifies a serialised database and its format version.
+const fileMagic = "rdb1"
+
+// Save writes the database (dictionaries + ring index) to w in a
+// compact binary format. Building the index once and reloading it with
+// LoadDB skips the construction sorts on subsequent runs.
+func (db *DB) Save(w io.Writer) error {
+	sw := serial.NewWriter(w)
+	sw.Magic(fileMagic)
+	db.g.EncodeMeta(sw)
+	db.r.Encode(sw)
+	return sw.Flush()
+}
+
+// LoadDB reads a database written by Save.
+func LoadDB(r io.Reader) (*DB, error) {
+	sr := serial.NewReader(r)
+	sr.Magic(fileMagic)
+	g := triples.DecodeMeta(sr)
+	if err := sr.Err(); err != nil {
+		return nil, fmt.Errorf("ringrpq: load: %w", err)
+	}
+	rg, err := ring.Decode(sr)
+	if err != nil {
+		return nil, fmt.Errorf("ringrpq: load: %w", err)
+	}
+	if rg.NumNodes != g.NumNodes() || rg.NumPreds != g.NumCompletedPreds() {
+		return nil, fmt.Errorf("ringrpq: load: ring/dictionary mismatch (%d/%d nodes, %d/%d preds)",
+			rg.NumNodes, g.NumNodes(), rg.NumPreds, g.NumCompletedPreds())
+	}
+	db := &DB{g: g, r: rg}
+	db.engine = core.NewEngine(rg, func(s pathexpr.Sym) (uint32, bool) {
+		return g.PredID(s.Name, s.Inverse)
+	})
+	return db, nil
+}
