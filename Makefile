@@ -1,0 +1,30 @@
+# Tier-1 verification is `make` (or `make ci`): build, vet, test.
+GO ?= go
+
+.PHONY: all ci build vet test race bench clean
+
+all: ci
+
+ci: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrency surface: the service package
+# and the root-package stress tests.
+race:
+	$(GO) test -race ./internal/service/ .
+	$(GO) test -race -run 'Stress|Clone' .
+
+# Service throughput scaling and cache-hit benchmarks.
+bench:
+	$(GO) test -run NONE -bench 'Service' -benchtime 2s .
+
+clean:
+	$(GO) clean ./...

@@ -9,20 +9,34 @@
 //	rpqbench [-nodes N] [-edges N] [-preds N] [-queries N]
 //	         [-timeout D] [-limit N] [-seed N]
 //	         [-systems ring,bfs,alp,rel] [-table1] [-table2] [-fig8] [-build]
+//	         [-workers N]
 //
-// Without a table selector, everything is printed.
+// Without a table selector, everything is printed. With -workers N the
+// query log is additionally driven through the concurrent service pool
+// (N workers over the shared ring index), reporting aggregate
+// throughput and per-query latency for a cold pass and a warm
+// (result-cache) pass.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"ringrpq/internal/core"
 	"ringrpq/internal/datagen"
 	"ringrpq/internal/harness"
+	"ringrpq/internal/pathexpr"
 	"ringrpq/internal/ring"
+	"ringrpq/internal/service"
+	"ringrpq/internal/triples"
 	"ringrpq/internal/workload"
 )
 
@@ -40,6 +54,7 @@ func main() {
 		table2  = flag.Bool("table2", false, "print only Table 2")
 		fig8    = flag.Bool("fig8", false, "print only Fig. 8")
 		build   = flag.Bool("build", false, "print only index construction stats")
+		workers = flag.Int("workers", 0, "also drive the log through the service pool with this many workers (0 = off)")
 	)
 	flag.Parse()
 	all := !*table1 && !*table2 && !*fig8 && !*build
@@ -56,12 +71,18 @@ func main() {
 	if *table1 || all {
 		fmt.Println(harness.RenderTable1(qs))
 	}
-	if *table1 && !all {
+	if *table1 && !all && *workers == 0 {
 		return
 	}
 
 	var systemsToRun []harness.System
-	for _, name := range strings.Split(*systems, ",") {
+	systemNames := strings.Split(*systems, ",")
+	if !(*build || *table2 || *fig8 || all) {
+		// Only the service-pool section remains; it builds just the
+		// ring itself rather than every system in -systems.
+		systemNames = nil
+	}
+	for _, name := range systemNames {
 		start := time.Now()
 		var sys harness.System
 		switch strings.TrimSpace(name) {
@@ -85,37 +106,172 @@ func main() {
 		systemsToRun = append(systemsToRun, sys)
 	}
 	fmt.Println()
-	if *build && !all {
+
+	if *table2 || *fig8 || all {
+		var reports []harness.Report
+		for _, sys := range systemsToRun {
+			fmt.Printf("running %d queries on %s (timeout %v, limit %d)...\n",
+				len(qs), sys.Name(), *timeout, *limit)
+			start := time.Now()
+			rep, err := harness.Run(sys, qs, *limit, *timeout)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  done in %.2fs\n", time.Since(start).Seconds())
+			reports = append(reports, rep)
+		}
+		fmt.Println()
+
+		if *table2 || all {
+			fmt.Println(harness.RenderTable2(reports, g.Len()))
+			if len(reports) >= 2 {
+				for i := 1; i < len(reports); i++ {
+					fmt.Printf("speedup of %s over %s: %.2fx\n",
+						reports[0].System, reports[i].System,
+						harness.Speedup(reports[0], reports[i]))
+				}
+				fmt.Println()
+			}
+		}
+		if *fig8 || all {
+			fmt.Println(harness.RenderFig8(reports))
+		}
+	}
+
+	if *workers > 0 {
+		ringSys := findRing(systemsToRun)
+		if ringSys == nil {
+			fmt.Println("building Ring for the service pool...")
+			ringSys = harness.NewRing(g, ring.WaveletMatrix)
+		}
+		runServicePool(ringSys, qs, *workers, *timeout, *limit)
+	}
+}
+
+// findRing picks the ring system out of the -systems selection.
+func findRing(systems []harness.System) *harness.Ring {
+	for _, sys := range systems {
+		if r, ok := sys.(*harness.Ring); ok {
+			return r
+		}
+	}
+	return nil
+}
+
+// poolBackend adapts the (graph, ring) pair to the service worker
+// interface; each clone owns a private core engine over the shared
+// immutable index. It mirrors ringrpq.DB.queryNode's endpoint
+// semantics ('?' prefix = variable, unknown constants = empty result)
+// so pool numbers match what the public Service measures.
+type poolBackend struct {
+	g *triples.Graph
+	r *ring.Ring
+	e *core.Engine
+}
+
+func newPoolBackend(g *triples.Graph, r *ring.Ring) *poolBackend {
+	return &poolBackend{g: g, r: r, e: core.NewEngine(r, func(s pathexpr.Sym) (uint32, bool) {
+		return g.PredID(s.Name, s.Inverse)
+	})}
+}
+
+func (b *poolBackend) Clone() service.Backend { return newPoolBackend(b.g, b.r) }
+
+func (b *poolBackend) Eval(subject string, node pathexpr.Node, object string, limit int, timeout time.Duration, emit func(service.Solution) bool) error {
+	q := core.Query{Subject: core.Variable, Object: core.Variable, Expr: node}
+	if !strings.HasPrefix(subject, "?") {
+		id, ok := b.g.Nodes.Lookup(subject)
+		if !ok {
+			return nil
+		}
+		q.Subject = int64(id)
+	}
+	if !strings.HasPrefix(object, "?") {
+		id, ok := b.g.Nodes.Lookup(object)
+		if !ok {
+			return nil
+		}
+		q.Object = int64(id)
+	}
+	_, err := b.e.Eval(q, core.Options{Limit: limit, Timeout: timeout}, func(s, o uint32) bool {
+		return emit(service.Solution{Subject: b.g.Nodes.Name(s), Object: b.g.Nodes.Name(o)})
+	})
+	return err
+}
+
+// runServicePool replays the query log through the concurrent service
+// (2×workers clients) twice — a cold pass and a warm pass that hits
+// the result cache — and prints aggregate throughput next to the
+// per-query latency distribution.
+func runServicePool(ringSys *harness.Ring, qs []workload.Query, workers int, timeout time.Duration, limit int) {
+	if len(qs) == 0 {
+		fmt.Println("service pool: empty query log, nothing to run")
 		return
 	}
+	svc := service.New(newPoolBackend(ringSys.Graph(), ringSys.Ring()), service.Config{
+		Workers:        workers,
+		QueueDepth:     4 * workers,
+		DefaultTimeout: timeout,
+	})
+	defer svc.Close()
 
-	var reports []harness.Report
-	for _, sys := range systemsToRun {
-		fmt.Printf("running %d queries on %s (timeout %v, limit %d)...\n",
-			len(qs), sys.Name(), *timeout, *limit)
+	reqs := make([]service.Request, len(qs))
+	for i, q := range qs {
+		subject, object := q.Subject, q.Object
+		if subject == "" {
+			subject = "?s"
+		}
+		if object == "" {
+			object = "?o"
+		}
+		reqs[i] = service.Request{
+			Subject: subject, Expr: pathexpr.String(q.Expr), Object: object,
+			Limit: limit, Count: true,
+		}
+	}
+
+	clients := 2 * workers
+	fmt.Printf("service pool: %d workers, %d clients, %d queries (timeout %v, limit %d)\n",
+		workers, clients, len(reqs), timeout, limit)
+	for _, pass := range []string{"cold", "warm"} {
+		lat := make([]time.Duration, len(reqs))
+		var next, timeouts atomic.Int64
+		ctx := context.Background()
+		hitsBefore := svc.Stats().Hits
 		start := time.Now()
-		rep, err := harness.Run(sys, qs, *limit, *timeout)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%v\n", err)
-			os.Exit(1)
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(reqs) {
+						return
+					}
+					t0 := time.Now()
+					res := svc.Count(ctx, reqs[i])
+					lat[i] = time.Since(t0)
+					if errors.Is(res.Err, core.ErrTimeout) {
+						timeouts.Add(1)
+					} else if res.Err != nil {
+						fmt.Fprintf(os.Stderr, "service: query %d: %v\n", i, res.Err)
+					}
+				}
+			}()
 		}
-		fmt.Printf("  done in %.2fs\n", time.Since(start).Seconds())
-		reports = append(reports, rep)
-	}
-	fmt.Println()
+		wg.Wait()
+		elapsed := time.Since(start)
 
-	if *table2 || all {
-		fmt.Println(harness.RenderTable2(reports, g.Len()))
-		if len(reports) >= 2 {
-			for i := 1; i < len(reports); i++ {
-				fmt.Printf("speedup of %s over %s: %.2fx\n",
-					reports[0].System, reports[i].System,
-					harness.Speedup(reports[0], reports[i]))
-			}
-			fmt.Println()
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		var total time.Duration
+		for _, d := range lat {
+			total += d
 		}
-	}
-	if *fig8 || all {
-		fmt.Println(harness.RenderFig8(reports))
+		fmt.Printf("  %-5s %8.2fs wall  %10.1f queries/sec  mean %10s  median %10s  p95 %10s  timeouts %d  cache hits %d\n",
+			pass, elapsed.Seconds(), float64(len(reqs))/elapsed.Seconds(),
+			total/time.Duration(len(lat)), lat[len(lat)/2], lat[len(lat)*95/100],
+			timeouts.Load(), svc.Stats().Hits-hitsBefore)
 	}
 }

@@ -1,0 +1,151 @@
+// Command rpqd serves regular path queries over HTTP: it loads a triple
+// file (or a serialised index), starts a ringrpq query service — a
+// worker pool over the shared immutable ring index, with compiled-query
+// and result caches — and exposes it as a JSON API.
+//
+// Usage:
+//
+//	rpqd -data graph.nt [-addr :8080] [-workers N] [-queue N]
+//	     [-timeout D] [-limit N] [-expr-cache N]
+//	     [-result-cache N] [-result-cache-bytes N]
+//	rpqd -index graph.ring ...
+//
+// Endpoints:
+//
+//	POST /query   {"subject":"?x","expr":"a/b*","object":"?y",
+//	               "limit":100,"timeout":"2s","count":false}
+//	POST /batch   {"queries":[{...},{...}]}
+//	GET  /stats   service and index statistics
+//	GET  /healthz liveness probe
+//
+// Empty subject/object fields are variables. An absent limit applies
+// the -limit default; an explicit 0 asks for unlimited results, and
+// responses that fill their cap carry "limit_reached": true.
+// Evaluation timeouts are not errors: the response carries the
+// solutions found in time with "timed_out": true.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ringrpq"
+)
+
+func main() {
+	var (
+		data     = flag.String("data", "", "triple file to load")
+		index    = flag.String("index", "", "serialised index to load (instead of -data)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 0, "request queue depth (0 = 4×workers)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "default per-query timeout (0 = none)")
+		limit    = flag.Int("limit", 100000, "default per-query solution cap (0 = unlimited)")
+		exprC    = flag.Int("expr-cache", 0, "compiled-expression cache entries (0 = default, negative = off)")
+		resC     = flag.Int("result-cache", 0, "result cache entries (0 = default, negative = off)")
+		resBytes = flag.Int64("result-cache-bytes", 0, "result cache byte bound (0 = default, negative = off)")
+		maxBatch = flag.Int("max-batch", 1024, "maximum queries per /batch call")
+	)
+	flag.Parse()
+	if *data == "" && *index == "" {
+		fmt.Fprintln(os.Stderr, "rpqd: one of -data or -index is required")
+		os.Exit(2)
+	}
+
+	db, err := loadDB(*data, *index)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "rpqd: serving %s\n", db)
+
+	svc := ringrpq.NewService(db, ringrpq.ServiceConfig{
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		DefaultTimeout:     *timeout,
+		ExprCacheEntries:   *exprC,
+		ResultCacheEntries: *resC,
+		ResultCacheBytes:   *resBytes,
+	})
+
+	server := &http.Server{
+		Addr: *addr,
+		Handler: svc.Handler(ringrpq.HandlerConfig{
+			DefaultLimit: *limit,
+			MaxBatch:     *maxBatch,
+			Info:         func() any { return db.Stats() },
+		}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful shutdown: stop accepting connections, let in-flight
+	// requests finish, then drain the service's worker pool.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "rpqd: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "rpqd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := server.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "rpqd: shutdown: %v\n", err)
+		}
+		if err := svc.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "rpqd: close: %v\n", err)
+		}
+	}
+}
+
+// loadDB builds the database from a triple file or loads a serialised
+// index.
+func loadDB(data, index string) (*ringrpq.DB, error) {
+	start := time.Now()
+	if index != "" {
+		f, err := os.Open(index)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		db, err := ringrpq.LoadDB(f)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "rpqd: loaded index in %v\n", time.Since(start))
+		return db, nil
+	}
+	f, err := os.Open(data)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b := ringrpq.NewBuilder()
+	if err := b.Load(f); err != nil {
+		return nil, err
+	}
+	db, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "rpqd: indexed in %v\n", time.Since(start))
+	return db, nil
+}
+
+func fatal(err error) {
+	if errors.Is(err, http.ErrServerClosed) {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "rpqd: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+package ringrpq_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"ringrpq"
+)
+
+// ExampleService shows the concurrent query front-end: a worker pool
+// over the shared immutable index with compiled-query and result
+// caches. The same metro-line graph as the package quickstart.
+func ExampleService() {
+	b := ringrpq.NewBuilder()
+	b.Add("Baquedano", "l1", "UCh")
+	b.Add("UCh", "l1", "LosHeroes")
+	b.Add("Baquedano", "l5", "BellasArtes")
+	db, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+
+	svc := ringrpq.NewService(db, ringrpq.ServiceConfig{Workers: 2})
+	defer svc.Close()
+	ctx := context.Background()
+
+	// Queries go through the pool; repeated queries hit the result
+	// cache ("(l1|l5)+" and " (l1|l5)+ " canonicalise to one entry).
+	sols, err := svc.Query(ctx, "Baquedano", "(l1|l5)+", "?station")
+	if err != nil {
+		panic(err)
+	}
+	sort.Slice(sols, func(i, j int) bool { return sols[i].Object < sols[j].Object })
+	for _, s := range sols {
+		fmt.Printf("%s -> %s\n", s.Subject, s.Object)
+	}
+
+	n, err := svc.Count(ctx, "Baquedano", " (l1|l5)+ ", "?station")
+	if err != nil {
+		panic(err)
+	}
+	st := svc.Stats()
+	fmt.Printf("count=%d workers=%d\n", n, st.Workers)
+
+	// Batches fan out across the pool.
+	results := svc.Batch(ctx, []ringrpq.Request{
+		{Subject: "?x", Expr: "l1", Object: "?y"},
+		{Subject: "?x", Expr: "l1/l1", Object: "LosHeroes"},
+	})
+	fmt.Printf("batch: %d and %d solutions\n", results[0].N, results[1].N)
+
+	// Output:
+	// Baquedano -> BellasArtes
+	// Baquedano -> LosHeroes
+	// Baquedano -> UCh
+	// count=3 workers=2
+	// batch: 2 and 1 solutions
+}

@@ -1,0 +1,3 @@
+module ringrpq
+
+go 1.24

@@ -102,6 +102,12 @@ type Engine struct {
 	// subjLeaf caches LeafID(s) lookups for part 3 starts.
 	lsPads []wavelet.NodeID
 
+	// compiled memoises Glushkov compilations keyed by the canonical
+	// expression string, so a long-lived Engine (a service worker)
+	// re-evaluating the same expression skips automaton and
+	// transition-table construction.
+	compiled map[string]compiledAutomaton
+
 	queue []queueItem
 
 	// per-evaluation state
@@ -191,21 +197,56 @@ func (e *Engine) dispatch(q Query, opts Options) error {
 	}
 }
 
+// compiledAutomaton is one memoised Glushkov compilation; eng is nil
+// when the expression exceeds the 64-state bit-parallel engine and the
+// Wide fallback must be used.
+type compiledAutomaton struct {
+	a   *glushkov.Automaton
+	eng *glushkov.Engine
+}
+
+// maxCompiled bounds the per-engine compilation memo; on overflow the
+// whole memo is dropped (rebuilding a handful of automata is cheaper
+// than tracking recency).
+const maxCompiled = 128
+
+// compile returns the memoised Glushkov compilation of expr, keyed by
+// its canonical string (so structurally equal expressions share one
+// entry regardless of how their ASTs were obtained). The memo is
+// per-Engine by design: each worker clone pays its own cold build,
+// in exchange for lock-free access on the evaluation hot path.
+func (e *Engine) compile(expr pathexpr.Node) compiledAutomaton {
+	key := pathexpr.String(expr)
+	if c, ok := e.compiled[key]; ok {
+		return c
+	}
+	a := glushkov.Build(expr, e.ids)
+	eng, err := glushkov.NewEngineFor(a, e.r.NumPreds)
+	if err != nil {
+		eng = nil // fall back to the Wide path
+	}
+	c := compiledAutomaton{a: a, eng: eng}
+	if e.compiled == nil || len(e.compiled) >= maxCompiled {
+		e.compiled = make(map[string]compiledAutomaton, 16)
+	}
+	e.compiled[key] = c
+	return c
+}
+
 // prepare builds the bit-parallel engine for expr and seeds the B[v]
 // masks on the wavelet nodes of L_p; the returned cleanup unwinds them.
 // A nil engine with nil error signals the multiword fallback is needed.
 func (e *Engine) prepare(expr pathexpr.Node) (*glushkov.Engine, error) {
-	a := glushkov.Build(expr, e.ids)
-	eng, err := glushkov.NewEngineFor(a, e.r.NumPreds)
-	if err != nil {
-		return nil, nil // fall back to the Wide path
+	eng := e.compile(expr).eng
+	if eng == nil {
+		return nil, nil
 	}
 	for c, mask := range eng.B {
 		for id := e.r.Lp.LeafID(c); id >= 1; id = id.Parent() {
 			e.bNode.Or(int(id), mask)
 		}
 	}
-	return eng, err
+	return eng, nil
 }
 
 // release resets the per-query working arrays in O(1).
@@ -298,7 +339,7 @@ func (e *Engine) evalBothConst(expr pathexpr.Node, s, o uint32) error {
 func (e *Engine) evalBothVar(expr pathexpr.Node) error {
 	// Nullable expressions relate every node to itself via the empty
 	// path; emit those pairs upfront, then suppress (v,v) rediscovery.
-	a := glushkov.Build(expr, e.ids)
+	a := e.compile(expr).a
 	if a.Nullable {
 		for v := 0; v < e.r.NumNodes; v++ {
 			if !e.emit(uint32(v), uint32(v)) {

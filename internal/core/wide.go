@@ -24,7 +24,7 @@ type wideState struct {
 }
 
 func (e *Engine) newWideState(expr pathexpr.Node) *wideState {
-	a := glushkov.Build(expr, e.ids)
+	a := e.compile(expr).a
 	return &wideState{
 		eng:     glushkov.NewWideFor(a, e.r.NumPreds),
 		visited: make(map[uint32]glushkov.Mask),

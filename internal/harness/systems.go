@@ -70,6 +70,13 @@ func (s *Ring) SizeBytes() int { return s.r.QuerySizeBytes() }
 // Engine exposes the underlying engine (for ablation benchmarks).
 func (s *Ring) Engine() *core.Engine { return s.engine }
 
+// Graph exposes the underlying graph (for the service-pool benchmark).
+func (s *Ring) Graph() *triples.Graph { return s.g }
+
+// Ring exposes the underlying ring index (for the service-pool
+// benchmark).
+func (s *Ring) Ring() *ring.Ring { return s.r }
+
 // Run implements System.
 func (s *Ring) Run(q workload.Query, limit int, timeout time.Duration) (int, bool, error) {
 	sid, oid, ok := resolve(s.g, q)

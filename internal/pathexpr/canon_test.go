@@ -1,0 +1,112 @@
+package pathexpr
+
+import (
+	"reflect"
+	"testing"
+)
+
+// canon parses src and returns the canonical rendering, failing the
+// test on parse errors.
+func canon(t *testing.T, src string) string {
+	t.Helper()
+	n, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return String(n)
+}
+
+// TestCanonicalEquivalenceClasses checks the property the service's
+// caches rely on: syntactic variants of one expression (whitespace,
+// redundant parentheses, normalised negated sets) canonicalise to the
+// same string, so they share one compiled AST and one result-cache
+// key.
+func TestCanonicalEquivalenceClasses(t *testing.T) {
+	classes := [][]string{
+		{"a/b", "(a)/b", "a/(b)", "((a))/((b))", " a / b ", "(a/b)"},
+		{"a/b*", "a/(b*)", "(a)/b*", "a/((b)*)"},
+		{"a|b|c", "(a|b)|c", "((a|b))|c", " a |b| c"},
+		{"(a|b)*", "((a|b))*", "( a | b )*"},
+		{"^a/^b", "(^a)/(^b)", "^(b/a)"},
+		{"a", "(a)", "((a))", "<a>"},
+		{"()", "(())"},
+		{"!(a|b)", "!(b|a)", "!(a|b|a)"}, // NegSet sorts and dedups names
+		{"!^a", "!(^a)", "^!a"},
+		{"a??", "(a?)?", "((a)?)?"},
+	}
+	for _, class := range classes {
+		want := canon(t, class[0])
+		for _, variant := range class[1:] {
+			if got := canon(t, variant); got != want {
+				t.Errorf("canon(%q) = %q, want %q (variant of %q)", variant, got, want, class[0])
+			}
+		}
+	}
+}
+
+// TestCanonicalInequality checks that canonicalisation is purely
+// syntactic: semantically related but structurally different
+// expressions keep distinct keys (the result cache must not merge
+// them, and does not need to).
+func TestCanonicalInequality(t *testing.T) {
+	pairs := [][2]string{
+		{"a|b", "b|a"},         // alternation is not reordered
+		{"a/(b/c)", "(a/b)/c"}, // associativity is preserved
+		{"a*", "a**"},
+		{"a+", "a/a*"},
+		{"a?", "a|()"},
+		{"!(a|b)", "!(a|c)"},
+		{"!a", "!^a"},
+	}
+	for _, p := range pairs {
+		if canon(t, p[0]) == canon(t, p[1]) {
+			t.Errorf("canon(%q) == canon(%q) = %q; want distinct keys", p[0], p[1], canon(t, p[0]))
+		}
+	}
+}
+
+// TestCanonicalRoundTripDeep checks String/Parse round-trips
+// structurally: reparsing the canonical form yields a deeply equal
+// AST, and printing is a fixpoint. This is the contract that lets the
+// canonical string stand in for the AST as a cache key.
+func TestCanonicalRoundTripDeep(t *testing.T) {
+	exprs := []string{
+		"a",
+		"^a",
+		"a/b/c",
+		"a/(b/c)",
+		"a|b|c",
+		"a|(b|c)",
+		"(a|b)/(c|d)",
+		"a*/b+/c?",
+		"(a/b)*",
+		"(a|^b)+",
+		"^(a/b*)?",
+		"()",
+		"()|a",
+		"<http://example.org/p#1>/b",
+		"<weird name>/<a/b>",
+		"!(a|b)/c",
+		"!^p*",
+		"a/!(p|q)/b",
+		"p31/p279*",
+		"((l1|l2|l5)+)?",
+	}
+	for _, src := range exprs {
+		n1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		c1 := String(n1)
+		n2, err := Parse(c1)
+		if err != nil {
+			t.Fatalf("Parse(canon %q = %q): %v", src, c1, err)
+		}
+		if !reflect.DeepEqual(n1, n2) {
+			t.Errorf("round-trip of %q via %q changed the AST: %#v vs %#v", src, c1, n1, n2)
+		}
+		if c2 := String(n2); c2 != c1 {
+			t.Errorf("canonical form of %q not a fixpoint: %q -> %q", src, c1, c2)
+		}
+	}
+}

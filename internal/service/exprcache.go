@@ -1,0 +1,90 @@
+package service
+
+import (
+	"sync"
+
+	"ringrpq/internal/pathexpr"
+)
+
+// compiledExpr is one canonicalised path expression: the parsed AST
+// plus its canonical rendering, which identifies the expression across
+// syntactic variants (whitespace, redundant parentheses) and serves as
+// the result-cache key component.
+type compiledExpr struct {
+	// Canon is pathexpr.String of the AST; Parse(Canon) yields an
+	// equivalent AST (round-trip tested in pathexpr).
+	Canon string
+	// Node is the parsed AST, shared across requests. ASTs are
+	// immutable after parsing, so concurrent evaluation over the same
+	// Node is safe.
+	Node pathexpr.Node
+}
+
+// exprCache canonicalises and memoises parsed path expressions. Two
+// levels of keys point at the same entry: the raw source text (so a
+// repeated request skips the parser entirely) and the canonical form
+// (so syntactic variants share one AST and one result-cache key).
+type exprCache struct {
+	mu     sync.Mutex
+	lru    *lruCache
+	hits   int64
+	misses int64
+}
+
+// exprCost is the flat per-entry cost used for the expression cache's
+// byte bound; entries are tiny, so the cache is bounded by count with a
+// nominal per-entry size.
+const exprCost = 1
+
+func newExprCache(maxEntries int) *exprCache {
+	return &exprCache{lru: newLRUCache(maxEntries, int64(maxEntries))}
+}
+
+// Compile returns the canonicalised expression for src, parsing it at
+// most once per cache lifetime.
+func (c *exprCache) Compile(src string) (compiledExpr, error) {
+	c.mu.Lock()
+	if v, ok := c.lru.Get(src); ok {
+		c.hits++
+		c.mu.Unlock()
+		return v.(compiledExpr), nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Parse outside the lock; a racing request for the same expression
+	// parses redundantly but harmlessly.
+	node, err := pathexpr.Parse(src)
+	if err != nil {
+		return compiledExpr{}, err
+	}
+	ce := compiledExpr{Canon: pathexpr.String(node), Node: node}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// If the canonical form is already cached, adopt its AST so
+	// syntactic variants share one Node value.
+	if v, ok := c.lru.Get(ce.Canon); ok {
+		ce = v.(compiledExpr)
+	} else {
+		c.lru.Add(ce.Canon, ce, exprCost)
+	}
+	if src != ce.Canon {
+		c.lru.Add(src, ce, exprCost)
+	}
+	return ce, nil
+}
+
+// Len reports the number of cached keys (raw and canonical).
+func (c *exprCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Counters reports lifetime hits and misses.
+func (c *exprCache) Counters() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

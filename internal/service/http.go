@@ -1,0 +1,263 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"ringrpq/internal/core"
+)
+
+// HandlerConfig tunes the HTTP front-end.
+type HandlerConfig struct {
+	// DefaultLimit caps solutions for requests that do not set their
+	// own limit; 0 means unlimited.
+	DefaultLimit int
+	// MaxBatch bounds the number of queries in one /batch call.
+	// Default 1024.
+	MaxBatch int
+	// MaxBodyBytes bounds request body sizes before decoding.
+	// Default 8 MiB.
+	MaxBodyBytes int64
+	// Info, when set, is rendered under "index" in /stats responses
+	// (e.g. database statistics).
+	Info func() any
+}
+
+// QueryJSON is the wire form of a Request (POST /query, items of POST
+// /batch). Timeout is a Go duration string such as "250ms" or "2s".
+// An absent limit applies the server's default; an explicit 0 asks
+// for unlimited results.
+type QueryJSON struct {
+	Subject string `json:"subject"`
+	Expr    string `json:"expr"`
+	Object  string `json:"object"`
+	Limit   *int   `json:"limit,omitempty"`
+	Timeout string `json:"timeout,omitempty"`
+	Count   bool   `json:"count,omitempty"`
+}
+
+// SolutionJSON is the wire form of a Solution.
+type SolutionJSON struct {
+	Subject string `json:"subject"`
+	Object  string `json:"object"`
+}
+
+// ResultJSON is the wire form of a Result.
+type ResultJSON struct {
+	Solutions []SolutionJSON `json:"solutions,omitempty"`
+	Count     int            `json:"count"`
+	Cached    bool           `json:"cached,omitempty"`
+	TimedOut  bool           `json:"timed_out,omitempty"`
+	// LimitReached reports that the result filled the request's (or
+	// the server's default) solution cap: the count may be truncated.
+	LimitReached bool   `json:"limit_reached,omitempty"`
+	Error        string `json:"error,omitempty"`
+	// ElapsedMS is per-query wall time; batch responses report only
+	// the whole-batch elapsed_ms at the top level (individual timings
+	// are not observable from the fan-out) and omit this field.
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+}
+
+// BatchJSON is the wire form of a POST /batch body.
+type BatchJSON struct {
+	Queries []QueryJSON `json:"queries"`
+}
+
+// NewHandler mounts the service's HTTP API:
+//
+//	POST /query   evaluate one query        (QueryJSON → ResultJSON)
+//	POST /batch   evaluate many queries     (BatchJSON → {"results": [...]})
+//	GET  /stats   service + index counters
+//	GET  /healthz liveness probe
+func NewHandler(s *Service, cfg HandlerConfig) http.Handler {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 1024
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	h := &handler{s: s, cfg: cfg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", h.query)
+	mux.HandleFunc("POST /batch", h.batch)
+	mux.HandleFunc("GET /stats", h.stats)
+	mux.HandleFunc("GET /healthz", h.healthz)
+	return mux
+}
+
+type handler struct {
+	s   *Service
+	cfg HandlerConfig
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// toRequest validates and converts one wire query.
+func (h *handler) toRequest(q QueryJSON) (Request, error) {
+	if q.Expr == "" {
+		return Request{}, errors.New("missing expr")
+	}
+	req := Request{
+		Subject: q.Subject, Expr: q.Expr, Object: q.Object,
+		Count: q.Count, Limit: h.cfg.DefaultLimit,
+	}
+	if q.Limit != nil {
+		if *q.Limit < 0 {
+			return Request{}, errors.New("limit must be non-negative")
+		}
+		req.Limit = *q.Limit // explicit 0 = unlimited
+	}
+	if req.Subject == "" {
+		req.Subject = "?s"
+	}
+	if req.Object == "" {
+		req.Object = "?o"
+	}
+	if q.Timeout != "" {
+		d, err := time.ParseDuration(q.Timeout)
+		if err != nil {
+			return Request{}, fmt.Errorf("bad timeout: %w", err)
+		}
+		// A non-positive timeout would disable the server's default
+		// bound and pin a worker indefinitely.
+		if d <= 0 {
+			return Request{}, errors.New("timeout must be positive")
+		}
+		req.Timeout = d
+	}
+	return req, nil
+}
+
+func toJSON(req Request, res Result, elapsed time.Duration) ResultJSON {
+	out := ResultJSON{
+		Count:     res.N,
+		Cached:    res.Cached,
+		ElapsedMS: float64(elapsed.Microseconds()) / 1e3,
+		// The engine stops silently at the cap, so "filled the cap"
+		// is the only truncation signal available.
+		LimitReached: req.Limit > 0 && res.N >= req.Limit,
+	}
+	if len(res.Solutions) > 0 {
+		out.Solutions = make([]SolutionJSON, len(res.Solutions))
+		for i, s := range res.Solutions {
+			out.Solutions[i] = SolutionJSON{Subject: s.Subject, Object: s.Object}
+		}
+	}
+	switch {
+	case errors.Is(res.Err, core.ErrTimeout):
+		out.TimedOut = true
+	case res.Err != nil:
+		out.Error = res.Err.Error()
+	}
+	return out
+}
+
+func (h *handler) query(w http.ResponseWriter, r *http.Request) {
+	var q QueryJSON
+	if err := h.decodeBody(w, r, &q); err != nil {
+		return
+	}
+	req, err := h.toRequest(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	start := time.Now()
+	res := h.s.do(r.Context(), req, nil)
+	if status, ok := failureStatus(res.Err); ok {
+		writeError(w, status, res.Err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toJSON(req, res, time.Since(start)))
+}
+
+// decodeBody decodes a size-bounded JSON request body, writing the
+// error response (413 for oversized bodies, 400 otherwise) itself.
+func (h *handler) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, h.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+		} else {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		}
+		return err
+	}
+	return nil
+}
+
+func (h *handler) batch(w http.ResponseWriter, r *http.Request) {
+	var b BatchJSON
+	if err := h.decodeBody(w, r, &b); err != nil {
+		return
+	}
+	if len(b.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	if len(b.Queries) > h.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch of %d exceeds the %d-query cap", len(b.Queries), h.cfg.MaxBatch))
+		return
+	}
+	reqs := make([]Request, len(b.Queries))
+	for i, q := range b.Queries {
+		req, err := h.toRequest(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("query %d: %w", i, err))
+			return
+		}
+		reqs[i] = req
+	}
+	start := time.Now()
+	results := h.s.Batch(r.Context(), reqs)
+	elapsed := time.Since(start)
+	out := make([]ResultJSON, len(results))
+	for i, res := range results {
+		out[i] = toJSON(reqs[i], res, 0)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"results":    out,
+		"elapsed_ms": float64(elapsed.Microseconds()) / 1e3,
+	})
+}
+
+// failureStatus maps submission-level failures to HTTP statuses;
+// evaluation timeouts are not failures (the partial result is
+// returned with timed_out set).
+func failureStatus(err error) (int, bool) {
+	switch {
+	case err == nil, errors.Is(err, core.ErrTimeout):
+		return 0, false
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable, true
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, true
+	default:
+		return http.StatusBadRequest, true
+	}
+}
+
+func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
+	out := map[string]any{"service": h.s.Stats()}
+	if h.cfg.Info != nil {
+		out["index"] = h.cfg.Info()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,103 @@
+package service
+
+import "testing"
+
+func TestLRUEntryBound(t *testing.T) {
+	c := newLRUCache(2, 1<<20)
+	c.Add("a", 1, 1)
+	c.Add("b", 2, 1)
+	c.Add("c", 3, 1) // evicts a
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should have been evicted")
+	}
+	if v, ok := c.Get("b"); !ok || v.(int) != 2 {
+		t.Fatal("b lost")
+	}
+	if c.Len() != 2 || c.Evictions() != 1 {
+		t.Fatalf("len=%d evictions=%d", c.Len(), c.Evictions())
+	}
+}
+
+func TestLRURecency(t *testing.T) {
+	c := newLRUCache(2, 1<<20)
+	c.Add("a", 1, 1)
+	c.Add("b", 2, 1)
+	c.Get("a")       // a becomes most recent
+	c.Add("c", 3, 1) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived")
+	}
+}
+
+func TestLRUByteBound(t *testing.T) {
+	c := newLRUCache(100, 10)
+	c.Add("a", 1, 6)
+	c.Add("b", 2, 6) // 12 > 10: evicts a
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should have been evicted by the byte bound")
+	}
+	if c.Bytes() != 6 {
+		t.Fatalf("bytes = %d, want 6", c.Bytes())
+	}
+	// Oversized values are refused outright.
+	c.Add("huge", 3, 11)
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("oversized value stored")
+	}
+}
+
+func TestLRUReplace(t *testing.T) {
+	c := newLRUCache(10, 100)
+	c.Add("a", 1, 10)
+	c.Add("a", 2, 20)
+	if v, _ := c.Get("a"); v.(int) != 2 {
+		t.Fatal("replace lost the new value")
+	}
+	if c.Bytes() != 20 || c.Len() != 1 {
+		t.Fatalf("bytes=%d len=%d after replace", c.Bytes(), c.Len())
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	for _, c := range []*lruCache{newLRUCache(0, 100), newLRUCache(100, 0)} {
+		c.Add("a", 1, 1)
+		if _, ok := c.Get("a"); ok || c.enabled() {
+			t.Fatal("disabled cache stored a value")
+		}
+	}
+}
+
+func TestExprCacheSharing(t *testing.T) {
+	c := newExprCache(64)
+	a, err := c.Compile("a/b*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Compile(" (a) / (b*) ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Canon != b.Canon {
+		t.Fatalf("canon mismatch: %q vs %q", a.Canon, b.Canon)
+	}
+	if a.Node != b.Node {
+		t.Fatal("syntactic variants should share one AST")
+	}
+	hits, misses := c.Counters()
+	if hits != 0 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+	// The raw text is now a key too.
+	if _, err := c.Compile("a/b*"); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := c.Counters(); hits != 1 {
+		t.Fatalf("hits=%d, want 1", hits)
+	}
+	if _, err := c.Compile("(("); err == nil {
+		t.Fatal("want parse error")
+	}
+}

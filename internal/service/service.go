@@ -1,0 +1,523 @@
+// Package service turns the single-threaded ring RPQ engine into a
+// concurrent query service. The ring index is immutable after
+// construction, so it can be shared lock-free by any number of
+// evaluation engines; what each engine owns privately is a set of
+// working arrays (core.Engine). The service multiplexes requests over a
+// fixed pool of such engines:
+//
+//	clients → bounded queue → N workers (one Backend clone each) → shared index
+//
+// On top of the pool sit two caches that exploit the same immutability:
+// a compiled-query cache that canonicalises path expressions and reuses
+// parsed ASTs across requests, and an LRU result cache bounded by entry
+// count and bytes. Requests carry per-call limits and deadlines, batches
+// fan out across the pool, and Close drains the queue for a graceful
+// shutdown. This queue → workers → immutable-index seam is where later
+// sharding and replication layers plug in.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ringrpq/internal/core"
+	"ringrpq/internal/pathexpr"
+)
+
+// Solution is one result mapping of a query (mirrored by the public
+// ringrpq.Solution alias).
+type Solution struct {
+	// Subject and Object name the path's endpoints.
+	Subject, Object string
+}
+
+// Backend evaluates one query at a time over an immutable index. A
+// Backend is not safe for concurrent use; the pool calls Clone once per
+// worker and then confines each clone to its goroutine.
+type Backend interface {
+	// Clone returns an independent evaluator over the same index.
+	Clone() Backend
+	// Eval evaluates (subject, expr, object), streaming solutions to
+	// emit until exhaustion or until emit returns false. Endpoints
+	// beginning with '?' are variables. A limit of 0 means unlimited; a
+	// timeout of 0 means none; exceeding the timeout returns
+	// core.ErrTimeout with the solutions emitted so far still valid.
+	Eval(subject string, expr pathexpr.Node, object string, limit int, timeout time.Duration, emit func(Solution) bool) error
+}
+
+// Config tunes a Service. The zero value picks sensible defaults;
+// negative cache sizes disable the corresponding cache.
+type Config struct {
+	// Workers is the pool size (engines evaluating concurrently).
+	// Default: GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of requests waiting for a worker;
+	// submissions beyond it block until a slot frees or the caller's
+	// context fires. Default: 4×Workers.
+	QueueDepth int
+	// DefaultTimeout applies to requests that carry neither their own
+	// timeout nor a context deadline. Default: none.
+	DefaultTimeout time.Duration
+	// ExprCacheEntries bounds the compiled-expression cache (raw and
+	// canonical keys). Default 1024; negative disables.
+	ExprCacheEntries int
+	// ResultCacheEntries bounds the result cache by entry count.
+	// Default 4096; negative disables.
+	ResultCacheEntries int
+	// ResultCacheBytes bounds the result cache by approximate bytes.
+	// Default 64 MiB; negative disables.
+	ResultCacheBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.ExprCacheEntries == 0 {
+		c.ExprCacheEntries = 1024
+	}
+	if c.ResultCacheEntries == 0 {
+		c.ResultCacheEntries = 4096
+	}
+	if c.ResultCacheBytes == 0 {
+		c.ResultCacheBytes = 64 << 20
+	}
+	return c
+}
+
+// Request is one query submission.
+type Request struct {
+	// Subject and Object are endpoint names; a '?' prefix marks a
+	// variable (as in ringrpq.DB.Query).
+	Subject, Object string
+	// Expr is the path expression source text.
+	Expr string
+	// Limit caps the number of solutions; 0 or negative means
+	// unlimited.
+	Limit int
+	// Timeout bounds evaluation; 0 or negative defers to the context
+	// deadline and the service's DefaultTimeout.
+	Timeout time.Duration
+	// Count asks for the solution count only; Result.Solutions stays
+	// nil.
+	Count bool
+}
+
+// Result is the outcome of one Request.
+type Result struct {
+	// Solutions holds the result set (nil for Count requests). Shared
+	// with the result cache: callers must not modify it.
+	Solutions []Solution
+	// N is the solution count (also set for non-Count requests).
+	N int
+	// Cached reports a result-cache hit.
+	Cached bool
+	// Err is nil on success; core.ErrTimeout flags a truncated result
+	// (Solutions/N still hold what was found in time).
+	Err error
+}
+
+// ErrClosed reports a submission to a Service after Close.
+var ErrClosed = errors.New("service: closed")
+
+// Stats is a point-in-time snapshot of the service counters.
+type Stats struct {
+	// Workers and QueueCap echo the configuration; QueueLen is the
+	// number of requests currently waiting.
+	Workers, QueueCap, QueueLen int
+	// Requests counts submissions (batch items count individually);
+	// Batches counts Batch calls.
+	Requests, Batches int64
+	// Inflight is the number of requests being evaluated right now.
+	Inflight int64
+	// Completed counts requests that finished evaluation (hits are not
+	// evaluated and counted under Hits instead).
+	Completed int64
+	// Hits and Misses count result-cache outcomes of cacheable
+	// requests.
+	Hits, Misses int64
+	// Timeouts counts evaluations cut short by a deadline; Cancelled
+	// counts requests abandoned by a deadline-less context (client
+	// disconnects); Errors counts evaluations failing otherwise (bad
+	// expressions included); Rejected counts submissions whose context
+	// fired while the queue was full.
+	Timeouts, Cancelled, Errors, Rejected int64
+	// ExprHits/ExprMisses/ExprEntries describe the compiled-expression
+	// cache.
+	ExprHits, ExprMisses int64
+	ExprEntries          int
+	// ResultEntries/ResultBytes/ResultEvictions describe the result
+	// cache.
+	ResultEntries   int
+	ResultBytes     int64
+	ResultEvictions int64
+}
+
+// Service is the concurrent query front-end over an immutable index.
+// All methods are safe for concurrent use.
+type Service struct {
+	cfg   Config
+	queue chan *job
+
+	mu     sync.RWMutex // guards closed vs. queue sends
+	closed bool
+	wg     sync.WaitGroup
+
+	exprs *exprCache
+
+	resMu   sync.Mutex
+	results *lruCache
+
+	requests  atomic.Int64
+	batches   atomic.Int64
+	inflight  atomic.Int64
+	completed atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	timeouts  atomic.Int64
+	cancelled atomic.Int64
+	errs      atomic.Int64
+	rejected  atomic.Int64
+}
+
+type job struct {
+	ctx    context.Context
+	req    Request
+	node   pathexpr.Node
+	key    string // result-cache key; "" = uncacheable
+	stream func(Solution) bool
+	done   chan Result
+}
+
+// New starts a Service over backend. The backend itself is only used as
+// a clone source; the caller may keep using it single-threadedly.
+func New(backend Backend, cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:     cfg,
+		queue:   make(chan *job, cfg.QueueDepth),
+		exprs:   newExprCache(cfg.ExprCacheEntries),
+		results: newLRUCache(cfg.ResultCacheEntries, cfg.ResultCacheBytes),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker(backend.Clone())
+	}
+	return s
+}
+
+// Query evaluates one request and returns its materialised result set.
+func (s *Service) Query(ctx context.Context, req Request) Result {
+	req.Count = false
+	return s.do(ctx, req, nil)
+}
+
+// Count evaluates one request returning only the solution count.
+func (s *Service) Count(ctx context.Context, req Request) Result {
+	req.Count = true
+	return s.do(ctx, req, nil)
+}
+
+// QueryFunc streams solutions to emit, which runs on a worker goroutine
+// and may return false to stop early. Streamed requests bypass the
+// result cache. QueryFunc returns only after emit can no longer be
+// called.
+func (s *Service) QueryFunc(ctx context.Context, req Request, emit func(Solution) bool) error {
+	if emit == nil {
+		return errors.New("service: nil emit")
+	}
+	req.Count = false
+	return s.do(ctx, req, emit).Err
+}
+
+// Batch evaluates requests concurrently across the pool and returns one
+// Result per request, in order. Cache hits return without queueing; the
+// rest share the pool with every other client.
+func (s *Service) Batch(ctx context.Context, reqs []Request) []Result {
+	s.batches.Add(1)
+	out := make([]Result, len(reqs))
+	waiting := make([]chan Result, len(reqs))
+	for i, req := range reqs {
+		res, ch := s.submit(ctx, req, nil)
+		if ch == nil {
+			out[i] = res
+		} else {
+			waiting[i] = ch
+		}
+	}
+	for i, ch := range waiting {
+		if ch != nil {
+			out[i] = <-ch
+		}
+	}
+	return out
+}
+
+// do runs one request to completion.
+func (s *Service) do(ctx context.Context, req Request, stream func(Solution) bool) Result {
+	res, ch := s.submit(ctx, req, stream)
+	if ch == nil {
+		return res
+	}
+	// The worker always sends exactly one Result, even after Close
+	// (the queue is drained, not dropped), so this cannot leak. Waiting
+	// out the worker also guarantees a streamed emit is never called
+	// after QueryFunc returns.
+	return <-ch
+}
+
+// submit resolves the request against the caches and either returns a
+// finished Result (ch == nil) or enqueues a job whose Result will
+// arrive on ch.
+func (s *Service) submit(ctx context.Context, req Request, stream func(Solution) bool) (Result, chan Result) {
+	s.requests.Add(1)
+	// Fail fast after Close even for requests the result cache could
+	// serve, so post-Close behavior is uniform (always ErrClosed).
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return Result{Err: ErrClosed}, nil
+	}
+	// Normalise before the cache key is formed: a negative limit would
+	// otherwise reach the engine as "stop after the first solution"
+	// and be cached as a complete result.
+	if req.Limit < 0 {
+		req.Limit = 0
+	}
+	if req.Timeout < 0 {
+		req.Timeout = 0
+	}
+	ce, err := s.exprs.Compile(req.Expr)
+	if err != nil {
+		s.errs.Add(1)
+		return Result{Err: err}, nil
+	}
+
+	var key string
+	if stream == nil && s.results.enabled() {
+		key = cacheKey(req, ce.Canon)
+		s.resMu.Lock()
+		v, ok := s.results.Get(key)
+		s.resMu.Unlock()
+		if ok {
+			s.hits.Add(1)
+			res := v.(Result)
+			res.Cached = true
+			return res, nil
+		}
+		s.misses.Add(1)
+	}
+
+	j := &job{ctx: ctx, req: req, node: ce.Node, key: key, stream: stream, done: make(chan Result, 1)}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return Result{Err: ErrClosed}, nil
+	}
+	select {
+	case s.queue <- j:
+		s.mu.RUnlock()
+		return Result{}, j.done
+	case <-ctx.Done():
+		s.mu.RUnlock()
+		s.rejected.Add(1)
+		return Result{Err: ctx.Err()}, nil
+	}
+}
+
+// cacheKey identifies a request by its canonicalised expression and
+// every parameter that can change the result set. Components are
+// length-prefixed so endpoint names containing any byte (including
+// the separator) cannot make distinct requests collide.
+func cacheKey(req Request, canon string) string {
+	mode := "q"
+	if req.Count {
+		mode = "c"
+	}
+	var sb strings.Builder
+	sb.WriteString(mode)
+	for _, part := range [...]string{req.Subject, canon, req.Object} {
+		sb.WriteString(strconv.Itoa(len(part)))
+		sb.WriteByte(':')
+		sb.WriteString(part)
+	}
+	sb.WriteByte('|')
+	sb.WriteString(strconv.Itoa(req.Limit))
+	return sb.String()
+}
+
+// worker owns one Backend clone and drains the queue until Close.
+func (s *Service) worker(b Backend) {
+	defer s.wg.Done()
+	for j := range s.queue {
+		j.done <- s.run(b, j)
+	}
+}
+
+// run evaluates one job on worker backend b.
+func (s *Service) run(b Backend, j *job) Result {
+	if err := j.ctx.Err(); err != nil {
+		s.countCtxErr(err)
+		return Result{Err: err}
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	defer s.completed.Add(1)
+
+	timeout, err := s.effectiveTimeout(j)
+	if err != nil {
+		s.timeouts.Add(1)
+		return Result{Err: err}
+	}
+
+	var (
+		sols    []Solution
+		n       int
+		stopped error
+	)
+	emit := func(sol Solution) bool {
+		n++
+		if j.stream != nil {
+			if !j.stream(sol) {
+				stopped = errStopped
+				return false
+			}
+		} else if !j.req.Count {
+			sols = append(sols, sol)
+		}
+		// Best-effort cancellation between solutions; the deadline
+		// clamp above handles contexts with deadlines even when the
+		// traversal emits nothing for a while.
+		if n%1024 == 0 && j.ctx.Err() != nil {
+			stopped = j.ctx.Err()
+			return false
+		}
+		return true
+	}
+	err = b.Eval(j.req.Subject, j.node, j.req.Object, j.req.Limit, timeout, emit)
+	res := Result{Solutions: sols, N: n, Err: err}
+	switch {
+	case stopped == errStopped:
+		// The caller's emit stopped the stream: a success.
+		res.Err = nil
+	case stopped != nil:
+		s.countCtxErr(stopped)
+		res.Err = stopped
+	case errors.Is(err, core.ErrTimeout):
+		s.timeouts.Add(1)
+	case err != nil:
+		s.errs.Add(1)
+	default:
+		s.store(j, res)
+	}
+	return res
+}
+
+// errStopped marks an early stop requested by a streaming callback.
+var errStopped = errors.New("service: stream stopped")
+
+// countCtxErr attributes a context failure to the right counter: a
+// fired deadline is a timeout, a deadline-less cancellation (client
+// disconnect) is not.
+func (s *Service) countCtxErr(err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.timeouts.Add(1)
+	} else {
+		s.cancelled.Add(1)
+	}
+}
+
+// effectiveTimeout combines the request timeout, the context deadline
+// and the configured default into one evaluation bound.
+func (s *Service) effectiveTimeout(j *job) (time.Duration, error) {
+	t := j.req.Timeout
+	if t == 0 {
+		t = s.cfg.DefaultTimeout
+	}
+	if dl, ok := j.ctx.Deadline(); ok {
+		rem := time.Until(dl)
+		if rem <= 0 {
+			return 0, context.DeadlineExceeded
+		}
+		if t == 0 || rem < t {
+			t = rem
+		}
+	}
+	return t, nil
+}
+
+// store records a complete result in the result cache.
+func (s *Service) store(j *job, res Result) {
+	if j.key == "" {
+		return
+	}
+	cost := int64(64)
+	for _, sol := range res.Solutions {
+		cost += int64(len(sol.Subject)+len(sol.Object)) + 32
+	}
+	s.resMu.Lock()
+	s.results.Add(j.key, res, cost)
+	s.resMu.Unlock()
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	exprHits, exprMisses := s.exprs.Counters()
+	s.resMu.Lock()
+	rEntries, rBytes, rEvict := s.results.Len(), s.results.Bytes(), s.results.Evictions()
+	s.resMu.Unlock()
+	return Stats{
+		Workers:         s.cfg.Workers,
+		QueueCap:        s.cfg.QueueDepth,
+		QueueLen:        len(s.queue),
+		Requests:        s.requests.Load(),
+		Batches:         s.batches.Load(),
+		Inflight:        s.inflight.Load(),
+		Completed:       s.completed.Load(),
+		Hits:            s.hits.Load(),
+		Misses:          s.misses.Load(),
+		Timeouts:        s.timeouts.Load(),
+		Cancelled:       s.cancelled.Load(),
+		Errors:          s.errs.Load(),
+		Rejected:        s.rejected.Load(),
+		ExprHits:        exprHits,
+		ExprMisses:      exprMisses,
+		ExprEntries:     s.exprs.Len(),
+		ResultEntries:   rEntries,
+		ResultBytes:     rBytes,
+		ResultEvictions: rEvict,
+	}
+}
+
+// String renders a brief stats summary.
+func (st Stats) String() string {
+	return fmt.Sprintf("service{workers=%d queue=%d/%d req=%d hits=%d misses=%d timeouts=%d errors=%d inflight=%d}",
+		st.Workers, st.QueueLen, st.QueueCap, st.Requests, st.Hits, st.Misses, st.Timeouts, st.Errors, st.Inflight)
+}
+
+// Close stops accepting requests, drains the queue (queued jobs still
+// run to completion) and waits for the workers to exit. Close is
+// idempotent.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}

@@ -22,18 +22,33 @@
 // Endpoints starting with '?' are variables; anything else must name a
 // node. Expressions support predicates, inverses (^p), concatenation
 // (p1/p2), alternation (p1|p2), closures (p*, p+) and optionals (p?).
+//
+// A DB's query methods share working arrays and must not be called
+// concurrently. For concurrent serving, wrap the database in a Service
+// — a worker pool over the shared immutable index with a
+// canonicalising compiled-query cache, an LRU result cache, batch
+// evaluation and per-request deadlines (see ExampleService):
+//
+//	svc := ringrpq.NewService(db, ringrpq.ServiceConfig{Workers: 8})
+//	defer svc.Close()
+//	sols, err := svc.Query(ctx, "Baquedano", "(l1|l2|l5)+", "?station")
+//
+// Command rpqd serves the same API over HTTP.
 package ringrpq
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
 	"strings"
 	"time"
 
 	"ringrpq/internal/core"
 	"ringrpq/internal/pathexpr"
 	"ringrpq/internal/ring"
+	"ringrpq/internal/service"
 	"ringrpq/internal/triples"
 )
 
@@ -103,11 +118,9 @@ func (db *DB) Clone() *DB {
 	return clone
 }
 
-// Solution is one result mapping of a query.
-type Solution struct {
-	// Subject and Object name the path's endpoints.
-	Subject, Object string
-}
+// Solution is one result mapping of a query: Subject and Object name
+// the path's endpoints.
+type Solution = service.Solution
 
 // QueryOption tunes one query.
 type QueryOption func(*core.Options)
@@ -152,6 +165,16 @@ func (db *DB) QueryFunc(subject, expr, object string, emit func(Solution) bool, 
 	if err != nil {
 		return err
 	}
+	var options core.Options
+	for _, opt := range opts {
+		opt(&options)
+	}
+	return db.queryNode(subject, node, object, options, emit)
+}
+
+// queryNode is QueryFunc over a pre-parsed expression (the entry point
+// used by Service workers, which share parsed ASTs across requests).
+func (db *DB) queryNode(subject string, node pathexpr.Node, object string, options core.Options, emit func(Solution) bool) error {
 	q := core.Query{Subject: core.Variable, Object: core.Variable, Expr: node}
 	if !isVariable(subject) {
 		id, ok := db.g.Nodes.Lookup(subject)
@@ -167,11 +190,7 @@ func (db *DB) QueryFunc(subject, expr, object string, emit func(Solution) bool, 
 		}
 		q.Object = int64(id)
 	}
-	var options core.Options
-	for _, opt := range opts {
-		opt(&options)
-	}
-	_, err = db.engine.Eval(q, options, func(s, o uint32) bool {
+	_, err := db.engine.Eval(q, options, func(s, o uint32) bool {
 		return emit(Solution{
 			Subject: db.g.Nodes.Name(s),
 			Object:  db.g.Nodes.Name(o),
@@ -251,3 +270,110 @@ func (db *DB) String() string {
 	return fmt.Sprintf("ringrpq.DB{%d nodes, %d edges, %d predicates, %.2f B/edge}",
 		s.Nodes, s.Edges, s.Predicates, db.BytesPerEdge())
 }
+
+// ServiceConfig tunes a Service; the zero value picks sensible
+// defaults (GOMAXPROCS workers, 4×workers queue depth, 1024-entry
+// expression cache, 4096-entry / 64 MiB result cache). Negative cache
+// sizes disable the corresponding cache.
+type ServiceConfig = service.Config
+
+// ServiceStats is a point-in-time snapshot of a Service's counters.
+type ServiceStats = service.Stats
+
+// Request is one query submission to a Service (used directly by
+// Batch; Query/Count/QueryFunc build it from their arguments).
+type Request = service.Request
+
+// Result is the outcome of one batched Request.
+type Result = service.Result
+
+// ErrServiceClosed reports a submission to a Service after Close.
+var ErrServiceClosed = service.ErrClosed
+
+// Service is a concurrent query front-end over a DB: a fixed pool of
+// workers (each with its own DB clone sharing the immutable index), a
+// bounded request queue, a canonicalising compiled-query cache and an
+// LRU result cache. All methods are safe for concurrent use; see
+// NewService.
+type Service struct {
+	s *service.Service
+}
+
+// NewService starts a query service over db. The db may still be used
+// directly (single-threadedly) by the caller; workers evaluate on
+// clones. Close the service to release its workers.
+func NewService(db *DB, cfg ServiceConfig) *Service {
+	return &Service{s: service.New(dbBackend{db}, cfg)}
+}
+
+// dbBackend adapts a DB to the service worker interface.
+type dbBackend struct {
+	db *DB
+}
+
+func (b dbBackend) Clone() service.Backend {
+	return dbBackend{db: b.db.Clone()}
+}
+
+func (b dbBackend) Eval(subject string, node pathexpr.Node, object string, limit int, timeout time.Duration, emit func(Solution) bool) error {
+	return b.db.queryNode(subject, node, object, core.Options{Limit: limit, Timeout: timeout}, emit)
+}
+
+// request converts one public call into a service Request, folding
+// WithLimit/WithTimeout options into the request parameters.
+func request(subject, expr, object string, opts []QueryOption) Request {
+	var options core.Options
+	for _, opt := range opts {
+		opt(&options)
+	}
+	return Request{
+		Subject: subject, Expr: expr, Object: object,
+		Limit: options.Limit, Timeout: options.Timeout,
+	}
+}
+
+// Query evaluates one query through the pool, consulting the result
+// cache first. The returned slice may be shared with the cache: treat
+// it as read-only. The context bounds queueing and evaluation time
+// (combined with WithTimeout and the service's default timeout).
+func (s *Service) Query(ctx context.Context, subject, expr, object string, opts ...QueryOption) ([]Solution, error) {
+	res := s.s.Query(ctx, request(subject, expr, object, opts))
+	return res.Solutions, res.Err
+}
+
+// QueryFunc streams solutions to emit, which runs on a worker
+// goroutine and may return false to stop early; it is never called
+// after QueryFunc returns. Streamed queries bypass the result cache.
+func (s *Service) QueryFunc(ctx context.Context, subject, expr, object string, emit func(Solution) bool, opts ...QueryOption) error {
+	return s.s.QueryFunc(ctx, request(subject, expr, object, opts), emit)
+}
+
+// Count returns the number of solutions without materialising them.
+func (s *Service) Count(ctx context.Context, subject, expr, object string, opts ...QueryOption) (int, error) {
+	res := s.s.Count(ctx, request(subject, expr, object, opts))
+	return res.N, res.Err
+}
+
+// Batch evaluates requests concurrently across the pool, returning one
+// Result per request in order. Individual failures (parse errors,
+// timeouts) are reported per Result, not as a batch failure.
+func (s *Service) Batch(ctx context.Context, reqs []Request) []Result {
+	return s.s.Batch(ctx, reqs)
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() ServiceStats { return s.s.Stats() }
+
+// HandlerConfig tunes the HTTP handler returned by Service.Handler.
+type HandlerConfig = service.HandlerConfig
+
+// Handler returns an http.Handler exposing the service's JSON API:
+// POST /query, POST /batch, GET /stats and GET /healthz (the API that
+// cmd/rpqd serves).
+func (s *Service) Handler(cfg HandlerConfig) http.Handler {
+	return service.NewHandler(s.s, cfg)
+}
+
+// Close stops accepting requests, lets queued and running queries
+// finish, and releases the workers. Close is idempotent.
+func (s *Service) Close() error { return s.s.Close() }

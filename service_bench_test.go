@@ -1,0 +1,169 @@
+package ringrpq_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"ringrpq"
+)
+
+// benchServiceDB builds a mid-sized random graph; big enough that
+// queries do real traversal work, small enough to build per benchmark
+// binary run.
+func benchServiceDB(b *testing.B) *ringrpq.DB {
+	b.Helper()
+	// Dense enough (≈20 edges/node) that closure queries traverse
+	// sizable components: per-query work then dwarfs pool overhead.
+	const (
+		nodes = 1500
+		edges = 30000
+		preds = 8
+	)
+	rng := rand.New(rand.NewSource(42))
+	bld := ringrpq.NewBuilder()
+	for i := 0; i < edges; i++ {
+		bld.Add(
+			fmt.Sprintf("n%d", rng.Intn(nodes)),
+			fmt.Sprintf("p%d", rng.Intn(preds)),
+			fmt.Sprintf("n%d", rng.Intn(nodes)),
+		)
+	}
+	db, err := bld.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// benchRequests is a mixed workload of constant-endpoint queries over
+// closures, alternations and inverses, weighted towards transitive
+// closures so each query does real traversal work (hundreds of
+// microseconds): throughput then measures evaluation, not queueing.
+func benchRequests() []ringrpq.Request {
+	exprs := []string{
+		"(p0|p1)+",
+		"p2*/p3*",
+		"^p3/p4*",
+		"(p0|^p1)+",
+		"p5/(p6|p7)*",
+		"(p2/p3)+",
+	}
+	var qs []ringrpq.Request
+	for i, e := range exprs {
+		for k := 0; k < 4; k++ {
+			qs = append(qs, ringrpq.Request{Subject: fmt.Sprintf("n%d", (i*37+k*211)%1500), Expr: e, Object: "?o"})
+			qs = append(qs, ringrpq.Request{Subject: "?s", Expr: e, Object: fmt.Sprintf("n%d", (i*53+k*97)%1500)})
+		}
+	}
+	return qs
+}
+
+// BenchmarkServiceThroughput measures aggregate queries/sec through
+// the pool at increasing worker counts with the result cache disabled,
+// i.e. the pure scaling of concurrent evaluation over the shared
+// immutable index. Scaling beyond 1× needs GOMAXPROCS ≥ workers (a
+// multi-core box); client goroutines are provisioned at 2×workers so
+// the pool stays saturated either way.
+func BenchmarkServiceThroughput(b *testing.B) {
+	db := benchServiceDB(b)
+	qs := benchRequests()
+	maxprocs := runtime.GOMAXPROCS(0)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			svc := ringrpq.NewService(db, ringrpq.ServiceConfig{
+				Workers:            workers,
+				QueueDepth:         4 * workers,
+				ResultCacheEntries: -1,
+				ResultCacheBytes:   -1,
+			})
+			defer svc.Close()
+			ctx := context.Background()
+			var next atomic.Int64
+			b.SetParallelism((2*workers + maxprocs - 1) / maxprocs)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					q := qs[int(next.Add(1))%len(qs)]
+					if _, err := svc.Count(ctx, q.Subject, q.Expr, q.Object); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+		})
+	}
+}
+
+// cacheBenchQuery is the query used by the cache-hit/cold pair: a
+// constant-subject transitive closure whose result set (≤ |V| pairs)
+// fits the cache comfortably while the cold evaluation still walks a
+// sizable component.
+var cacheBenchQuery = ringrpq.Request{Subject: "n42", Expr: "(p0|p1)+", Object: "?o"}
+
+// BenchmarkServiceCacheHit measures the repeated-query path: after one
+// cold evaluation, every request is served from the result cache.
+// Compare with BenchmarkServiceCold for the same query.
+func BenchmarkServiceCacheHit(b *testing.B) {
+	db := benchServiceDB(b)
+	svc := ringrpq.NewService(db, ringrpq.ServiceConfig{Workers: 2})
+	defer svc.Close()
+	ctx := context.Background()
+	q := cacheBenchQuery
+	if _, err := svc.Query(ctx, q.Subject, q.Expr, q.Object); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Query(ctx, q.Subject, q.Expr, q.Object); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceCold is the same query with caching disabled: every
+// request pays the full evaluation.
+func BenchmarkServiceCold(b *testing.B) {
+	db := benchServiceDB(b)
+	svc := ringrpq.NewService(db, ringrpq.ServiceConfig{
+		Workers:            2,
+		ResultCacheEntries: -1,
+		ResultCacheBytes:   -1,
+	})
+	defer svc.Close()
+	ctx := context.Background()
+	q := cacheBenchQuery
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Query(ctx, q.Subject, q.Expr, q.Object); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceBatch measures batch fan-out of the full request mix
+// across the pool.
+func BenchmarkServiceBatch(b *testing.B) {
+	db := benchServiceDB(b)
+	qs := benchRequests()
+	svc := ringrpq.NewService(db, ringrpq.ServiceConfig{
+		Workers:            4,
+		ResultCacheEntries: -1,
+		ResultCacheBytes:   -1,
+	})
+	defer svc.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, res := range svc.Batch(ctx, qs) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.N*len(qs))/b.Elapsed().Seconds(), "queries/sec")
+}
