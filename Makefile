@@ -1,7 +1,8 @@
 # Tier-1 verification is `make` (or `make ci`): build, vet, test.
 GO ?= go
+FUZZTIME ?= 20s
 
-.PHONY: all ci build vet test race bench clean
+.PHONY: all ci build vet test race bench fuzz clean
 
 all: ci
 
@@ -16,11 +17,19 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the concurrency surface: the service package
-# and the root-package stress tests.
+# Race-detector pass over the concurrency surface: the service package,
+# the sharded engine's cooperative fan-out (differential tests), and the
+# root-package stress tests.
 race:
-	$(GO) test -race ./internal/service/ .
-	$(GO) test -race -run 'Stress|Clone' .
+	$(GO) test -race ./internal/service/ ./internal/core/ .
+	$(GO) test -race -run 'Stress|Clone|Sharded' .
+
+# Short bounded fuzz runs over the expression parser and the database
+# loader (go native fuzzing; one target per invocation). The growing
+# corpus lives in the Go build cache, so repeated runs keep digging.
+fuzz:
+	$(GO) test -run NONE -fuzz FuzzParseExpr -fuzztime $(FUZZTIME) ./internal/pathexpr
+	$(GO) test -run NONE -fuzz FuzzLoadDB -fuzztime $(FUZZTIME) .
 
 # Service throughput scaling and cache-hit benchmarks.
 bench:

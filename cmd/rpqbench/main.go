@@ -9,13 +9,16 @@
 //	rpqbench [-nodes N] [-edges N] [-preds N] [-queries N]
 //	         [-timeout D] [-limit N] [-seed N]
 //	         [-systems ring,bfs,alp,rel] [-table1] [-table2] [-fig8] [-build]
-//	         [-workers N]
+//	         [-workers N] [-shards K]
 //
 // Without a table selector, everything is printed. With -workers N the
 // query log is additionally driven through the concurrent service pool
 // (N workers over the shared ring index), reporting aggregate
 // throughput and per-query latency for a cold pass and a warm
-// (result-cache) pass.
+// (result-cache) pass. With -shards K the log is also replayed on a
+// K-shard index next to the single ring, reporting per-query latency
+// overall and on the closure-heavy subset where the intra-query shard
+// parallelism concentrates.
 package main
 
 import (
@@ -55,6 +58,7 @@ func main() {
 		fig8    = flag.Bool("fig8", false, "print only Fig. 8")
 		build   = flag.Bool("build", false, "print only index construction stats")
 		workers = flag.Int("workers", 0, "also drive the log through the service pool with this many workers (0 = off)")
+		shards  = flag.Int("shards", 0, "also compare single-ring vs K-shard query latency (0 = off)")
 	)
 	flag.Parse()
 	all := !*table1 && !*table2 && !*fig8 && !*build
@@ -146,6 +150,112 @@ func main() {
 			ringSys = harness.NewRing(g, ring.WaveletMatrix)
 		}
 		runServicePool(ringSys, qs, *workers, *timeout, *limit)
+	}
+
+	if *shards > 1 {
+		runShardComparison(g, qs, *shards, *timeout, *limit)
+	}
+}
+
+// runShardComparison replays the query log on the single-ring engine
+// and on a K-shard sharded engine, verifying the result counts agree
+// and reporting latency side by side — overall and on the
+// closure-heavy subset (expressions with * or +), where the
+// cooperative per-level shard fan-out has the most work to split.
+func runShardComparison(g *triples.Graph, qs []workload.Query, k int, timeout time.Duration, limit int) {
+	ids := func(s pathexpr.Sym) (uint32, bool) { return g.PredID(s.Name, s.Inverse) }
+	fmt.Printf("shard comparison: single ring vs %d shards, %d queries (timeout %v, limit %d)\n",
+		k, len(qs), timeout, limit)
+	t0 := time.Now()
+	r := ring.New(g, ring.WaveletMatrix)
+	singleBuild := time.Since(t0)
+	t0 = time.Now()
+	set := ring.NewShardSet(g, k, nil, ring.WaveletMatrix)
+	shardBuild := time.Since(t0)
+	fmt.Printf("  build: single %.2fs, %d-shard %.2fs (sub-rings built in parallel)\n",
+		singleBuild.Seconds(), k, shardBuild.Seconds())
+
+	single := core.NewEngine(r, ids)
+	sharded := core.NewShardedEngine(set, ids)
+
+	type class struct {
+		name                 string
+		singleNS, shardedNS  time.Duration
+		n                    int
+	}
+	classes := map[bool]*class{
+		false: {name: "other"},
+		true:  {name: "closure-heavy"},
+	}
+	run := func(e core.Evaluator, q workload.Query) (n int, timedOut bool, d time.Duration) {
+		sid, oid := int64(core.Variable), int64(core.Variable)
+		if q.Subject != "" {
+			id, ok := g.Nodes.Lookup(q.Subject)
+			if !ok {
+				return 0, false, 0
+			}
+			sid = int64(id)
+		}
+		if q.Object != "" {
+			id, ok := g.Nodes.Lookup(q.Object)
+			if !ok {
+				return 0, false, 0
+			}
+			oid = int64(id)
+		}
+		t0 := time.Now()
+		_, err := e.Eval(core.Query{Subject: sid, Expr: q.Expr, Object: oid},
+			core.Options{Limit: limit, Timeout: timeout},
+			func(uint32, uint32) bool { n++; return true })
+		if errors.Is(err, core.ErrTimeout) {
+			timedOut = true
+		} else if err != nil {
+			fmt.Fprintf(os.Stderr, "shard comparison: %s: %v\n", q, err)
+		}
+		return n, timedOut, time.Since(t0)
+	}
+	mismatches, timeouts := 0, 0
+	for _, q := range qs {
+		closureHeavy := strings.ContainsAny(q.Pattern, "*+")
+		c := classes[closureHeavy]
+		n1, to1, d1 := run(single, q)
+		nK, toK, dK := run(sharded, q)
+		switch {
+		case to1 || toK:
+			// A timed-out engine returns a legitimately partial count;
+			// only completed runs are comparable.
+			timeouts++
+		case n1 != nK:
+			mismatches++
+			fmt.Fprintf(os.Stderr, "shard comparison: %s: single %d results, sharded %d\n", q, n1, nK)
+		}
+		c.singleNS += d1
+		c.shardedNS += dK
+		c.n++
+	}
+	if timeouts > 0 {
+		fmt.Printf("  %d queries timed out on at least one engine (excluded from the mismatch check)\n", timeouts)
+	}
+	if mismatches > 0 {
+		fmt.Printf("  RESULT MISMATCHES: %d\n", mismatches)
+	}
+	total := &class{name: "all"}
+	for _, c := range classes {
+		total.singleNS += c.singleNS
+		total.shardedNS += c.shardedNS
+		total.n += c.n
+	}
+	for _, c := range []*class{classes[true], classes[false], total} {
+		if c.n == 0 {
+			continue
+		}
+		speedup := float64(c.singleNS) / float64(c.shardedNS)
+		fmt.Printf("  %-14s %5d queries   single %10s   %d-shard %10s   speedup %.2fx\n",
+			c.name, c.n,
+			(c.singleNS / time.Duration(c.n)).Round(time.Microsecond),
+			k,
+			(c.shardedNS / time.Duration(c.n)).Round(time.Microsecond),
+			speedup)
 	}
 }
 

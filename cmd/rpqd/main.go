@@ -5,10 +5,16 @@
 //
 // Usage:
 //
-//	rpqd -data graph.nt [-addr :8080] [-workers N] [-queue N]
+//	rpqd -data graph.nt [-shards K] [-addr :8080] [-workers N] [-queue N]
 //	     [-timeout D] [-limit N] [-expr-cache N]
 //	     [-result-cache N] [-result-cache-bytes N]
 //	rpqd -index graph.ring ...
+//
+// With -shards K the index is partitioned into K sub-rings built in
+// parallel; queries whose expressions span shards are evaluated with
+// intra-query shard parallelism, composing with the worker pool. A
+// serialised index loaded with -index keeps whatever layout (rdb1
+// single ring or rdbs1 sharded) it was saved with.
 //
 // Endpoints:
 //
@@ -43,6 +49,7 @@ func main() {
 	var (
 		data     = flag.String("data", "", "triple file to load")
 		index    = flag.String("index", "", "serialised index to load (instead of -data)")
+		shards   = flag.Int("shards", 0, "partition a -data build into this many sub-rings (0/1 = single ring; ignored with -index, whose file fixes the layout)")
 		addr     = flag.String("addr", ":8080", "listen address")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		queue    = flag.Int("queue", 0, "request queue depth (0 = 4×workers)")
@@ -59,7 +66,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	db, err := loadDB(*data, *index)
+	db, err := loadDB(*data, *index, *shards)
 	if err != nil {
 		fatal(err)
 	}
@@ -108,9 +115,10 @@ func main() {
 	}
 }
 
-// loadDB builds the database from a triple file or loads a serialised
-// index.
-func loadDB(data, index string) (*ringrpq.DB, error) {
+// loadDB builds the database from a triple file (optionally sharded)
+// or loads a serialised index, whose on-disk format — rdb1 or rdbs1 —
+// determines the layout.
+func loadDB(data, index string, shards int) (*ringrpq.DB, error) {
 	start := time.Now()
 	if index != "" {
 		f, err := os.Open(index)
@@ -122,7 +130,7 @@ func loadDB(data, index string) (*ringrpq.DB, error) {
 		if err != nil {
 			return nil, err
 		}
-		fmt.Fprintf(os.Stderr, "rpqd: loaded index in %v\n", time.Since(start))
+		fmt.Fprintf(os.Stderr, "rpqd: loaded index (%d shard(s)) in %v\n", db.Shards(), time.Since(start))
 		return db, nil
 	}
 	f, err := os.Open(data)
@@ -130,7 +138,7 @@ func loadDB(data, index string) (*ringrpq.DB, error) {
 		return nil, err
 	}
 	defer f.Close()
-	b := ringrpq.NewBuilder()
+	b := ringrpq.NewBuilderWithConfig(ringrpq.BuilderConfig{Shards: shards})
 	if err := b.Load(f); err != nil {
 		return nil, err
 	}
@@ -138,7 +146,7 @@ func loadDB(data, index string) (*ringrpq.DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	fmt.Fprintf(os.Stderr, "rpqd: indexed in %v\n", time.Since(start))
+	fmt.Fprintf(os.Stderr, "rpqd: indexed (%d shard(s)) in %v\n", db.Shards(), time.Since(start))
 	return db, nil
 }
 

@@ -1,0 +1,816 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"ringrpq/internal/glushkov"
+	"ringrpq/internal/lazy"
+	"ringrpq/internal/pathexpr"
+	"ringrpq/internal/ring"
+	"ringrpq/internal/wavelet"
+)
+
+// Evaluator is the query-evaluation capability shared by the
+// single-ring Engine and the ShardedEngine; the public DB selects one
+// at build/load time.
+type Evaluator interface {
+	Eval(q Query, opts Options, emit EmitFunc) (Stats, error)
+}
+
+// ShardedEngine evaluates 2RPQs over a ring.ShardSet.
+//
+// Because a matching path may use edges of several shards, the query
+// cannot simply be evaluated per shard and the results unioned. Two
+// strategies keep evaluation exact:
+//
+//   - Routing: when every predicate the expression mentions maps to the
+//     same shard, every edge of every matching path lives there, and the
+//     whole query is delegated to that shard's ordinary Engine (§5 fast
+//     paths included). Single-predicate queries — the bulk of real logs —
+//     always take this path.
+//
+//   - Cooperative traversal: otherwise the product-graph BFS of §4 runs
+//     level-synchronised across shards. Each level, every shard expands
+//     the shared frontier over its own sub-ring concurrently (parts 1–2
+//     with per-shard B[v]/D[v] masks); a single-threaded merge then
+//     deduplicates discoveries against a global per-node visited mask,
+//     emits sources, and forms the next frontier. This explores exactly
+//     the product subgraph G'_E of the union graph — the per-shard D
+//     marks only prune locally re-discovered subjects, and the global
+//     mask decides novelty — so the result set matches the unsharded
+//     engine's.
+//
+// Expressions beyond the 64-state bit-parallel engine fall back to a
+// sequential multiword BFS that steps through every shard in turn
+// (correct, not parallel; such expressions are vanishingly rare).
+//
+// Like Engine, a ShardedEngine owns reusable working arrays and must
+// not be used concurrently; build one per worker. Within one
+// evaluation it fans out across shards with goroutines of its own.
+type ShardedEngine struct {
+	set *ring.ShardSet
+	ids glushkov.SymbolIDs
+
+	// engines holds per-shard delegation engines, created on first
+	// route to the shard.
+	engines []*Engine
+	// workers drive the cooperative traversal, one per shard.
+	workers []*shardWorker
+	// d is the global visited-state mask per graph node: the merge-side
+	// source of truth the per-shard D[v] marks approximate.
+	d *lazy.MaskArray
+
+	compiled map[string]compiledAutomaton
+
+	// parallel enables the per-level shard fan-out goroutines.
+	parallel bool
+
+	frontier, next []queueItem
+
+	// per-evaluation state (mirrors Engine)
+	stats    Stats
+	deadline time.Time
+	steps    int
+	emit     EmitFunc
+	limit    int
+	noMarks  bool
+}
+
+var _ Evaluator = (*ShardedEngine)(nil)
+var _ Evaluator = (*Engine)(nil)
+
+// NewShardedEngine builds an evaluation engine over set. The ids
+// function resolves predicate occurrences exactly as for NewEngine.
+func NewShardedEngine(set *ring.ShardSet, ids glushkov.SymbolIDs) *ShardedEngine {
+	e := &ShardedEngine{
+		set:      set,
+		ids:      ids,
+		engines:  make([]*Engine, set.K),
+		workers:  make([]*shardWorker, set.K),
+		d:        lazy.NewMaskArray(set.NumNodes),
+		parallel: set.K > 1 && runtime.GOMAXPROCS(0) > 1,
+	}
+	for i, r := range set.Shards {
+		e.workers[i] = newShardWorker(r)
+	}
+	return e
+}
+
+// WorkingSizeBytes reports the per-query working-array footprint across
+// all shards (the sharded analogue of Engine.WorkingSizeBytes).
+func (e *ShardedEngine) WorkingSizeBytes() int {
+	sz := e.d.SizeBytes()
+	for _, w := range e.workers {
+		sz += w.bNode.SizeBytes() + w.dNode.SizeBytes()
+	}
+	return sz
+}
+
+// Eval evaluates q with the same contract as Engine.Eval: distinct
+// result pairs, ErrTimeout on an exceeded deadline (partial results
+// remain valid). Result order is unspecified and generally differs
+// from the unsharded engine's; the result set does not. Options.DFS is
+// ignored (the cooperative traversal is inherently level-ordered).
+func (e *ShardedEngine) Eval(q Query, opts Options, emit EmitFunc) (Stats, error) {
+	if shard, ok := e.route(q.Expr); ok {
+		return e.engineFor(shard).Eval(q, opts, emit)
+	}
+	e.stats = Stats{}
+	e.steps = 0
+	e.limit = opts.Limit
+	e.noMarks = opts.DisableNodeMarks
+	if opts.Timeout > 0 {
+		e.deadline = time.Now().Add(opts.Timeout)
+	} else {
+		e.deadline = time.Time{}
+	}
+	e.emit = func(s, o uint32) bool {
+		e.stats.Results++
+		if !emit(s, o) {
+			return false
+		}
+		return e.limit == 0 || e.stats.Results < e.limit
+	}
+
+	err := e.coopDispatch(q)
+	if errors.Is(err, errLimit) {
+		err = nil
+	}
+	return e.stats, err
+}
+
+// route reports the one shard that holds every edge a path matching
+// expr could use, when such a shard exists. Unknown predicates match
+// nothing and do not constrain the choice; expressions mentioning no
+// known predicate (empty or ε-only languages) evaluate correctly on
+// any shard because all shards share the global node space.
+func (e *ShardedEngine) route(expr pathexpr.Node) (int, bool) {
+	if e.set.K == 1 {
+		return 0, true
+	}
+	if pathexpr.HasNegSets(expr) {
+		// A negated property set may read any predicate outside its
+		// exclusion list, which spans shards in general.
+		return 0, false
+	}
+	shard := -1
+	for _, s := range pathexpr.Predicates(expr) {
+		id, ok := e.ids(s)
+		if !ok {
+			continue
+		}
+		k := e.set.ShardFor(id)
+		if shard == -1 {
+			shard = k
+			continue
+		}
+		if shard != k {
+			return 0, false
+		}
+	}
+	if shard == -1 {
+		shard = 0
+	}
+	return shard, true
+}
+
+// engineFor returns the shard's delegation engine, building it on
+// first use.
+func (e *ShardedEngine) engineFor(k int) *Engine {
+	if e.engines[k] == nil {
+		e.engines[k] = NewEngine(e.set.Shards[k], e.ids)
+	}
+	return e.engines[k]
+}
+
+// coopDispatch routes a multi-shard query to the cooperative variants
+// of the §4 algorithm (the §5 fast-path shapes mention at most two
+// predicates; whenever those share a shard the query was already
+// delegated above, so no sharded fast paths are needed for them).
+func (e *ShardedEngine) coopDispatch(q Query) error {
+	switch {
+	case q.Object != Variable && q.Subject == Variable:
+		return e.coopToConst(q.Expr, uint32(q.Object), false)
+	case q.Subject != Variable && q.Object == Variable:
+		return e.coopToConst(pathexpr.InverseOf(q.Expr), uint32(q.Subject), true)
+	case q.Subject != Variable && q.Object != Variable:
+		return e.coopBothConst(q.Expr, uint32(q.Subject), uint32(q.Object))
+	default:
+		return e.coopBothVar(q.Expr)
+	}
+}
+
+// compile memoises Glushkov compilations exactly like Engine.compile.
+func (e *ShardedEngine) compile(expr pathexpr.Node) compiledAutomaton {
+	key := pathexpr.String(expr)
+	if c, ok := e.compiled[key]; ok {
+		return c
+	}
+	a := glushkov.Build(expr, e.ids)
+	eng, err := glushkov.NewEngineFor(a, e.set.NumPreds)
+	if err != nil {
+		eng = nil // fall back to the multiword path
+	}
+	c := compiledAutomaton{a: a, eng: eng}
+	if e.compiled == nil || len(e.compiled) >= maxCompiled {
+		e.compiled = make(map[string]compiledAutomaton, 16)
+	}
+	e.compiled[key] = c
+	return c
+}
+
+// prepareNarrow compiles expr and readies every shard worker (B[v]
+// seeding, mark resets). A nil return selects the multiword fallback.
+func (e *ShardedEngine) prepareNarrow(expr pathexpr.Node) *glushkov.Engine {
+	c := e.compile(expr)
+	if c.eng == nil {
+		return nil
+	}
+	e.d.Reset()
+	for _, w := range e.workers {
+		w.prepare(c.eng, e.deadline, e.noMarks)
+	}
+	return c.eng
+}
+
+// releaseAll folds the workers' traversal statistics into the
+// evaluation stats and resets their working arrays in O(1).
+func (e *ShardedEngine) releaseAll() {
+	for _, w := range e.workers {
+		e.stats.ProductEdges += w.stats.ProductEdges
+		e.stats.WaveletVisits += w.stats.WaveletVisits
+		w.release()
+	}
+}
+
+// resetVisited clears the visited marks (global and per shard) between
+// the per-start traversals of a v→v query, keeping the B[v] seeds.
+func (e *ShardedEngine) resetVisited() {
+	e.d.Reset()
+	for _, w := range e.workers {
+		w.dNode.Reset()
+		w.markPads()
+	}
+}
+
+// seed records the traversal origin o as visited with the final states
+// and makes it the initial frontier.
+func (e *ShardedEngine) seed(eng *glushkov.Engine, o uint32) {
+	e.d.Set(int(o), eng.F)
+	for _, w := range e.workers {
+		w.markSubject(w.r.Ls.LeafID(o), eng.F)
+	}
+	e.frontier = append(e.frontier[:0], queueItem{o, eng.F})
+}
+
+// coopToConst is the cooperative evalToConst: (x, E, o), or the
+// (s, E, y) rewriting when swap is set.
+func (e *ShardedEngine) coopToConst(expr pathexpr.Node, o uint32, swap bool) error {
+	report := func(r uint32) bool {
+		if swap {
+			return e.emit(o, r)
+		}
+		return e.emit(r, o)
+	}
+	eng := e.prepareNarrow(expr)
+	if eng == nil {
+		return e.wideCoopToConst(expr, o, swap)
+	}
+	defer e.releaseAll()
+	if int(o) >= e.set.NumNodes {
+		return nil
+	}
+	if eng.A.Nullable {
+		if !report(o) {
+			return errLimit
+		}
+	}
+	e.seed(eng, o)
+	return e.runCooperative(eng, 0, report)
+}
+
+// coopBothConst is the cooperative evalBothConst: stop at the first
+// path between the fixed endpoints.
+func (e *ShardedEngine) coopBothConst(expr pathexpr.Node, s, o uint32) error {
+	eng := e.prepareNarrow(expr)
+	if eng == nil {
+		return e.wideCoopBothConst(expr, s, o)
+	}
+	defer e.releaseAll()
+	if int(o) >= e.set.NumNodes || int(s) >= e.set.NumNodes {
+		return nil
+	}
+	if eng.A.Nullable && s == o {
+		e.emit(s, o)
+		return nil
+	}
+	found := false
+	report := func(got uint32) bool {
+		if got == s {
+			found = true
+			e.emit(s, o)
+			return false
+		}
+		return true
+	}
+	e.seed(eng, o)
+	err := e.runCooperative(eng, 0, report)
+	if found && errors.Is(err, errLimit) {
+		err = nil
+	}
+	return err
+}
+
+// coopBothVar is the cooperative evalBothVar: a full-range phase
+// collects candidate endpoints, then one constrained traversal runs per
+// candidate (each of which again fans out across shards).
+func (e *ShardedEngine) coopBothVar(expr pathexpr.Node) error {
+	a := e.compile(expr).a
+	if a.Nullable {
+		for v := 0; v < e.set.NumNodes; v++ {
+			if !e.emit(uint32(v), uint32(v)) {
+				return errLimit
+			}
+		}
+	}
+
+	fromObjects := e.startFromObjects(a)
+	phase1Expr := expr
+	if fromObjects {
+		phase1Expr = pathexpr.InverseOf(expr)
+	}
+	var starts []uint32
+	collect := func(s uint32) bool {
+		starts = append(starts, s)
+		return true
+	}
+	if err := e.coopFullRangeSources(phase1Expr, collect); err != nil {
+		return err
+	}
+
+	nullable := a.Nullable
+	expr2 := expr
+	if !fromObjects {
+		expr2 = pathexpr.InverseOf(expr)
+	}
+	report2 := func(s uint32) func(uint32) bool {
+		if fromObjects {
+			return func(src uint32) bool {
+				if nullable && src == s {
+					return true // (s,s) already emitted
+				}
+				return e.emit(src, s)
+			}
+		}
+		return func(o uint32) bool {
+			if nullable && o == s {
+				return true
+			}
+			return e.emit(s, o)
+		}
+	}
+
+	eng2 := e.prepareNarrow(expr2)
+	if eng2 == nil {
+		for _, s := range starts {
+			if err := e.wideCoopRunToConst(expr2, s, report2(s)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	defer e.releaseAll()
+	for _, s := range starts {
+		e.resetVisited()
+		e.seed(eng2, s)
+		if err := e.runCooperative(eng2, 0, report2(s)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// coopFullRangeSources runs the full-range phase of a v→v query over
+// every shard's complete L_p range.
+func (e *ShardedEngine) coopFullRangeSources(expr pathexpr.Node, report func(uint32) bool) error {
+	eng := e.prepareNarrow(expr)
+	if eng == nil {
+		return e.wideCoopFullRangeSources(expr, report)
+	}
+	defer e.releaseAll()
+	base := eng.F &^ eng.Init
+	e.frontier = e.frontier[:0]
+	e.forEachWorker(func(w *shardWorker) {
+		if w.r.N > 0 {
+			w.runFull(eng, base)
+		}
+	})
+	if err := e.collect(eng, base, report); err != nil {
+		return err
+	}
+	return e.runCooperative(eng, base, report)
+}
+
+// startFromObjects mirrors Engine.startFromObjects using the shard
+// set's global predicate cardinalities.
+func (e *ShardedEngine) startFromObjects(a *glushkov.Automaton) bool {
+	count := func(positions []int32) int {
+		total := 0
+		for _, j := range positions {
+			c := a.Syms[j-1]
+			if c == glushkov.NoSymbol {
+				continue
+			}
+			total += e.set.PredCount(c)
+		}
+		return total
+	}
+	return count(a.Follow[0]) < count(a.Last)
+}
+
+// runCooperative drains the frontier level by level: every shard
+// expands the whole frontier over its own sub-ring (concurrently when
+// enabled), then the single-threaded merge dedups, emits and builds the
+// next frontier.
+func (e *ShardedEngine) runCooperative(eng *glushkov.Engine, base uint64, report func(uint32) bool) error {
+	for len(e.frontier) > 0 {
+		if err := e.checkDeadline(); err != nil {
+			return err
+		}
+		frontier := e.frontier
+		e.forEachWorker(func(w *shardWorker) {
+			w.runLevel(eng, frontier, base)
+		})
+		if err := e.collect(eng, base, report); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// forEachWorker applies f to every shard worker, concurrently when the
+// engine runs parallel. f must only touch its worker's private state.
+func (e *ShardedEngine) forEachWorker(f func(*shardWorker)) {
+	if !e.parallel {
+		for _, w := range e.workers {
+			f(w)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, w := range e.workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f(w)
+		}()
+	}
+	wg.Wait()
+}
+
+// collect merges the shards' level discoveries: globally-new states are
+// recorded in the per-node mask, sources are reported once, and
+// remaining new states form the next frontier. Running single-threaded
+// keeps emission and dedup free of locks.
+func (e *ShardedEngine) collect(eng *glushkov.Engine, base uint64, report func(uint32) bool) error {
+	for _, w := range e.workers {
+		if w.err != nil {
+			return w.err
+		}
+	}
+	e.next = e.next[:0]
+	var failure error
+	for _, w := range e.workers {
+		if failure == nil {
+			for _, it := range w.found {
+				fresh := it.d &^ (e.d.Get(int(it.node)) | base)
+				if fresh == 0 {
+					continue
+				}
+				e.d.Or(int(it.node), fresh)
+				e.stats.ProductNodes++
+				if fresh&eng.Init != 0 {
+					if !report(it.node) {
+						failure = errLimit
+						break
+					}
+					fresh &^= eng.Init // the initial state has no incoming work
+				}
+				if fresh != 0 {
+					e.next = append(e.next, queueItem{it.node, fresh})
+				}
+			}
+		}
+		w.found = w.found[:0]
+	}
+	e.frontier, e.next = e.next, e.frontier
+	return failure
+}
+
+func (e *ShardedEngine) checkDeadline() error {
+	e.steps++
+	if e.deadline.IsZero() || e.steps%64 != 0 {
+		return nil
+	}
+	if time.Now().After(e.deadline) {
+		return ErrTimeout
+	}
+	return nil
+}
+
+// shardWorker owns one shard's traversal state: the per-wavelet-node
+// B[v] and D[v] masks of §4.1–4.2 over the shard's own sequences, and
+// the discovery list handed to the merge after each level. Workers
+// never emit or dedup globally — that is the merge's job — so a level
+// can run on all shards concurrently without locks.
+type shardWorker struct {
+	r            *ring.Ring
+	bNode, dNode *lazy.MaskArray
+	lsPads       []wavelet.NodeID
+
+	// found accumulates this level's (subject, states) discoveries.
+	found []queueItem
+
+	stats    Stats
+	steps    int
+	deadline time.Time
+	noMarks  bool
+	err      error
+}
+
+func newShardWorker(r *ring.Ring) *shardWorker {
+	return &shardWorker{
+		r:      r,
+		bNode:  lazy.NewMaskArray(r.Lp.NumNodes()),
+		dNode:  lazy.NewMaskArray(r.Ls.NumNodes()),
+		lsPads: r.Ls.PadNodes(),
+	}
+}
+
+// prepare readies the worker for one query: reset masks and counters,
+// seed the B[v] masks for eng, and pre-mark padding subtrees.
+func (w *shardWorker) prepare(eng *glushkov.Engine, deadline time.Time, noMarks bool) {
+	w.bNode.Reset()
+	w.dNode.Reset()
+	w.found = w.found[:0]
+	w.stats = Stats{}
+	w.steps = 0
+	w.deadline = deadline
+	w.noMarks = noMarks
+	w.err = nil
+	for c, mask := range eng.B {
+		for id := w.r.Lp.LeafID(c); id >= 1; id = id.Parent() {
+			w.bNode.Or(int(id), mask)
+		}
+	}
+	w.markPads()
+}
+
+func (w *shardWorker) release() {
+	w.bNode.Reset()
+	w.dNode.Reset()
+	w.found = w.found[:0]
+}
+
+func (w *shardWorker) markPads() {
+	for _, id := range w.lsPads {
+		w.dNode.Set(int(id), ^uint64(0))
+	}
+}
+
+// markSubject mirrors Engine.markSubject on the shard's L_s tree.
+func (w *shardWorker) markSubject(leaf wavelet.NodeID, states uint64) {
+	w.dNode.Or(int(leaf), states)
+	if w.noMarks {
+		return
+	}
+	for id := leaf.Parent(); id >= 1; id = id.Parent() {
+		v := w.dNode.Get(int(2*id)) & w.dNode.Get(int(2*id+1))
+		if v == w.dNode.Get(int(id)) {
+			break
+		}
+		w.dNode.Set(int(id), v)
+	}
+}
+
+// runLevel expands every frontier item over this shard.
+func (w *shardWorker) runLevel(eng *glushkov.Engine, frontier []queueItem, base uint64) {
+	if w.err != nil {
+		return
+	}
+	for _, it := range frontier {
+		b, end := w.r.ObjectRange(it.node)
+		if b == end {
+			continue
+		}
+		if err := w.step(eng, b, end, it.d, base); err != nil {
+			w.err = err
+			return
+		}
+	}
+}
+
+// runFull is the level-0 expansion of a v→v query: one step over the
+// shard's whole L_p.
+func (w *shardWorker) runFull(eng *glushkov.Engine, base uint64) {
+	if w.err != nil {
+		return
+	}
+	if err := w.step(eng, 0, w.r.N, eng.F, base); err != nil {
+		w.err = err
+	}
+}
+
+// step is Engine.step over the shard's sequences, with discoveries
+// collected instead of enqueued.
+func (w *shardWorker) step(eng *glushkov.Engine, b, end int, d, base uint64) error {
+	if err := w.checkDeadline(); err != nil {
+		return err
+	}
+	negFwd, negInv := eng.NegClassBits()
+	half := w.r.NumPreds / 2
+	w.r.Lp.Traverse(b, end, func(node wavelet.NodeID, leaf bool, p uint32, rb, re int, full bool) bool {
+		w.stats.WaveletVisits++
+		if !leaf {
+			if d&w.bNode.Get(int(node)) != 0 {
+				return true
+			}
+			if negFwd|negInv == 0 {
+				return false
+			}
+			lo, hi := w.r.Lp.SymRange(node)
+			var cb uint64
+			if lo < half {
+				cb |= negFwd
+			}
+			if hi > half {
+				cb |= negInv
+			}
+			return d&cb != 0
+		}
+		bp := eng.BFor(p)
+		if d&bp == 0 {
+			return true
+		}
+		w.stats.ProductEdges++
+		d2 := eng.Trev(d & bp)
+		if d2 == 0 {
+			return true
+		}
+		w.part2(eng, w.r.Cp[p]+rb, w.r.Cp[p]+re, d2, base)
+		return true
+	})
+	return nil
+}
+
+// part2 mirrors Engine.part2: enumerate the subjects of L_s[b, end)
+// that still have locally-unvisited states, mark them, and record the
+// discovery for the merge.
+func (w *shardWorker) part2(eng *glushkov.Engine, b, end int, d2, base uint64) {
+	w.r.Ls.Traverse(b, end, func(node wavelet.NodeID, leaf bool, s uint32, rb, re int, full bool) bool {
+		w.stats.WaveletVisits++
+		visited := w.dNode.Get(int(node)) | base
+		if !leaf {
+			if w.noMarks {
+				return true
+			}
+			return d2&^visited != 0
+		}
+		if d2&^visited == 0 {
+			return true
+		}
+		w.markSubject(node, d2)
+		w.found = append(w.found, queueItem{s, d2})
+		return true
+	})
+}
+
+func (w *shardWorker) checkDeadline() error {
+	w.steps++
+	if w.deadline.IsZero() || w.steps%64 != 0 {
+		return nil
+	}
+	if time.Now().After(w.deadline) {
+		return ErrTimeout
+	}
+	return nil
+}
+
+// --- multiword (wide) fallback ---------------------------------------
+//
+// Expressions with more than 63 positions reuse the wideState machinery
+// of the single-ring engine, but each dequeued (node, states) item is
+// stepped through every shard in turn. The visited map is global, so
+// this is the plain §4 traversal of the union graph; it runs
+// sequentially (the multiword path has no per-shard masks to keep
+// coherent, and such expressions are vanishingly rare in real logs).
+
+func (e *ShardedEngine) newWideState(expr pathexpr.Node) *wideState {
+	a := e.compile(expr).a
+	return &wideState{
+		eng:     glushkov.NewWideFor(a, e.set.NumPreds),
+		visited: make(map[uint32]glushkov.Mask),
+	}
+}
+
+func (e *ShardedEngine) wideCoopToConst(expr pathexpr.Node, o uint32, swap bool) error {
+	emit := func(r uint32) bool {
+		if swap {
+			return e.emit(o, r)
+		}
+		return e.emit(r, o)
+	}
+	if int(o) >= e.set.NumNodes {
+		return nil
+	}
+	w := e.newWideState(expr)
+	if w.eng.A.Nullable {
+		if !emit(o) {
+			return errLimit
+		}
+	}
+	w.visited[o] = w.eng.F.Clone()
+	w.queue = append(w.queue, o)
+	w.states = append(w.states, w.eng.F.Clone())
+	return e.wideCoopBFS(w, nil, emit)
+}
+
+func (e *ShardedEngine) wideCoopRunToConst(expr pathexpr.Node, o uint32, emit func(uint32) bool) error {
+	w := e.newWideState(expr)
+	w.visited[o] = w.eng.F.Clone()
+	w.queue = append(w.queue, o)
+	w.states = append(w.states, w.eng.F.Clone())
+	return e.wideCoopBFS(w, nil, emit)
+}
+
+func (e *ShardedEngine) wideCoopBothConst(expr pathexpr.Node, s, o uint32) error {
+	if int(o) >= e.set.NumNodes || int(s) >= e.set.NumNodes {
+		return nil
+	}
+	w := e.newWideState(expr)
+	if w.eng.A.Nullable && s == o {
+		e.emit(s, o)
+		return nil
+	}
+	w.visited[o] = w.eng.F.Clone()
+	w.queue = append(w.queue, o)
+	w.states = append(w.states, w.eng.F.Clone())
+	found := false
+	err := e.wideCoopBFS(w, nil, func(r uint32) bool {
+		if r == s {
+			found = true
+			e.emit(s, o)
+			return false
+		}
+		return true
+	})
+	if found && errors.Is(err, errLimit) {
+		err = nil
+	}
+	return err
+}
+
+func (e *ShardedEngine) wideCoopFullRangeSources(expr pathexpr.Node, emit func(uint32) bool) error {
+	w := e.newWideState(expr)
+	base := w.eng.F.Clone()
+	if base.Test(0) {
+		base[0] &^= 1 // keep the initial state reportable
+	}
+	for _, shard := range e.set.Shards {
+		if shard.N == 0 {
+			continue
+		}
+		if err := e.wideStepOn(shard, w, 0, shard.N, w.eng.F, base, emit); err != nil {
+			return err
+		}
+	}
+	return e.wideCoopBFS(w, base, emit)
+}
+
+func (e *ShardedEngine) wideCoopBFS(w *wideState, base glushkov.Mask, emit func(uint32) bool) error {
+	for head := 0; head < len(w.queue); head++ {
+		node, d := w.queue[head], w.states[head]
+		for _, shard := range e.set.Shards {
+			b, end := shard.ObjectRange(node)
+			if b == end {
+				continue
+			}
+			if err := e.wideStepOn(shard, w, b, end, d, base, emit); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// wideStepOn steps one shard, sharing wideStepOn of wide.go (the
+// wideState, and hence the visited map, spans all shards).
+func (e *ShardedEngine) wideStepOn(r *ring.Ring, w *wideState, b, end int, d, base glushkov.Mask, emit func(uint32) bool) error {
+	if err := e.checkDeadline(); err != nil {
+		return err
+	}
+	return wideStepOn(r, w, b, end, d, base, &e.stats, emit)
+}

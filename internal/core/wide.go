@@ -5,6 +5,7 @@ import (
 
 	"ringrpq/internal/glushkov"
 	"ringrpq/internal/pathexpr"
+	"ringrpq/internal/ring"
 	"ringrpq/internal/wavelet"
 )
 
@@ -139,35 +140,43 @@ func (e *Engine) wideBFSBase(w *wideState, base glushkov.Mask, emit func(uint32)
 	return nil
 }
 
-// wideStep is the multiword analogue of step+part2: part 1 enumerates all
-// distinct predicates of the range (no B[v] pruning) and filters by B[p];
-// part 2 enumerates distinct subjects and dedups against the visited map.
+// wideStep runs wideStepOn over the engine's single ring.
 func (e *Engine) wideStep(w *wideState, b, end int, d, base glushkov.Mask, emit func(uint32) bool) error {
 	if err := e.checkDeadline(); err != nil {
 		return err
 	}
+	return wideStepOn(e.r, w, b, end, d, base, &e.stats, emit)
+}
+
+// wideStepOn is the multiword analogue of step+part2 over one ring
+// (the single engine's, or one shard of the sharded engine — the
+// wideState, and hence the visited map, may span several rings):
+// part 1 enumerates all distinct predicates of the range (no B[v]
+// pruning) and filters by B[p]; part 2 enumerates distinct subjects and
+// dedups against the visited map.
+func wideStepOn(r *ring.Ring, w *wideState, b, end int, d, base glushkov.Mask, stats *Stats, emit func(uint32) bool) error {
 	d2 := w.eng.NewMask()
 	var failure error
-	wavelet.RangeDistinct(e.r.Lp, b, end, func(p uint32, rb, re int) {
+	wavelet.RangeDistinct(r.Lp, b, end, func(p uint32, rb, re int) {
 		if failure != nil {
 			return
 		}
-		e.stats.WaveletVisits++
+		stats.WaveletVisits++
 		bp := w.eng.BFor(p)
 		if bp == nil || !d.Intersects(bp) {
 			return
 		}
-		e.stats.ProductEdges++
+		stats.ProductEdges++
 		w.eng.StepRevInto(d2, d, p)
 		if !d2.Any() {
 			return
 		}
-		lsB, lsE := e.r.Cp[p]+rb, e.r.Cp[p]+re
-		wavelet.RangeDistinct(e.r.Ls, lsB, lsE, func(s uint32, _, _ int) {
+		lsB, lsE := r.Cp[p]+rb, r.Cp[p]+re
+		wavelet.RangeDistinct(r.Ls, lsB, lsE, func(s uint32, _, _ int) {
 			if failure != nil {
 				return
 			}
-			e.stats.WaveletVisits++
+			stats.WaveletVisits++
 			cand := d2.Clone()
 			if base != nil {
 				cand.AndNot(base)
@@ -176,7 +185,7 @@ func (e *Engine) wideStep(w *wideState, b, end int, d, base glushkov.Mask, emit 
 			if fresh == nil {
 				return
 			}
-			e.stats.ProductNodes++
+			stats.ProductNodes++
 			if fresh.Test(0) && !emit(s) {
 				failure = errLimit
 			}

@@ -1,0 +1,54 @@
+package pathexpr
+
+import "testing"
+
+// FuzzParseExpr feeds arbitrary source text to the 2RPQ expression
+// parser: it must either fail with an error or produce an AST whose
+// canonical rendering round-trips through the parser to the same
+// canonical form. It must never panic, whatever the input.
+//
+// Run with: go test -run NONE -fuzz FuzzParseExpr ./internal/pathexpr
+func FuzzParseExpr(f *testing.F) {
+	for _, seed := range []string{
+		"p",
+		"^p",
+		"p1/p2",
+		"a|b|c",
+		"(l1|l2|l5)+",
+		"p*",
+		"p+?",
+		"((a/b)|^c)*",
+		"<http://example.org/p>",
+		"!p",
+		"!(a|^b)",
+		"()",
+		"()?",
+		"^(a/b)",
+		"a//b",
+		"(((",
+		"a|",
+		"!",
+		"<>",
+		"<unterminated",
+		"^",
+		"  a  /  b  ",
+		"\x00\xff",
+		"pé",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Parse(src)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		canon := String(n)
+		n2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", canon, src, err)
+		}
+		if got := String(n2); got != canon {
+			t.Fatalf("canonical form not a fixpoint: %q -> %q -> %q", src, canon, got)
+		}
+	})
+}

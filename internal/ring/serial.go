@@ -58,6 +58,18 @@ func Decode(rd *serial.Reader) (*Ring, error) {
 			return nil, fmt.Errorf("ring: sequence %d length %d, want %d", i, seqs[i].Len(), r.N)
 		}
 	}
+	// The C-array rebuild below allocates O(NumNodes + NumPreds); tie
+	// those header counts to the sequences' alphabets (whose own counts
+	// arrays were materialised from real input bytes) so a corrupt
+	// header cannot demand an unbounded allocation, and so every id the
+	// engine derives from a C array is a valid wavelet symbol.
+	if int64(seqs[0].Sigma()) != int64(r.NumNodes) || int64(seqs[1].Sigma()) != int64(r.NumNodes) {
+		return nil, fmt.Errorf("ring: node alphabets (%d, %d) disagree with header %d",
+			seqs[0].Sigma(), seqs[1].Sigma(), r.NumNodes)
+	}
+	if seqs[2].Sigma() != r.NumPreds {
+		return nil, fmt.Errorf("ring: predicate alphabet %d disagrees with header %d", seqs[2].Sigma(), r.NumPreds)
+	}
 	r.Lo, r.Ls, r.Lp = seqs[0], seqs[1], seqs[2]
 
 	// C arrays are the CountBelow prefix sums of the aligned sequences:

@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 )
 
 // Writer wraps a buffered writer with error-latching write helpers.
@@ -100,6 +101,12 @@ func (w *Writer) String(s string) {
 	_, w.err = w.w.WriteString(s)
 }
 
+// maxPrealloc caps slice preallocation from untrusted length prefixes:
+// decoders may only reserve this much up front and must otherwise grow
+// with the bytes actually read, so a corrupt length cannot force an
+// allocation larger than the input itself.
+const maxPrealloc = 1 << 20
+
 // Reader wraps a buffered reader with error-latching read helpers.
 type Reader struct {
 	r   *bufio.Reader
@@ -112,19 +119,34 @@ func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReader(r)} }
 // Err returns the latched error.
 func (r *Reader) Err() error { return r.err }
 
+// Fail latches err (first failure wins), so decoders that detect
+// inconsistencies beyond raw read errors poison the reader the same
+// way.
+func (r *Reader) Fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
 // Magic reads and checks a 4-byte section tag.
 func (r *Reader) Magic(tag string) {
+	if got := r.Tag(); r.err == nil && got != tag {
+		r.err = fmt.Errorf("serial: bad magic %q, want %q", got, tag)
+	}
+}
+
+// Tag reads a 4-byte section tag and returns it, for callers that
+// dispatch on the tag instead of expecting a fixed one.
+func (r *Reader) Tag() string {
 	if r.err != nil {
-		return
+		return ""
 	}
 	var buf [4]byte
 	if _, err := io.ReadFull(r.r, buf[:]); err != nil {
 		r.err = err
-		return
+		return ""
 	}
-	if string(buf[:]) != tag {
-		r.err = fmt.Errorf("serial: bad magic %q, want %q", buf[:], tag)
-	}
+	return string(buf[:])
 }
 
 // Uint64 reads a fixed 8-byte value.
@@ -153,8 +175,19 @@ func (r *Reader) Uvarint() uint64 {
 	return x
 }
 
-// Int reads a non-negative int.
-func (r *Reader) Int() int { return int(r.Uvarint()) }
+// Int reads a non-negative int, rejecting values that overflow int
+// (a corrupt length prefix must surface as an error, not as a negative
+// length that panics a make() downstream).
+func (r *Reader) Int() int {
+	x := r.Uvarint()
+	if x > math.MaxInt {
+		if r.err == nil {
+			r.err = fmt.Errorf("serial: int overflow %d", x)
+		}
+		return 0
+	}
+	return int(x)
+}
 
 // Uint64s reads a length-prefixed word slice.
 func (r *Reader) Uint64s() []uint64 {
@@ -162,7 +195,6 @@ func (r *Reader) Uint64s() []uint64 {
 	if r.err != nil || n == 0 {
 		return nil
 	}
-	const maxPrealloc = 1 << 20
 	cap := n
 	if cap > maxPrealloc {
 		cap = maxPrealloc
@@ -183,7 +215,6 @@ func (r *Reader) Ints() []int {
 	if r.err != nil || n == 0 {
 		return nil
 	}
-	const maxPrealloc = 1 << 20
 	cap := n
 	if cap > maxPrealloc {
 		cap = maxPrealloc
@@ -198,16 +229,37 @@ func (r *Reader) Ints() []int {
 	return out
 }
 
-// String reads a length-prefixed string.
+// String reads a length-prefixed string. The claimed length is not
+// trusted for allocation: data is read in bounded chunks, so a corrupt
+// or hostile prefix can only make the reader consume (and hold) as many
+// bytes as the input actually contains before erroring out.
 func (r *Reader) String() string {
 	n := r.Int()
 	if r.err != nil {
 		return ""
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r.r, buf); err != nil {
-		r.err = err
-		return ""
+	const maxChunk = maxPrealloc
+	if n <= maxChunk {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r.r, buf); err != nil {
+			r.err = err
+			return ""
+		}
+		return string(buf)
 	}
-	return string(buf)
+	var out []byte
+	chunk := make([]byte, maxChunk)
+	for n > 0 {
+		c := chunk
+		if n < len(c) {
+			c = c[:n]
+		}
+		if _, err := io.ReadFull(r.r, c); err != nil {
+			r.err = err
+			return ""
+		}
+		out = append(out, c...)
+		n -= len(c)
+	}
+	return string(out)
 }

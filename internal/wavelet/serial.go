@@ -41,14 +41,17 @@ func DecodeMatrix(r *serial.Reader) (*Matrix, error) {
 		if r.Err() != nil {
 			return nil, r.Err()
 		}
+		if m.levels[l].Len() != m.n {
+			return nil, fmt.Errorf("wavelet: corrupt level %d length %d, want %d", l, m.levels[l].Len(), m.n)
+		}
 		m.zeros[l] = m.levels[l].Zeros()
 	}
 	m.counts = r.Ints()
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
-	if len(m.counts) != int(m.sigma)+1 {
-		return nil, fmt.Errorf("wavelet: corrupt counts length %d", len(m.counts))
+	if err := checkCounts(m.counts, int(m.sigma), m.n); err != nil {
+		return nil, err
 	}
 	// Rebuild the bottom-level starts (bit-reversal order prefix sums).
 	order := make([]uint32, m.sigma)
@@ -65,6 +68,25 @@ func DecodeMatrix(r *serial.Reader) (*Matrix, error) {
 		pos += m.Count(c)
 	}
 	return m, nil
+}
+
+// checkCounts validates a decoded symbol-count prefix-sum array: one
+// entry per symbol plus a terminator, starting at zero, nondecreasing,
+// and summing to the sequence length. Decoders derive allocation sizes
+// and positions from these, so corrupt counts must be rejected here.
+func checkCounts(counts []int, sigma, n int) error {
+	if len(counts) != sigma+1 {
+		return fmt.Errorf("wavelet: corrupt counts length %d for alphabet %d", len(counts), sigma)
+	}
+	if counts[0] != 0 || counts[sigma] != n {
+		return fmt.Errorf("wavelet: corrupt counts bounds [%d, %d], want [0, %d]", counts[0], counts[sigma], n)
+	}
+	for c := 0; c < sigma; c++ {
+		if counts[c+1] < counts[c] {
+			return fmt.Errorf("wavelet: counts not nondecreasing at symbol %d", c)
+		}
+	}
+	return nil
 }
 
 // Encode writes the tree: counts plus the node bitvectors in heap order
@@ -101,8 +123,15 @@ func DecodeTree(r *serial.Reader) (*Tree, error) {
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
-	if len(t.counts) != int(t.sigma)+1 || t.numIDs < 2 || t.numIDs > 1<<34 {
-		return nil, fmt.Errorf("wavelet: corrupt tree header")
+	if err := checkCounts(t.counts, int(t.sigma), t.n); err != nil {
+		return nil, err
+	}
+	// NewTree allocates 2^(depth+1) node slots for the smallest depth
+	// with 2^depth ≥ sigma, so numIDs never exceeds 4·sigma (and is at
+	// least 2); anything else is corrupt — and would otherwise let a
+	// few header bytes demand an arbitrarily large allocation.
+	if t.numIDs < 2 || t.numIDs > 4*max(int(t.sigma), 1) {
+		return nil, fmt.Errorf("wavelet: corrupt tree node count %d for alphabet %d", t.numIDs, t.sigma)
 	}
 	t.nodes = make([]*bitvec.Vector, t.numIDs)
 	present := r.Int()

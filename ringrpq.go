@@ -33,6 +33,12 @@
 //	defer svc.Close()
 //	sols, err := svc.Query(ctx, "Baquedano", "(l1|l2|l5)+", "?station")
 //
+// For parallel index construction and intra-query parallelism on
+// closure-heavy workloads, the index can be partitioned into sub-rings
+// with NewBuilderWithConfig(BuilderConfig{Shards: K}); queries, saving
+// and loading are transparent to the layout (see the README's sharded
+// mode section).
+//
 // Command rpqd serves the same API over HTTP.
 package ringrpq
 
@@ -62,19 +68,44 @@ const (
 	WaveletTree   = ring.WaveletTree
 )
 
-// Builder accumulates triples before indexing.
-type Builder struct {
-	b      *triples.Builder
-	layout Layout
+// BuilderConfig tunes index construction. The zero value builds the
+// default single-ring index with the wavelet-matrix layout.
+type BuilderConfig struct {
+	// Layout selects the wavelet representation of the ring sequences.
+	Layout Layout
+	// Shards partitions the triples across this many sub-rings that are
+	// built — and, for queries whose expressions span shards, traversed
+	// — in parallel. 0 or 1 builds the classic single ring. Partitioning
+	// is by hash of the base predicate, so a predicate and its inverse
+	// always share a shard; see the README's sharded-mode section for
+	// when sharding pays off. Values beyond the supported maximum are
+	// clamped.
+	Shards int
 }
 
-// NewBuilder returns an empty builder using the default layout.
+// Builder accumulates triples before indexing.
+type Builder struct {
+	b   *triples.Builder
+	cfg BuilderConfig
+}
+
+// NewBuilder returns an empty builder using the default configuration.
 func NewBuilder() *Builder {
-	return &Builder{b: triples.NewBuilder(), layout: WaveletMatrix}
+	return NewBuilderWithConfig(BuilderConfig{})
+}
+
+// NewBuilderWithConfig returns an empty builder with the given
+// configuration, e.g. NewBuilderWithConfig(BuilderConfig{Shards: 8}).
+func NewBuilderWithConfig(cfg BuilderConfig) *Builder {
+	return &Builder{b: triples.NewBuilder(), cfg: cfg}
 }
 
 // SetLayout selects the wavelet layout used by Build.
-func (b *Builder) SetLayout(l Layout) { b.layout = l }
+func (b *Builder) SetLayout(l Layout) { b.cfg.Layout = l }
+
+// SetShards selects the shard count used by Build (see
+// BuilderConfig.Shards).
+func (b *Builder) SetShards(k int) { b.cfg.Shards = k }
 
 // Add inserts the edge s --p--> o. Duplicate edges collapse.
 func (b *Builder) Add(s, p, o string) { b.b.Add(s, p, o) }
@@ -84,38 +115,64 @@ func (b *Builder) Add(s, p, o string) { b.b.Add(s, p, o) }
 func (b *Builder) Load(r io.Reader) error { return triples.Load(r, b.b) }
 
 // Build completes the graph with inverse edges, constructs the ring
-// index, and returns a queryable database. The builder must not be used
-// afterwards.
+// index (sharded when configured), and returns a queryable database.
+// The builder must not be used afterwards.
 func (b *Builder) Build() (*DB, error) {
 	g := b.b.Build()
 	if g.Len() == 0 {
 		return nil, errors.New("ringrpq: empty graph")
 	}
-	r := ring.New(g, b.layout)
+	if b.cfg.Shards > 1 {
+		set := ring.NewShardSet(g, b.cfg.Shards, nil, b.cfg.Layout)
+		db := &DB{g: g, set: set}
+		db.engine = core.NewShardedEngine(set, db.predIDs())
+		return db, nil
+	}
+	r := ring.New(g, b.cfg.Layout)
 	db := &DB{g: g, r: r}
-	db.engine = core.NewEngine(r, func(s pathexpr.Sym) (uint32, bool) {
-		return g.PredID(s.Name, s.Inverse)
-	})
+	db.engine = core.NewEngine(r, db.predIDs())
 	return db, nil
 }
 
 // DB is an immutable RPQ-queryable graph database. A DB's query methods
 // share working arrays and must not be called concurrently; use Clone
-// for parallel workers.
+// for parallel workers. (A sharded DB's single evaluation may itself
+// fan out across its shards with internal goroutines; that is invisible
+// to callers and does not relax the one-caller rule.)
 type DB struct {
 	g      *triples.Graph
-	r      *ring.Ring
-	engine *core.Engine
+	r      *ring.Ring      // single-ring layout (nil when sharded)
+	set    *ring.ShardSet  // sharded layout (nil when single-ring)
+	engine core.Evaluator
+}
+
+// predIDs resolves predicate occurrences of query expressions against
+// the graph dictionaries.
+func (db *DB) predIDs() func(s pathexpr.Sym) (uint32, bool) {
+	return func(s pathexpr.Sym) (uint32, bool) {
+		return db.g.PredID(s.Name, s.Inverse)
+	}
 }
 
 // Clone returns a DB sharing the (immutable) index but with its own
 // query working arrays, safe to use from another goroutine.
 func (db *DB) Clone() *DB {
-	clone := &DB{g: db.g, r: db.r}
-	clone.engine = core.NewEngine(db.r, func(s pathexpr.Sym) (uint32, bool) {
-		return db.g.PredID(s.Name, s.Inverse)
-	})
+	clone := &DB{g: db.g, r: db.r, set: db.set}
+	if db.set != nil {
+		clone.engine = core.NewShardedEngine(db.set, clone.predIDs())
+	} else {
+		clone.engine = core.NewEngine(db.r, clone.predIDs())
+	}
 	return clone
+}
+
+// Shards reports the number of sub-rings the database is partitioned
+// into (1 for the classic single-ring layout).
+func (db *DB) Shards() int {
+	if db.set != nil {
+		return db.set.K
+	}
+	return 1
 }
 
 // Solution is one result mapping of a query: Subject and Object name
@@ -225,25 +282,44 @@ type Stats struct {
 	Predicates int
 	// IndexBytes is the ring footprint used by queries.
 	IndexBytes int
+	// Shards is the sub-ring count (1 for the single-ring layout).
+	Shards int
+}
+
+// indexN reports the completed triple count of the index layout.
+func (db *DB) indexN() int {
+	if db.set != nil {
+		return db.set.N
+	}
+	return db.r.N
+}
+
+// indexQueryBytes reports the query-relevant index footprint.
+func (db *DB) indexQueryBytes() int {
+	if db.set != nil {
+		return db.set.QuerySizeBytes()
+	}
+	return db.r.QuerySizeBytes()
 }
 
 // Stats reports database statistics.
 func (db *DB) Stats() Stats {
-	// The ring's N is used rather than the builder's triple list so the
+	// The index's N is used rather than the builder's triple list so the
 	// counts survive Save/LoadDB (the triple list is not persisted).
 	return Stats{
 		Nodes:          db.g.NumNodes(),
-		Edges:          db.r.N / 2,
-		CompletedEdges: db.r.N,
+		Edges:          db.indexN() / 2,
+		CompletedEdges: db.indexN(),
 		Predicates:     int(db.g.NumPreds),
-		IndexBytes:     db.r.QuerySizeBytes(),
+		IndexBytes:     db.indexQueryBytes(),
+		Shards:         db.Shards(),
 	}
 }
 
 // BytesPerEdge reports the index's bytes per completed edge, the
 // space measure of the paper's Table 2.
 func (db *DB) BytesPerEdge() float64 {
-	return float64(db.r.QuerySizeBytes()) / float64(db.r.N)
+	return float64(db.indexQueryBytes()) / float64(db.indexN())
 }
 
 // Nodes lists all node names (insertion order).

@@ -5,30 +5,61 @@ import (
 	"io"
 
 	"ringrpq/internal/core"
-	"ringrpq/internal/pathexpr"
 	"ringrpq/internal/ring"
 	"ringrpq/internal/serial"
 	"ringrpq/internal/triples"
 )
 
-// fileMagic identifies a serialised database and its format version.
-const fileMagic = "rdb1"
+// File magics. A single-ring database starts with "rdb1"; a sharded
+// database starts with "rdbs" followed by a container version (1), the
+// combination referred to as the rdbs1 format. Both carry the same
+// graph metadata; the payload is either one ring or a shard container.
+// LoadDB dispatches on the magic, so the two formats are transparently
+// interchangeable at load time.
+const (
+	fileMagic        = "rdb1"
+	fileMagicSharded = "rdbs"
+	shardedVersion   = 1
+)
 
-// Save writes the database (dictionaries + ring index) to w in a
-// compact binary format. Building the index once and reloading it with
-// LoadDB skips the construction sorts on subsequent runs.
+// Save writes the database (dictionaries + ring index, or the sharded
+// rdbs1 container) to w in a compact binary format. Building the index
+// once and reloading it with LoadDB skips the construction sorts on
+// subsequent runs.
 func (db *DB) Save(w io.Writer) error {
 	sw := serial.NewWriter(w)
+	if db.set != nil {
+		sw.Magic(fileMagicSharded)
+		sw.Int(shardedVersion)
+		db.g.EncodeMeta(sw)
+		db.set.Encode(sw)
+		return sw.Flush()
+	}
 	sw.Magic(fileMagic)
 	db.g.EncodeMeta(sw)
 	db.r.Encode(sw)
 	return sw.Flush()
 }
 
-// LoadDB reads a database written by Save.
+// LoadDB reads a database written by Save, accepting both the
+// single-ring (rdb1) and sharded (rdbs1) formats. Corrupted or
+// truncated input yields an error, never a panic.
 func LoadDB(r io.Reader) (*DB, error) {
 	sr := serial.NewReader(r)
-	sr.Magic(fileMagic)
+	switch tag := sr.Tag(); tag {
+	case fileMagic:
+		return loadSingle(sr)
+	case fileMagicSharded:
+		return loadSharded(sr)
+	default:
+		if err := sr.Err(); err != nil {
+			return nil, fmt.Errorf("ringrpq: load: %w", err)
+		}
+		return nil, fmt.Errorf("ringrpq: load: bad magic %q", tag)
+	}
+}
+
+func loadSingle(sr *serial.Reader) (*DB, error) {
 	g := triples.DecodeMeta(sr)
 	if err := sr.Err(); err != nil {
 		return nil, fmt.Errorf("ringrpq: load: %w", err)
@@ -42,8 +73,27 @@ func LoadDB(r io.Reader) (*DB, error) {
 			rg.NumNodes, g.NumNodes(), rg.NumPreds, g.NumCompletedPreds())
 	}
 	db := &DB{g: g, r: rg}
-	db.engine = core.NewEngine(rg, func(s pathexpr.Sym) (uint32, bool) {
-		return g.PredID(s.Name, s.Inverse)
-	})
+	db.engine = core.NewEngine(rg, db.predIDs())
+	return db, nil
+}
+
+func loadSharded(sr *serial.Reader) (*DB, error) {
+	if v := sr.Int(); sr.Err() == nil && v != shardedVersion {
+		return nil, fmt.Errorf("ringrpq: load: unsupported sharded container version %d", v)
+	}
+	g := triples.DecodeMeta(sr)
+	if err := sr.Err(); err != nil {
+		return nil, fmt.Errorf("ringrpq: load: %w", err)
+	}
+	set, err := ring.DecodeShardSet(sr)
+	if err != nil {
+		return nil, fmt.Errorf("ringrpq: load: %w", err)
+	}
+	if set.NumNodes != g.NumNodes() || set.NumPreds != g.NumCompletedPreds() {
+		return nil, fmt.Errorf("ringrpq: load: shard set/dictionary mismatch (%d/%d nodes, %d/%d preds)",
+			set.NumNodes, g.NumNodes(), set.NumPreds, g.NumCompletedPreds())
+	}
+	db := &DB{g: g, set: set}
+	db.engine = core.NewShardedEngine(set, db.predIDs())
 	return db, nil
 }

@@ -1,0 +1,185 @@
+package ringrpq
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// buildRandom builds the same random graph into an unsharded and a
+// K-sharded DB.
+func buildRandom(t *testing.T, seed int64, nv, np, ne, shards int) (*DB, *DB) {
+	t.Helper()
+	single := NewBuilder()
+	sharded := NewBuilderWithConfig(BuilderConfig{Shards: shards})
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < ne; i++ {
+		s := fmt.Sprintf("n%d", rng.Intn(nv))
+		p := fmt.Sprintf("p%d", rng.Intn(np))
+		o := fmt.Sprintf("n%d", rng.Intn(nv))
+		single.Add(s, p, o)
+		sharded.Add(s, p, o)
+	}
+	db1, err := single.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbK, err := sharded.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db1, dbK
+}
+
+func sortedSolutions(t *testing.T, db *DB, subject, expr, object string) []Solution {
+	t.Helper()
+	sols, err := db.Query(subject, expr, object)
+	if err != nil {
+		t.Fatalf("Query(%s, %s, %s): %v", subject, expr, object, err)
+	}
+	sort.Slice(sols, func(i, j int) bool {
+		if sols[i].Subject != sols[j].Subject {
+			return sols[i].Subject < sols[j].Subject
+		}
+		return sols[i].Object < sols[j].Object
+	})
+	return sols
+}
+
+func sameSolutions(t *testing.T, label string, got, want []Solution) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d solutions, want %d\n got: %v\nwant: %v", label, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: solution %d is %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+var shardedExprs = []string{
+	"p0", "^p1", "p0/p1", "p0|p1|p2", "(p0|p1)+", "p0*", "p0+/p2?", "(p0/^p1)+",
+}
+
+// TestShardedDBMatchesUnsharded compares the public Query/Count API of
+// sharded and unsharded databases over the same random graphs.
+func TestShardedDBMatchesUnsharded(t *testing.T) {
+	for _, k := range []int{2, 4, 8} {
+		db1, dbK := buildRandom(t, int64(k), 15, 4, 80, k)
+		if got := dbK.Shards(); got != k {
+			t.Fatalf("Shards() = %d, want %d", got, k)
+		}
+		for _, expr := range shardedExprs {
+			for _, ep := range [][2]string{{"?s", "?o"}, {"n3", "?o"}, {"?s", "n7"}, {"n3", "n7"}, {"missing", "?o"}} {
+				want := sortedSolutions(t, db1, ep[0], expr, ep[1])
+				got := sortedSolutions(t, dbK, ep[0], expr, ep[1])
+				sameSolutions(t, fmt.Sprintf("k=%d (%s, %s, %s)", k, ep[0], expr, ep[1]), got, want)
+
+				n1, err := db1.Count(ep[0], expr, ep[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				nK, err := dbK.Count(ep[0], expr, ep[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n1 != nK {
+					t.Fatalf("k=%d Count(%s, %s, %s) = %d, want %d", k, ep[0], expr, ep[1], nK, n1)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedSaveLoad round-trips a sharded DB through the rdbs1
+// container and checks the reloaded DB answers identically.
+func TestShardedSaveLoad(t *testing.T) {
+	db1, dbK := buildRandom(t, 99, 12, 3, 60, 4)
+	var buf bytes.Buffer
+	if err := dbK.Save(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if got := buf.Bytes()[:4]; string(got) != "rdbs" {
+		t.Fatalf("sharded file magic %q, want %q", got, "rdbs")
+	}
+	loaded, err := LoadDB(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if loaded.Shards() != 4 {
+		t.Fatalf("loaded Shards() = %d, want 4", loaded.Shards())
+	}
+	if a, b := dbK.Stats(), loaded.Stats(); a != b {
+		t.Fatalf("stats changed across save/load: %+v vs %+v", a, b)
+	}
+	for _, expr := range shardedExprs {
+		want := sortedSolutions(t, db1, "?s", expr, "?o")
+		got := sortedSolutions(t, loaded, "?s", expr, "?o")
+		sameSolutions(t, "loaded "+expr, got, want)
+	}
+
+	// Truncations of the sharded container must error, never panic.
+	raw := buf.Bytes()
+	for i := 0; i < len(raw); i += 13 {
+		if _, err := LoadDB(bytes.NewReader(raw[:i])); err == nil {
+			t.Fatalf("LoadDB of %d-byte truncation succeeded", i)
+		}
+	}
+}
+
+// TestShardedService drives a sharded DB through the concurrent
+// service front-end (worker-pool clones) and compares against direct
+// single-threaded evaluation.
+func TestShardedService(t *testing.T) {
+	db1, dbK := buildRandom(t, 7, 14, 4, 90, 4)
+	svc := NewService(dbK, ServiceConfig{Workers: 4})
+	defer svc.Close()
+	ctx := context.Background()
+	for _, expr := range shardedExprs {
+		want := sortedSolutions(t, db1, "?s", expr, "?o")
+		got, err := svc.Query(ctx, "?s", expr, "?o")
+		if err != nil {
+			t.Fatalf("service query %s: %v", expr, err)
+		}
+		gs := append([]Solution(nil), got...)
+		sort.Slice(gs, func(i, j int) bool {
+			if gs[i].Subject != gs[j].Subject {
+				return gs[i].Subject < gs[j].Subject
+			}
+			return gs[i].Object < gs[j].Object
+		})
+		sameSolutions(t, "service "+expr, gs, want)
+	}
+}
+
+// TestShardedClone checks a cloned sharded DB evaluates independently.
+func TestShardedClone(t *testing.T) {
+	_, dbK := buildRandom(t, 21, 10, 3, 50, 3)
+	clone := dbK.Clone()
+	want := sortedSolutions(t, dbK, "?s", "(p0|p1)+", "?o")
+	got := sortedSolutions(t, clone, "?s", "(p0|p1)+", "?o")
+	sameSolutions(t, "clone", got, want)
+	if clone.Shards() != dbK.Shards() {
+		t.Fatalf("clone Shards() = %d, want %d", clone.Shards(), dbK.Shards())
+	}
+}
+
+// TestShardedStats sanity-checks the aggregate statistics of a sharded
+// DB against its unsharded twin.
+func TestShardedStats(t *testing.T) {
+	db1, dbK := buildRandom(t, 33, 10, 3, 40, 4)
+	s1, sK := db1.Stats(), dbK.Stats()
+	if sK.Shards != 4 || s1.Shards != 1 {
+		t.Fatalf("Shards fields: sharded %d (want 4), single %d (want 1)", sK.Shards, s1.Shards)
+	}
+	if s1.Nodes != sK.Nodes || s1.Edges != sK.Edges || s1.CompletedEdges != sK.CompletedEdges || s1.Predicates != sK.Predicates {
+		t.Fatalf("counts differ: single %+v, sharded %+v", s1, sK)
+	}
+	if sK.IndexBytes <= 0 || dbK.BytesPerEdge() <= 0 {
+		t.Fatalf("sharded footprint not reported: %+v", sK)
+	}
+}
