@@ -1,12 +1,13 @@
-# Tier-1 verification is `make` (or `make ci`): build, vet, test.
+# Tier-1 verification is `make` (or `make ci`): build, vet, test, plus a
+# single-iteration smoke pass over the perf-critical micro-benchmarks.
 GO ?= go
 FUZZTIME ?= 20s
 
-.PHONY: all ci build vet test race bench fuzz clean
+.PHONY: all ci build vet test race bench bench-short bench-json fuzz clean
 
 all: ci
 
-ci: build vet test
+ci: build vet test bench-short
 
 build:
 	$(GO) build ./...
@@ -34,6 +35,19 @@ fuzz:
 # Service throughput scaling and cache-hit benchmarks.
 bench:
 	$(GO) test -run NONE -bench 'Service' -benchtime 2s .
+
+# One-iteration smoke run of the hot-path micro-benchmarks (broadword
+# select, multi-range wavelet descent, batched vs unbatched BFS): makes
+# sure the benchmark code keeps compiling and running under ci.
+bench-short:
+	$(GO) test -run NONE -bench 'SelectInWord|TraverseMany|BatchedBFS' -benchtime 1x \
+		./internal/bitvec/ ./internal/wavelet/ ./internal/core/
+
+# Machine-readable perf trajectory: the batched-vs-unbatched ablation
+# over the standard Table 1 workload, written to BENCH_PR3.json
+# (p50/p95 latency + throughput per subset, both modes).
+bench-json:
+	$(GO) run ./cmd/rpqbench -json BENCH_PR3.json
 
 clean:
 	$(GO) clean ./...

@@ -250,12 +250,49 @@ func (v *Vector) Select0(k int) int {
 	return -1
 }
 
-// selectInWord returns the position (0-63) of the k-th (1-based) set bit of w.
-func selectInWord(w uint64, k int) int {
-	for i := 0; i < k-1; i++ {
-		w &= w - 1 // clear lowest set bit
+// Broadword select constants: l8 replicates a byte across the word, h8
+// marks every byte's high bit (Vigna, "Broadword implementation of
+// rank/select queries").
+const (
+	l8 = 0x0101010101010101
+	h8 = 0x8080808080808080
+)
+
+// selectInByte[r<<8|b] is the position of the (r+1)-th set bit of the
+// byte b (2 KiB, shared by all vectors).
+var selectInByte = buildSelectInByte()
+
+func buildSelectInByte() [8 * 256]uint8 {
+	var t [8 * 256]uint8
+	for b := 0; b < 256; b++ {
+		r := 0
+		for i := 0; i < 8; i++ {
+			if b&(1<<i) != 0 {
+				t[r<<8|b] = uint8(i)
+				r++
+			}
+		}
 	}
-	return bits.TrailingZeros64(w)
+	return t
+}
+
+// selectInWord returns the position (0-63) of the k-th (1-based) set bit
+// of w, which must have at least k set bits. It is constant-time and
+// branchless: a SWAR popcount accumulates per-byte prefix sums, a
+// parallel unsigned byte compare against k skips whole bytes, and an
+// 8-bit lookup finishes inside the target byte.
+func selectInWord(w uint64, k int) int {
+	s := w - w>>1&0x5555555555555555
+	s = s&0x3333333333333333 + s>>2&0x3333333333333333
+	s = (s + s>>4) & 0x0f0f0f0f0f0f0f0f
+	byteSums := s * l8  // byte i holds popcount of bytes 0..i (≤ 64)
+	kk := uint64(k - 1) // 0-based rank, ≤ 63
+	// Byte i of the subtraction keeps its high bit iff byteSums_i ≤ kk
+	// (both operands fit 7 bits, so no borrows cross bytes): those are
+	// exactly the bytes wholly before the target bit.
+	place := uint(bits.OnesCount64(((kk*l8|h8)-byteSums)&h8)) * 8
+	byteRank := kk - (byteSums<<8>>place)&0xff // rank within the target byte
+	return int(place) + int(selectInByte[byteRank<<8|w>>place&0xff])
 }
 
 // SizeBytes reports the memory footprint of the vector including

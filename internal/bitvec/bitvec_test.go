@@ -1,6 +1,7 @@
 package bitvec
 
 import (
+	"math/bits"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -266,4 +267,73 @@ func BenchmarkSelect1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		v.Select1(i%v.Ones() + 1)
 	}
+}
+
+// selectInWordLoop is the original O(k) clear-lowest-bit implementation,
+// kept as the reference for the branchless broadword version.
+func selectInWordLoop(w uint64, k int) int {
+	for i := 0; i < k-1; i++ {
+		w &= w - 1 // clear lowest set bit
+	}
+	return bits.TrailingZeros64(w)
+}
+
+// The broadword selectInWord must agree with the loop version on every
+// valid (word, rank) input shape: random words, sparse and dense words,
+// single bits at every position, and all-ones.
+func TestSelectInWordMatchesLoop(t *testing.T) {
+	check := func(w uint64) {
+		t.Helper()
+		n := bits.OnesCount64(w)
+		for k := 1; k <= n; k++ {
+			if got, want := selectInWord(w, k), selectInWordLoop(w, k); got != want {
+				t.Fatalf("selectInWord(%#x, %d) = %d, want %d", w, k, got, want)
+			}
+		}
+	}
+	for i := 0; i < 64; i++ {
+		check(1 << uint(i))          // single bit
+		check(^uint64(0) >> uint(i)) // dense suffix
+		check(^uint64(0) << uint(i)) // dense prefix
+	}
+	check(^uint64(0))
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		w := rng.Uint64()
+		switch i % 3 {
+		case 1:
+			w &= rng.Uint64() & rng.Uint64() // sparse
+		case 2:
+			w |= rng.Uint64() | rng.Uint64() // dense
+		}
+		if w != 0 {
+			check(w)
+		}
+	}
+}
+
+var sinkSelect int
+
+func BenchmarkSelectInWord(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	words := make([]uint64, 1024)
+	ranks := make([]int, 1024)
+	for i := range words {
+		for words[i] == 0 {
+			words[i] = rng.Uint64()
+		}
+		ranks[i] = 1 + rng.Intn(bits.OnesCount64(words[i]))
+	}
+	b.Run("broadword", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			j := i % len(words)
+			sinkSelect = selectInWord(words[j], ranks[j])
+		}
+	})
+	b.Run("loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			j := i % len(words)
+			sinkSelect = selectInWordLoop(words[j], ranks[j])
+		}
+	})
 }

@@ -57,7 +57,13 @@ type Options struct {
 	// DFS switches the product-graph traversal from BFS (the paper's
 	// running example) to depth-first order. Both are correct (§3.2:
 	// "BFS, DFS, etc."); result order differs, the result set does not.
+	// DFS implies unbatched traversal (batching is level-synchronous).
 	DFS bool
+	// DisableBatching reverts the level-synchronous frontier-batched
+	// traversal to the item-at-a-time descent, where every (node, states)
+	// frontier entry pays its own root-to-leaf wavelet descent (ablation;
+	// rpqbench reports both modes side by side).
+	DisableBatching bool
 }
 
 // ErrTimeout reports that evaluation exceeded Options.Timeout.
@@ -110,6 +116,15 @@ type Engine struct {
 
 	queue []queueItem
 
+	// lpItems and lsItems are the scratch range lists of the batched
+	// traversal: a whole frontier level as sorted disjoint L_p ranges,
+	// and the per-step L_s ranges it maps to.
+	lpItems, lsItems []wavelet.RangeMask
+
+	// pairs dedups (s, o) result pairs across the §5 fast-path branches;
+	// owned by the engine so fast-path queries allocate nothing.
+	pairs pairSet
+
 	// per-evaluation state
 	stats    Stats
 	deadline time.Time
@@ -118,6 +133,7 @@ type Engine struct {
 	limit    int
 	noMarks  bool
 	dfs      bool
+	batch    bool
 	failure  error
 }
 
@@ -155,6 +171,7 @@ func (e *Engine) Eval(q Query, opts Options, emit EmitFunc) (Stats, error) {
 	e.limit = opts.Limit
 	e.noMarks = opts.DisableNodeMarks
 	e.dfs = opts.DFS
+	e.batch = !opts.DisableBatching && !opts.DFS
 	if opts.Timeout > 0 {
 		e.deadline = time.Now().Add(opts.Timeout)
 	} else {
@@ -254,6 +271,7 @@ func (e *Engine) release() {
 	e.bNode.Reset()
 	e.dNode.Reset()
 	e.queue = e.queue[:0]
+	e.pairs.reset()
 }
 
 // markPads pre-marks the padding subtrees of L_s as "visited with every
@@ -339,9 +357,15 @@ func (e *Engine) evalBothConst(expr pathexpr.Node, s, o uint32) error {
 func (e *Engine) evalBothVar(expr pathexpr.Node) error {
 	// Nullable expressions relate every node to itself via the empty
 	// path; emit those pairs upfront, then suppress (v,v) rediscovery.
+	// The loop is O(|V|) before any traversal work, so it honours the
+	// deadline too — a short Options.Timeout must be able to interrupt
+	// it on large graphs.
 	a := e.compile(expr).a
 	if a.Nullable {
 		for v := 0; v < e.r.NumNodes; v++ {
+			if err := e.checkDeadline(); err != nil {
+				return err
+			}
 			if !e.emit(uint32(v), uint32(v)) {
 				return errLimit
 			}
@@ -428,6 +452,15 @@ func (e *Engine) fullRangeSources(expr pathexpr.Node, emit EmitFunc) error {
 	// states in F (minus the initial state, which carries no outgoing
 	// work but must stay reportable) count as already visited everywhere.
 	base := eng.F &^ eng.Init
+	if e.batch {
+		// Level 0 is a single full-range item; the batched step already
+		// drains it into the next frontier.
+		e.lpItems = append(e.lpItems[:0], wavelet.RangeMask{B: 0, E: e.r.N, Mask: eng.F})
+		if err := e.stepMany(eng, e.lpItems, base, emit); err != nil {
+			return err
+		}
+		return e.bfsBatched(eng, base, emit)
+	}
 	if err := e.step(eng, 0, e.r.N, eng.F, base, emit); err != nil {
 		return err
 	}
@@ -460,9 +493,14 @@ func (e *Engine) startFromObjects(a *glushkov.Automaton) bool {
 }
 
 // bfs drains the worklist, expanding each (node, states) item (§4 parts
-// 1–3). The default order is breadth-first (FIFO); Options.DFS switches
-// to last-in-first-out.
+// 1–3). The default is the frontier-batched level-synchronous traversal
+// (one multi-range wavelet descent per level and part); Options.DFS
+// switches to last-in-first-out and Options.DisableBatching to the
+// item-at-a-time FIFO, both on the classic per-item descent.
 func (e *Engine) bfs(eng *glushkov.Engine, base uint64, emit EmitFunc) error {
+	if e.batch {
+		return e.bfsBatched(eng, base, emit)
+	}
 	if e.dfs {
 		for len(e.queue) > 0 {
 			it := e.queue[len(e.queue)-1]

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"reflect"
 	"testing"
+	"time"
 
 	"ringrpq/internal/enginetest"
 	"ringrpq/internal/glushkov"
@@ -248,6 +249,24 @@ func TestTimeout(t *testing.T) {
 	_, err := e.Eval(q, Options{Timeout: 1}, func(s, o uint32) bool { return true })
 	if err != ErrTimeout {
 		t.Fatalf("err=%v, want ErrTimeout", err)
+	}
+}
+
+// The nullable v→v self-pair prefix is O(|V|) before any traversal; an
+// already-expired deadline must interrupt it instead of emitting every
+// node first (fast paths disabled so the generic prefix loop runs).
+func TestTimeoutInterruptsNullablePrefix(t *testing.T) {
+	g := enginetest.RandomGraph(9, 3000, 2, 3000)
+	e := newEngine(g, ring.WaveletMatrix)
+	q := Query{Subject: Variable, Expr: pathexpr.MustParse("pa*"), Object: Variable}
+	emitted := 0
+	_, err := e.Eval(q, Options{Timeout: time.Nanosecond, DisableFastPaths: true},
+		func(s, o uint32) bool { emitted++; return true })
+	if err != ErrTimeout {
+		t.Fatalf("err=%v, want ErrTimeout", err)
+	}
+	if emitted >= g.NumNodes() {
+		t.Fatalf("emitted %d self-pairs before the deadline check (|V|=%d)", emitted, g.NumNodes())
 	}
 }
 

@@ -14,21 +14,23 @@ import (
 func (e *Engine) tryFastPath(expr pathexpr.Node) (bool, error) {
 	switch x := expr.(type) {
 	case pathexpr.Sym:
-		return true, e.fastSingle(x, newPairDedup())
+		e.pairs.reset()
+		return true, e.fastSingle(x)
 	case pathexpr.Concat:
 		l, lok := x.L.(pathexpr.Sym)
 		r, rok := x.R.(pathexpr.Sym)
 		if lok && rok {
-			return true, e.fastConcat2(l, r, newPairDedup())
+			e.pairs.reset()
+			return true, e.fastConcat2(l, r)
 		}
 	case pathexpr.Alt:
 		// A (possibly nested) alternation of single symbols: evaluate
 		// each branch and deduplicate pairs, as in §5.
 		syms, ok := flattenAlt(expr)
 		if ok {
-			dedup := newPairDedup()
+			e.pairs.reset()
 			for _, s := range syms {
-				if err := e.fastSingle(s, dedup); err != nil {
+				if err := e.fastSingle(s); err != nil {
 					return true, err
 				}
 			}
@@ -54,25 +56,13 @@ func flattenAlt(n pathexpr.Node) ([]pathexpr.Sym, bool) {
 	return nil, false
 }
 
-// pairDedup suppresses duplicate (s, o) pairs across fast-path branches
-// (the paper uses a hash table for the same purpose).
-type pairDedup map[uint64]bool
-
-func newPairDedup() pairDedup { return make(pairDedup) }
-
-func (d pairDedup) add(s, o uint32) bool {
-	k := uint64(s)<<32 | uint64(o)
-	if d[k] {
-		return false
-	}
-	d[k] = true
-	return true
-}
-
 // fastSingle evaluates (x, p, y): extract the distinct subjects from
 // L_s[C_p[p], C_p[p+1]), then for each subject s backward-step its object
-// range by p̂ to list the objects o with (s, p, o) ∈ G (§5).
-func (e *Engine) fastSingle(sym pathexpr.Sym, dedup pairDedup) error {
+// range by p̂ to list the objects o with (s, p, o) ∈ G (§5). Duplicate
+// pairs across branches are suppressed by the engine-owned paged bitset
+// e.pairs (the paper uses a hash table for the same purpose), which the
+// caller resets before the first branch.
+func (e *Engine) fastSingle(sym pathexpr.Sym) error {
 	p, ok := e.ids(sym)
 	if !ok {
 		return nil
@@ -94,7 +84,7 @@ func (e *Engine) fastSingle(sym pathexpr.Sym, dedup pairDedup) error {
 			if failure != nil {
 				return
 			}
-			if dedup.add(s, o) && !e.emit(s, o) {
+			if e.pairs.add(s, o) && !e.emit(s, o) {
 				failure = errLimit
 			}
 		})
@@ -106,7 +96,7 @@ func (e *Engine) fastSingle(sym pathexpr.Sym, dedup pairDedup) error {
 // intersection of the targets of p1 (subjects of the p̂1 block of L_s)
 // and the sources of p2 (subjects of the p2 block); for each z, one
 // backward step lists the sources by p1 and the objects by p̂2 (§5).
-func (e *Engine) fastConcat2(s1, s2 pathexpr.Sym, dedup pairDedup) error {
+func (e *Engine) fastConcat2(s1, s2 pathexpr.Sym) error {
 	p1, ok1 := e.ids(s1)
 	p2, ok2 := e.ids(s2)
 	if !ok1 || !ok2 {
@@ -135,7 +125,7 @@ func (e *Engine) fastConcat2(s1, s2 pathexpr.Sym, dedup pairDedup) error {
 				if failure != nil {
 					return
 				}
-				if dedup.add(s, o) && !e.emit(s, o) {
+				if e.pairs.add(s, o) && !e.emit(s, o) {
 					failure = errLimit
 				}
 			})

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"cmp"
 	"errors"
 	"runtime"
+	"slices"
 	"sync"
 	"time"
 
@@ -77,6 +79,7 @@ type ShardedEngine struct {
 	emit     EmitFunc
 	limit    int
 	noMarks  bool
+	batch    bool
 }
 
 var _ Evaluator = (*ShardedEngine)(nil)
@@ -122,6 +125,7 @@ func (e *ShardedEngine) Eval(q Query, opts Options, emit EmitFunc) (Stats, error
 	e.steps = 0
 	e.limit = opts.Limit
 	e.noMarks = opts.DisableNodeMarks
+	e.batch = !opts.DisableBatching
 	if opts.Timeout > 0 {
 		e.deadline = time.Now().Add(opts.Timeout)
 	} else {
@@ -231,7 +235,7 @@ func (e *ShardedEngine) prepareNarrow(expr pathexpr.Node) *glushkov.Engine {
 	}
 	e.d.Reset()
 	for _, w := range e.workers {
-		w.prepare(c.eng, e.deadline, e.noMarks)
+		w.prepare(c.eng, e.deadline, e.noMarks, e.batch)
 	}
 	return c.eng
 }
@@ -330,7 +334,12 @@ func (e *ShardedEngine) coopBothConst(expr pathexpr.Node, s, o uint32) error {
 func (e *ShardedEngine) coopBothVar(expr pathexpr.Node) error {
 	a := e.compile(expr).a
 	if a.Nullable {
+		// As in Engine.evalBothVar, the O(|V|) self-pair prefix must
+		// honour the deadline before any traversal work starts.
 		for v := 0; v < e.set.NumNodes; v++ {
+			if err := e.checkDeadline(); err != nil {
+				return err
+			}
 			if !e.emit(uint32(v), uint32(v)) {
 				return errLimit
 			}
@@ -534,10 +543,16 @@ type shardWorker struct {
 	// found accumulates this level's (subject, states) discoveries.
 	found []queueItem
 
+	// lpItems and lsItems are the worker's private scratch for the
+	// frontier-batched descent (each worker batches the shared frontier
+	// over its own sub-ring's sequences).
+	lpItems, lsItems []wavelet.RangeMask
+
 	stats    Stats
 	steps    int
 	deadline time.Time
 	noMarks  bool
+	batch    bool
 	err      error
 }
 
@@ -552,7 +567,7 @@ func newShardWorker(r *ring.Ring) *shardWorker {
 
 // prepare readies the worker for one query: reset masks and counters,
 // seed the B[v] masks for eng, and pre-mark padding subtrees.
-func (w *shardWorker) prepare(eng *glushkov.Engine, deadline time.Time, noMarks bool) {
+func (w *shardWorker) prepare(eng *glushkov.Engine, deadline time.Time, noMarks, batch bool) {
 	w.bNode.Reset()
 	w.dNode.Reset()
 	w.found = w.found[:0]
@@ -560,6 +575,7 @@ func (w *shardWorker) prepare(eng *glushkov.Engine, deadline time.Time, noMarks 
 	w.steps = 0
 	w.deadline = deadline
 	w.noMarks = noMarks
+	w.batch = batch
 	w.err = nil
 	for c, mask := range eng.B {
 		for id := w.r.Lp.LeafID(c); id >= 1; id = id.Parent() {
@@ -596,20 +612,50 @@ func (w *shardWorker) markSubject(leaf wavelet.NodeID, states uint64) {
 	}
 }
 
-// runLevel expands every frontier item over this shard.
+// runLevel expands the whole frontier over this shard — by default as
+// one frontier-batched multi-range descent per part (the frontier is
+// shared read-only across workers, so each worker builds its own sorted
+// item list over its sub-ring), item at a time when batching is off.
 func (w *shardWorker) runLevel(eng *glushkov.Engine, frontier []queueItem, base uint64) {
 	if w.err != nil {
 		return
 	}
+	if !w.batch {
+		for _, it := range frontier {
+			b, end := w.r.ObjectRange(it.node)
+			if b == end {
+				continue
+			}
+			if err := w.step(eng, b, end, it.d, base); err != nil {
+				w.err = err
+				return
+			}
+		}
+		return
+	}
+	w.lpItems = w.lpItems[:0]
 	for _, it := range frontier {
 		b, end := w.r.ObjectRange(it.node)
-		if b == end {
-			continue
+		if b < end {
+			w.lpItems = append(w.lpItems, wavelet.RangeMask{B: b, E: end, Mask: it.d})
 		}
-		if err := w.step(eng, b, end, it.d, base); err != nil {
-			w.err = err
-			return
+	}
+	if len(w.lpItems) < batchCutoff {
+		// Tiny shard-local levels take the cheaper per-item descent.
+		for _, it := range w.lpItems {
+			if err := w.step(eng, it.B, it.E, it.Mask, base); err != nil {
+				w.err = err
+				return
+			}
 		}
+		return
+	}
+	// The merge emits discoveries in found order, not node order; sort so
+	// the shard's object ranges ascend (they are disjoint, so this also
+	// enables same-mask coalescing inside TraverseMany).
+	slices.SortFunc(w.lpItems, func(a, b wavelet.RangeMask) int { return cmp.Compare(a.B, b.B) })
+	if err := w.stepMany(eng, w.lpItems, base); err != nil {
+		w.err = err
 	}
 }
 
@@ -619,9 +665,43 @@ func (w *shardWorker) runFull(eng *glushkov.Engine, base uint64) {
 	if w.err != nil {
 		return
 	}
+	if w.batch {
+		w.lpItems = append(w.lpItems[:0], wavelet.RangeMask{B: 0, E: w.r.N, Mask: eng.F})
+		if err := w.stepMany(eng, w.lpItems, base); err != nil {
+			w.err = err
+		}
+		return
+	}
 	if err := w.step(eng, 0, w.r.N, eng.F, base); err != nil {
 		w.err = err
 	}
+}
+
+// stepMany runs the shared batched step (see batch.go) over the
+// shard's sequences, recording each discovery for the merge exactly
+// once per level, with the union of its states.
+func (w *shardWorker) stepMany(eng *glushkov.Engine, items []wavelet.RangeMask, base uint64) error {
+	if err := w.checkDeadline(); err != nil {
+		return err
+	}
+	o := batchOwner{
+		r:       w.r,
+		bNode:   w.bNode,
+		dNode:   w.dNode,
+		stats:   &w.stats,
+		noMarks: w.noMarks,
+		check:   w.checkDeadline,
+		mark:    w.markSubject,
+		part2Leaf: func(s uint32, all, fresh uint64) error {
+			// The merge counts ProductNodes and decides global novelty;
+			// the worker only reports what reached the subject locally.
+			w.found = append(w.found, queueItem{s, all})
+			return nil
+		},
+	}
+	var err error
+	w.lsItems, err = stepManyOn(&o, eng, items, w.lsItems, base)
+	return err
 }
 
 // step is Engine.step over the shard's sequences, with discoveries

@@ -240,6 +240,46 @@ func (m *Matrix) traverse(level int, prefix uint32, b, e int, visit Visit) {
 	m.traverse(level+1, prefix<<1|1, z+(b-lb), z+(e-le), visit)
 }
 
+// TraverseMany walks the nodes covering every item range in a single
+// descent (see Seq.TraverseMany). Each level maps the surviving items
+// through two rank queries per item — shared top-level nodes are visited
+// once for the whole batch instead of once per item.
+func (m *Matrix) TraverseMany(items []RangeMask, visit VisitMany) {
+	live := clampRangeMasks(items, m.n)
+	if len(live) == 0 {
+		return
+	}
+	arena := make([]RangeMask, 0, 2*len(live)+16)
+	m.traverseMany(0, 0, live, &arena, visit)
+}
+
+func (m *Matrix) traverseMany(level int, prefix uint32, items []RangeMask, arena *[]RangeMask, visit VisitMany) {
+	if len(items) == 0 {
+		return
+	}
+	id := NodeID(1<<level | int(prefix))
+	if level == m.width {
+		if prefix < m.sigma {
+			s := m.bottomStart[prefix]
+			for i := range items {
+				items[i].B -= s
+				items[i].E -= s
+			}
+			visit(id, true, prefix, items)
+		}
+		return
+	}
+	k := visit(id, false, 0, items)
+	if k <= 0 {
+		return
+	}
+	base := len(*arena)
+	right := splitRangeMasks(m.levels[level], m.zeros[level], items[:k], arena)
+	m.traverseMany(level+1, prefix<<1, (*arena)[base:], arena, visit)
+	*arena = (*arena)[:base]
+	m.traverseMany(level+1, prefix<<1|1, right, arena, visit)
+}
+
 // Intersect enumerates symbols present in both ranges.
 func (m *Matrix) Intersect(b1, e1, b2, e2 int, emit IntersectFunc) {
 	m.intersect(0, 0, b1, e1, b2, e2, emit)

@@ -247,6 +247,41 @@ func (t *Tree) traverse(id int, lo, hi uint32, b, e int, visit Visit) {
 	t.traverse(2*id+1, mid, hi, b-lb, e-le, visit)
 }
 
+// TraverseMany walks the nodes covering every item range in a single
+// descent (see Seq.TraverseMany).
+func (t *Tree) TraverseMany(items []RangeMask, visit VisitMany) {
+	live := clampRangeMasks(items, t.n)
+	if len(live) == 0 {
+		return
+	}
+	arena := make([]RangeMask, 0, 2*len(live)+16)
+	t.traverseMany(1, 0, t.sigma, live, &arena, visit)
+}
+
+func (t *Tree) traverseMany(id int, lo, hi uint32, items []RangeMask, arena *[]RangeMask, visit VisitMany) {
+	if len(items) == 0 {
+		return
+	}
+	if hi-lo == 1 {
+		visit(NodeID(id), true, lo, items)
+		return
+	}
+	bv := t.nodes[id]
+	if bv == nil {
+		return
+	}
+	k := visit(NodeID(id), false, 0, items)
+	if k <= 0 {
+		return
+	}
+	mid := (lo + hi) / 2
+	base := len(*arena)
+	right := splitRangeMasks(bv, 0, items[:k], arena)
+	t.traverseMany(2*id, lo, mid, (*arena)[base:], arena, visit)
+	*arena = (*arena)[:base]
+	t.traverseMany(2*id+1, mid, hi, right, arena, visit)
+}
+
 // Intersect enumerates symbols present in both ranges (§5 fast paths).
 func (t *Tree) Intersect(b1, e1, b2, e2 int, emit IntersectFunc) {
 	t.intersect(1, 0, t.sigma, b1, e1, b2, e2, emit)

@@ -16,6 +16,8 @@
 // matrices, and the ablation benchmarks compare the two.
 package wavelet
 
+import "ringrpq/internal/bitvec"
+
 // NodeID identifies a wavelet-tree node in heap order: the root is 1 and
 // the children of v are 2v and 2v+1. Leaf ids can be obtained via LeafID.
 // Callers use NodeIDs to attach per-node metadata in flat arrays of size
@@ -43,6 +45,90 @@ type Visit func(node NodeID, leaf bool, sym uint32, b, e int, full bool) bool
 // with its occurrence-rank ranges in each.
 type IntersectFunc func(c uint32, b1, e1, b2, e2 int)
 
+// RangeMask is one item of a multi-range traversal: the half-open
+// position range [B, E) carrying a caller-defined 64-bit mask (the RPQ
+// engine stores active-state sets in it).
+type RangeMask struct {
+	B, E int
+	Mask uint64
+}
+
+// VisitMany is the callback of TraverseMany. At an internal node it
+// receives the items whose ranges intersect the node, mapped to
+// node-local positions; the callback may compact the slice in place and
+// returns the number of surviving items (a prefix) — returning 0 prunes
+// the subtree. At a leaf the items hold occurrence-rank ranges of sym
+// (exactly as Visit reports them) and the return value is ignored.
+type VisitMany func(node NodeID, leaf bool, sym uint32, items []RangeMask) int
+
+// pushRangeMask appends it to *arena, merging with the previous item
+// when adjacent with an equal mask. Empty items are dropped. Entries at
+// indices below floor belong to an enclosing traversal frame (different
+// node-local coordinates) and are never merged into.
+func pushRangeMask(arena *[]RangeMask, floor int, it RangeMask) {
+	if it.B >= it.E {
+		return
+	}
+	a := *arena
+	if n := len(a); n > floor && a[n-1].E == it.B && a[n-1].Mask == it.Mask {
+		a[n-1].E = it.E
+		return
+	}
+	*arena = append(a, it)
+}
+
+// clampRangeMasks clamps every item to [0, n) and merges adjacent
+// same-mask items in place, returning the normalised prefix (the shared
+// TraverseMany prologue).
+func clampRangeMasks(items []RangeMask, n int) []RangeMask {
+	live := items[:0]
+	for _, it := range items {
+		if it.B < 0 {
+			it.B = 0
+		}
+		if it.E > n {
+			it.E = n
+		}
+		pushRangeMask(&live, 0, it)
+	}
+	return live
+}
+
+// splitRangeMasks maps the items of one wavelet node through its
+// bitvector: left-child ranges are appended to *arena and right-child
+// ranges compacted into items in place (offset by z, the start of the
+// right child's position space — the zeros count for a matrix level,
+// zero for a tree node), both coalescing adjacent same-mask ranges.
+// Items that merely touch (frontier ranges with different masks) share
+// a boundary, whose rank is computed once. It returns the right-child
+// prefix of items.
+func splitRangeMasks(bv *bitvec.Vector, z int, items []RangeMask, arena *[]RangeMask) []RangeMask {
+	base := len(*arena)
+	prevPos, prevRank := -1, 0
+	w := 0
+	for i := range items {
+		it := items[i]
+		lb := prevRank
+		if it.B != prevPos {
+			lb = bv.Rank0(it.B)
+		}
+		le := bv.Rank0(it.E)
+		prevPos, prevRank = it.E, le
+		pushRangeMask(arena, base, RangeMask{B: lb, E: le, Mask: it.Mask})
+		rb, re := z+(it.B-lb), z+(it.E-le)
+		if rb >= re {
+			continue
+		}
+		if w > 0 && items[w-1].E == rb && items[w-1].Mask == it.Mask {
+			items[w-1].E = re
+			continue
+		}
+		items[w] = RangeMask{B: rb, E: re, Mask: it.Mask}
+		w++
+	}
+	return items[:w]
+}
+
 // Seq is the sequence capability required by the ring and the RPQ engine.
 type Seq interface {
 	// Len reports the sequence length.
@@ -65,6 +151,15 @@ type Seq interface {
 	// Traverse walks the nodes covering positions [b, e), consulting visit
 	// for pruning (see Visit).
 	Traverse(b, e int, visit Visit)
+	// TraverseMany walks the nodes covering every item range in one
+	// root-to-leaf descent, splitting the item list at each node instead
+	// of re-descending from the root per item and coalescing adjacent
+	// ranges that carry the same mask (the frontier-batched §4
+	// traversal). Items must be sorted by B; they should be disjoint
+	// for the coalescing to apply, but overlapping items are handled
+	// (each behaves as an independent Traverse). The slice is mutated
+	// and owned by the traversal until it returns.
+	TraverseMany(items []RangeMask, visit VisitMany)
 	// Intersect enumerates the symbols occurring in both [b1,e1) and
 	// [b2,e2), with their occurrence-rank ranges.
 	Intersect(b1, e1, b2, e2 int, emit IntersectFunc)
