@@ -19,17 +19,20 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrency surface: the service package,
-# the sharded engine's cooperative fan-out (differential tests), and the
-# root-package stress tests.
+# the sharded engine's cooperative fan-out (differential tests), the
+# graph-pattern subsystem (parallel differential harness over shared
+# selectivity caches), and the root-package stress tests.
 race:
-	$(GO) test -race ./internal/service/ ./internal/core/ .
+	$(GO) test -race ./internal/service/ ./internal/core/ ./internal/ltj/ ./internal/query/ .
 	$(GO) test -race -run 'Stress|Clone|Sharded' .
 
-# Short bounded fuzz runs over the expression parser and the database
-# loader (go native fuzzing; one target per invocation). The growing
-# corpus lives in the Go build cache, so repeated runs keep digging.
+# Short bounded fuzz runs over the expression parser, the graph-pattern
+# parser and the database loader (go native fuzzing; one target per
+# invocation). The growing corpus lives in the Go build cache, so
+# repeated runs keep digging.
 fuzz:
 	$(GO) test -run NONE -fuzz FuzzParseExpr -fuzztime $(FUZZTIME) ./internal/pathexpr
+	$(GO) test -run NONE -fuzz FuzzParseQuery -fuzztime $(FUZZTIME) ./internal/query
 	$(GO) test -run NONE -fuzz FuzzLoadDB -fuzztime $(FUZZTIME) .
 
 # Service throughput scaling and cache-hit benchmarks.
@@ -44,10 +47,13 @@ bench-short:
 		./internal/bitvec/ ./internal/wavelet/ ./internal/core/
 
 # Machine-readable perf trajectory: the batched-vs-unbatched ablation
-# over the standard Table 1 workload, written to BENCH_PR3.json
-# (p50/p95 latency + throughput per subset, both modes).
+# over the standard Table 1 workload (BENCH_PR3.json), and the
+# graph-pattern workload — BGP-only vs mixed BGP+RPQ — on the
+# selectivity-planned executor (BENCH_PR4.json).
 bench-json:
 	$(GO) run ./cmd/rpqbench -json BENCH_PR3.json
+	$(GO) run ./cmd/rpqbench -nodes 8000 -edges 40000 -preds 40 -queries 120 \
+		-limit 10000 -patterns BENCH_PR4.json
 
 clean:
 	$(GO) clean ./...

@@ -1,20 +1,24 @@
-// Command rpq loads a triple file and evaluates regular path queries
-// against it using the ring index.
+// Command rpq loads a triple file and evaluates regular path queries —
+// or, with -pattern, multi-clause graph patterns — against it using
+// the ring index.
 //
 // Usage:
 //
 //	rpq -data graph.nt "Baquedano" "(l1|l2|l5)+" "?station"
 //	rpq -data graph.nt -count "?x" "p31/p279*" "?y"
+//	rpq -data graph.nt -pattern "SELECT ?x WHERE { ?x advisor+ ?y . ?y country Q30 }"
 //
 // Endpoints starting with '?' are variables. The data file holds one
 // "subject predicate object" triple per line ('#' comments, optional
-// trailing dots, <IRI> tokens).
+// trailing dots, <IRI> tokens). Pattern mode prints a tab-separated
+// table: a header of variable names, then one row per solution.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"ringrpq"
@@ -30,6 +34,7 @@ func main() {
 		limit   = flag.Int("limit", 0, "cap the number of solutions (0 = all)")
 		timeout = flag.Duration("timeout", 0, "per-query timeout (0 = none)")
 		stats   = flag.Bool("stats", false, "print database statistics and exit")
+		pattern = flag.Bool("pattern", false, "evaluate the single argument as a graph-pattern query (triple patterns + RPQ clauses)")
 	)
 	flag.Parse()
 	if *data == "" && *index == "" {
@@ -87,12 +92,6 @@ func main() {
 		return
 	}
 
-	if flag.NArg() != 3 {
-		fmt.Fprintln(os.Stderr, "rpq: want exactly three arguments: subject expr object")
-		os.Exit(2)
-	}
-	subject, expr, object := flag.Arg(0), flag.Arg(1), flag.Arg(2)
-
 	var opts []ringrpq.QueryOption
 	if *limit > 0 {
 		opts = append(opts, ringrpq.WithLimit(*limit))
@@ -100,6 +99,22 @@ func main() {
 	if *timeout > 0 {
 		opts = append(opts, ringrpq.WithTimeout(*timeout))
 	}
+
+	if *pattern {
+		// Accept the query as one argument or as shell-split tokens.
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "rpq: -pattern wants the graph-pattern query as argument")
+			os.Exit(2)
+		}
+		runPattern(db, strings.Join(flag.Args(), " "), *count, opts)
+		return
+	}
+
+	if flag.NArg() != 3 {
+		fmt.Fprintln(os.Stderr, "rpq: want exactly three arguments: subject expr object")
+		os.Exit(2)
+	}
+	subject, expr, object := flag.Arg(0), flag.Arg(1), flag.Arg(2)
 
 	n := 0
 	qstart := time.Now()
@@ -119,6 +134,29 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "%d solutions in %v\n", n, elapsed)
+}
+
+// runPattern evaluates a graph-pattern query and prints the projected
+// result table (tab-separated, header first).
+func runPattern(db *ringrpq.DB, src string, countOnly bool, opts []ringrpq.QueryOption) {
+	qstart := time.Now()
+	vars, rows, err := db.Select(src, opts...)
+	elapsed := time.Since(qstart)
+	if err == ringrpq.ErrTimeout {
+		fmt.Fprintf(os.Stderr, "timeout after %v (%d rows so far)\n", elapsed, len(rows))
+	} else if err != nil {
+		fatal(err)
+	}
+	if !countOnly {
+		fmt.Println(strings.Join(vars, "\t"))
+		for _, row := range rows {
+			fmt.Println(strings.Join(row, "\t"))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%d rows in %v\n", len(rows), elapsed)
+	if err == ringrpq.ErrTimeout {
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {

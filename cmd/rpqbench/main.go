@@ -39,6 +39,7 @@ import (
 	"ringrpq/internal/datagen"
 	"ringrpq/internal/harness"
 	"ringrpq/internal/pathexpr"
+	"ringrpq/internal/query"
 	"ringrpq/internal/ring"
 	"ringrpq/internal/service"
 	"ringrpq/internal/triples"
@@ -62,9 +63,10 @@ func main() {
 		workers = flag.Int("workers", 0, "also drive the log through the service pool with this many workers (0 = off)")
 		shards  = flag.Int("shards", 0, "also compare single-ring vs K-shard query latency (0 = off)")
 		jsonOut = flag.String("json", "", "run the batched-vs-unbatched ablation and write machine-readable results to this file (e.g. BENCH_PR3.json)")
+		patOut  = flag.String("patterns", "", "run the graph-pattern workload (BGP-only vs mixed BGP+RPQ) and write machine-readable results to this file (e.g. BENCH_PR4.json)")
 	)
 	flag.Parse()
-	all := !*table1 && !*table2 && !*fig8 && !*build && *jsonOut == ""
+	all := !*table1 && !*table2 && !*fig8 && !*build && *jsonOut == "" && *patOut == ""
 
 	fmt.Printf("generating graph: %d nodes, %d edge draws, %d predicates (seed %d)\n",
 		*nodes, *edges, *preds, *seed)
@@ -166,6 +168,129 @@ func main() {
 		}
 		runBatchComparison(g, qs, *timeout, *limit, *jsonOut, cfg)
 	}
+
+	if *patOut != "" {
+		cfg := benchConfig{
+			Nodes: *nodes, Edges: *edges, Preds: *preds, Queries: *queries,
+			Seed: *seed, Timeout: timeout.String(), Limit: *limit,
+		}
+		runPatternBench(g, *queries, *timeout, *limit, *patOut, cfg)
+	}
+}
+
+// patternReport is the BENCH_PR4.json schema: the graph-pattern
+// executor over the generated star/path/hybrid workload, split into
+// the BGP-only subset, the mixed BGP+RPQ subset, and all.
+type patternReport struct {
+	Bench     string               `json:"bench"`
+	Config    benchConfig          `json:"config"`
+	Workloads map[string]modeStats `json:"workloads"`
+}
+
+// runPatternBench replays a generated graph-pattern log on the
+// selectivity-planned LTJ+RPQ executor, reporting p50/p95 latency and
+// throughput for BGP-only vs mixed BGP+RPQ patterns, and writes the
+// JSON report. Each pattern is measured as the best of three runs
+// after a warm-up pass (planner statistics and automata are shared, so
+// neither subset pays one-time construction).
+func runPatternBench(g *triples.Graph, total int, timeout time.Duration, limit int, path string, cfg benchConfig) {
+	fmt.Printf("graph-pattern workload: %d patterns, BGP-only vs mixed BGP+RPQ (timeout %v, limit %d)\n",
+		total, timeout, limit)
+	pqs := workload.GeneratePatterns(g, workload.PatternConfig{Seed: cfg.Seed + 2, Total: total})
+	x := query.NewExec(g, ring.New(g, ring.WaveletMatrix), nil)
+
+	type subset struct {
+		lat      []time.Duration
+		timeouts int
+	}
+	subsets := map[string]*subset{"all": {}, "bgp": {}, "mixed": {}}
+	skipped := 0
+	for _, pq := range pqs {
+		q, err := query.Parse(pq.Text)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pattern workload: %q: %v\n", pq.Text, err)
+			os.Exit(1)
+		}
+		opts := query.Options{Limit: limit, Timeout: timeout}
+		run := func() (time.Duration, bool, bool) {
+			t0 := time.Now()
+			err := x.Run(q, opts, func(query.Binding) bool { return true })
+			d := time.Since(t0)
+			if errors.Is(err, query.ErrTimeout) {
+				return d, true, false
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pattern workload: %q: %v\n", pq.Text, err)
+				return d, false, true
+			}
+			return d, false, false
+		}
+		run() // warm-up: planner stats, automata, mask arrays
+		best := time.Duration(1<<63 - 1)
+		completed, skip := 0, false
+		for rep := 0; rep < 3; rep++ {
+			d, to, sk := run()
+			if sk {
+				skip = true
+				break
+			}
+			if to {
+				continue // a transiently-slow rep must not discard a measured best
+			}
+			completed++
+			if d < best {
+				best = d
+			}
+			if d > 250*time.Millisecond {
+				break
+			}
+		}
+		if skip {
+			skipped++
+			continue
+		}
+		timedOut := completed == 0
+		names := []string{"all", "bgp"}
+		if pq.HasRPQ {
+			names[1] = "mixed"
+		}
+		for _, name := range names {
+			s := subsets[name]
+			if timedOut {
+				s.timeouts++
+			} else {
+				s.lat = append(s.lat, best)
+			}
+		}
+	}
+	if skipped > 0 {
+		fmt.Printf("  %d patterns skipped on evaluation errors\n", skipped)
+	}
+
+	report := patternReport{
+		Bench:     "graph-pattern executor: selectivity-planned LTJ+RPQ pipeline (PR4)",
+		Config:    cfg,
+		Workloads: map[string]modeStats{},
+	}
+	for _, name := range []string{"all", "bgp", "mixed"} {
+		s := subsets[name]
+		st := summarize(s.lat, s.timeouts)
+		report.Workloads[name] = st
+		fmt.Printf("  %-6s %4d patterns  p50 %8.0fµs  p95 %8.0fµs  mean %8.0fµs  %8.1f q/s  timeouts %d\n",
+			name, st.Queries, st.P50us, st.P95us, st.MeanUs, st.QPS, st.Timeouts)
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "encoding %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("  wrote %s\n", path)
 }
 
 // benchConfig records the generation parameters in the JSON report so a

@@ -20,6 +20,8 @@
 //
 //	POST /query   {"subject":"?x","expr":"a/b*","object":"?y",
 //	               "limit":100,"timeout":"2s","count":false}
+//	POST /select  {"query":"SELECT ?x ?y WHERE { ?x a/b* ?y . ?y c wd:Q30 }",
+//	               "limit":100,"timeout":"2s","count":false}
 //	POST /batch   {"queries":[{...},{...}]}
 //	GET  /stats   service and index statistics
 //	GET  /healthz liveness probe
@@ -29,6 +31,12 @@
 // responses that fill their cap carry "limit_reached": true.
 // Evaluation timeouts are not errors: the response carries the
 // solutions found in time with "timed_out": true.
+//
+// /select evaluates graph patterns — conjunctions of triple patterns
+// and RPQ clauses (see the README's "Graph patterns" section) — and
+// returns {"vars": [...], "rows": [[...], ...]}. On a sharded index,
+// patterns whose predicates span shards fail with a cross-shard error
+// (single-shard patterns are routed wholesale).
 package main
 
 import (

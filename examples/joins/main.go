@@ -1,32 +1,32 @@
 // Joins demonstrates the §6 integration the paper sketches: the same
 // ring data structure answers both worst-case-optimal multijoins
 // (Leapfrog Triejoin, the ring's original purpose) and regular path
-// queries, so basic graph patterns and RPQs can be mixed over one index
-// with no extra space.
+// queries, so basic graph patterns and RPQs mix over one index with no
+// extra space — now through the public graph-pattern API.
 //
 // The query answered here, over a small organisational graph:
 //
 //	SELECT ?mgr ?proj WHERE {
-//	  ?mgr  manages+  ?eng .      # RPQ: any management chain
-//	  ?eng  assigned  ?proj .     # join: engineer's project
-//	  ?proj status    active .    # join: only active projects
+//	  ?mgr  manages+  ?eng .      # RPQ clause: any management chain
+//	  ?eng  assigned  ?proj .     # triple pattern: engineer's project
+//	  ?proj status    active      # triple pattern: only active projects
 //	}
+//
+// The planner orders the triple patterns by selectivity for the
+// leapfrog join and pipelines the manages+ clause as bound-endpoint
+// RPQ evaluation; bindings flow into the path clause's endpoints and
+// its results feed back as join streams.
 package main
 
 import (
 	"fmt"
 	"log"
-	"sort"
 
-	"ringrpq/internal/core"
-	"ringrpq/internal/ltj"
-	"ringrpq/internal/pathexpr"
-	"ringrpq/internal/ring"
-	"ringrpq/internal/triples"
+	"ringrpq"
 )
 
 func main() {
-	b := triples.NewBuilder()
+	b := ringrpq.NewBuilder()
 	b.Add("ana", "manages", "bo")
 	b.Add("bo", "manages", "cleo")
 	b.Add("bo", "manages", "dmitri")
@@ -36,77 +36,43 @@ func main() {
 	b.Add("erin", "assigned", "apollo")
 	b.Add("apollo", "status", "active")
 	b.Add("zephyr", "status", "archived")
-	g := b.Build()
-	r := ring.New(g, ring.WaveletMatrix)
-
-	// Step 1 — the RPQ part on the ring: all (manager, engineer) pairs
-	// connected by manages+.
-	engine := core.NewEngine(r, func(s pathexpr.Sym) (uint32, bool) {
-		return g.PredID(s.Name, s.Inverse)
-	})
-	type pair struct{ mgr, eng uint32 }
-	var chains []pair
-	_, err := engine.Eval(core.Query{
-		Subject: core.Variable,
-		Expr:    pathexpr.MustParse("manages+"),
-		Object:  core.Variable,
-	}, core.Options{}, func(s, o uint32) bool {
-		chains = append(chains, pair{s, o})
-		return true
-	})
+	db, err := b.Build()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("manages+ pairs: %d\n", len(chains))
 
-	// Step 2 — the join part on the same ring: for each engineer, the
-	// active projects, via Leapfrog Triejoin on the two triple patterns.
-	assigned, _ := g.PredID("assigned", false)
-	status, _ := g.PredID("status", false)
-	active, _ := g.Nodes.Lookup("active")
-
-	type result struct{ mgr, proj string }
-	seen := map[result]bool{}
-	var results []result
-	for _, c := range chains {
-		err := ltj.Join(r, []ltj.Pattern{
-			{S: ltj.C(c.eng), P: ltj.C(assigned), O: ltj.V("proj")},
-			{S: ltj.V("proj"), P: ltj.C(status), O: ltj.C(active)},
-		}, func(row ltj.Row) bool {
-			res := result{g.Nodes.Name(c.mgr), g.Nodes.Name(row["proj"])}
-			if !seen[res] {
-				seen[res] = true
-				results = append(results, res)
-			}
-			return true
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-	}
-	sort.Slice(results, func(i, j int) bool {
-		if results[i].mgr != results[j].mgr {
-			return results[i].mgr < results[j].mgr
-		}
-		return results[i].proj < results[j].proj
-	})
-	fmt.Println("\nmanagers with reports on active projects:")
-	for _, r := range results {
-		fmt.Printf("  %-8s -> %s\n", r.mgr, r.proj)
-	}
-
-	// Bonus: a pure triangle-style multijoin showing leapfrog over three
-	// patterns with a shared variable.
-	fmt.Println("\nengineer / project / state rows (3-pattern join):")
-	err = ltj.Join(r, []ltj.Pattern{
-		{S: ltj.V("eng"), P: ltj.C(assigned), O: ltj.V("proj")},
-		{S: ltj.V("proj"), P: ltj.C(status), O: ltj.V("state")},
-	}, func(row ltj.Row) bool {
-		fmt.Printf("  %-8s %-8s %s\n",
-			g.Nodes.Name(row["eng"]), g.Nodes.Name(row["proj"]), g.Nodes.Name(row["state"]))
-		return true
-	})
+	// A mixed BGP+RPQ pattern with projection.
+	vars, rows, err := db.Select(`
+		SELECT ?mgr ?proj WHERE {
+			?mgr manages+ ?eng .
+			?eng assigned ?proj .
+			?proj status active
+		}`)
 	if err != nil {
 		log.Fatal(err)
 	}
+	ringrpq.SortRows(rows)
+	fmt.Printf("managers with reports on active projects (%v):\n", vars)
+	for _, row := range rows {
+		fmt.Printf("  %-8s -> %s\n", row[0], row[1])
+	}
+
+	// Full bindings, no projection: every variable of the pattern.
+	fmt.Println("\nengineer / project / state rows (pure triple-pattern join):")
+	bindings, err := db.QueryPattern("?eng assigned ?proj . ?proj status ?state")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, bd := range bindings {
+		fmt.Printf("  %-8s %-8s %s\n", bd["eng"], bd["proj"], bd["state"])
+	}
+
+	// The planner's decisions are inspectable: the leapfrog variable
+	// order and how many path clauses were scheduled.
+	order, steps, err := db.ExplainPattern(
+		"?mgr manages+ ?eng . ?eng assigned ?proj . ?proj status active")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplan: leapfrog order %v, %d pipelined RPQ step(s)\n", order, steps)
 }

@@ -19,11 +19,37 @@
 package ltj
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"ringrpq/internal/ring"
 )
+
+// ErrUnsupportedOrder reports that no single-ring variable order exists
+// for the given patterns (the SIGMOD paper adds a second, reversed ring
+// for full generality).
+var ErrUnsupportedOrder = errors.New("ltj: no single-ring variable order for these patterns")
+
+// ErrTimeout reports that a join exceeded Options.Timeout; rows emitted
+// before the deadline are valid but incomplete.
+var ErrTimeout = errors.New("ltj: join timeout")
+
+// Options tune one join evaluation (core.Options-style).
+type Options struct {
+	// Order fixes the global variable order instead of letting the join
+	// search for one — the hook the query planner uses to impose its
+	// selectivity-driven order. It must mention every variable of the
+	// patterns; JoinWith returns ErrUnsupportedOrder when no rotation
+	// assignment fits it.
+	Order []string
+	// Limit caps the number of emitted rows; 0 means unlimited.
+	Limit int
+	// Timeout bounds wall-clock enumeration time; 0 means none.
+	// Exceeding it returns ErrTimeout.
+	Timeout time.Duration
+}
 
 // Term is one position of a triple pattern: a constant symbol or a
 // variable name.
@@ -75,24 +101,56 @@ type Row map[string]uint32
 
 // Join evaluates the natural join of the patterns on r, calling emit for
 // every result row; emit returning false stops the enumeration. It
-// returns an error when no single-ring binding order exists.
+// returns ErrUnsupportedOrder when no single-ring binding order exists.
 func Join(r *ring.Ring, patterns []Pattern, emit func(Row) bool) error {
+	return JoinWith(r, patterns, Options{}, emit)
+}
+
+// JoinWith is Join with evaluation options: a caller-fixed variable
+// order, a row limit and a timeout. Rows emitted before a timeout are
+// valid; the limit truncates silently (nil error), mirroring the RPQ
+// engine's contract.
+func JoinWith(r *ring.Ring, patterns []Pattern, opts Options, emit func(Row) bool) error {
 	if len(patterns) == 0 {
 		return nil
 	}
 	vars := collectVars(patterns)
-	order, rotations, ok := chooseOrder(patterns, vars)
-	if !ok {
-		return fmt.Errorf("ltj: no single-ring variable order for these patterns")
+	var order []string
+	var rotations []axis
+	if opts.Order != nil {
+		if !coversVars(opts.Order, vars) {
+			return fmt.Errorf("ltj: order %v does not cover the pattern variables %v", opts.Order, vars)
+		}
+		rots, ok := feasible(patterns, opts.Order)
+		if !ok {
+			return ErrUnsupportedOrder
+		}
+		order, rotations = opts.Order, rots
+	} else {
+		var ok bool
+		order, rotations, ok = chooseOrder(patterns, vars)
+		if !ok {
+			return ErrUnsupportedOrder
+		}
 	}
 	j := &joiner{
 		r:         r,
 		patterns:  patterns,
 		rotations: rotations,
 		order:     order,
-		emit:      emit,
+		limit:     opts.Limit,
 		states:    make([]state, len(patterns)),
 		row:       Row{},
+	}
+	if opts.Timeout > 0 {
+		j.deadline = time.Now().Add(opts.Timeout)
+	}
+	j.emit = func(row Row) bool {
+		j.emitted++
+		if !emit(row) {
+			return false
+		}
+		return j.limit == 0 || j.emitted < j.limit
 	}
 	for i := range j.states {
 		j.states[i] = state{step: 0, b: -1, e: -1}
@@ -104,8 +162,34 @@ func Join(r *ring.Ring, patterns []Pattern, emit func(Row) bool) error {
 	}
 	j.run(0)
 	j.restore(saved)
-	return nil
+	return j.failure
 }
+
+// coversVars reports whether order mentions every variable in vars
+// (extra names in order are harmless: they simply never bind).
+func coversVars(order, vars []string) bool {
+	pos := map[string]bool{}
+	for _, v := range order {
+		pos[v] = true
+	}
+	for _, v := range vars {
+		if !pos[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// Feasible reports whether the patterns admit rotations compatible with
+// the given global variable order — the planner's pre-check before
+// fixing Options.Order.
+func Feasible(patterns []Pattern, order []string) bool {
+	_, ok := feasible(patterns, order)
+	return ok
+}
+
+// Vars returns the variables of the patterns, sorted.
+func Vars(patterns []Pattern) []string { return collectVars(patterns) }
 
 // state is a pattern's position in its rotation walk: step counts bound
 // components; [b, e) is the current range, with b == -1 meaning the
@@ -124,6 +208,27 @@ type joiner struct {
 	states    []state
 	row       Row
 	stopped   bool
+
+	limit    int
+	emitted  int
+	deadline time.Time
+	steps    int
+	failure  error
+}
+
+// checkDeadline polls the wall clock every 64 leapfrog steps, mirroring
+// core.Engine's cadence.
+func (j *joiner) checkDeadline() bool {
+	j.steps++
+	if j.deadline.IsZero() || j.steps%64 != 0 {
+		return true
+	}
+	if time.Now().After(j.deadline) {
+		j.failure = ErrTimeout
+		j.stopped = true
+		return false
+	}
+	return true
 }
 
 func (j *joiner) snapshot() []state { return append([]state(nil), j.states...) }
@@ -258,6 +363,9 @@ func (j *joiner) run(level int) {
 	// Leapfrog over the participants' sorted candidate streams.
 	x := uint32(0)
 	for {
+		if !j.checkDeadline() {
+			return
+		}
 		agreed := true
 		for _, i := range participants {
 			c, ok := j.seek(i, x)

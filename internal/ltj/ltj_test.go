@@ -1,9 +1,12 @@
 package ltj
 
 import (
+	"errors"
+	"fmt"
 	"reflect"
 	"sort"
 	"testing"
+	"time"
 
 	"ringrpq/internal/enginetest"
 	"ringrpq/internal/ring"
@@ -257,7 +260,98 @@ func TestInfeasibleOrderRejected(t *testing.T) {
 		{S: V("x"), P: V("z"), O: V("y")},
 	}
 	err := Join(r, patterns, func(Row) bool { return true })
-	if err == nil {
-		t.Fatal("conflicting rotations must be rejected")
+	if !errors.Is(err, ErrUnsupportedOrder) {
+		t.Fatalf("conflicting rotations: got %v, want ErrUnsupportedOrder", err)
+	}
+}
+
+func TestJoinWithLimit(t *testing.T) {
+	g := enginetest.Metro()
+	r := ring.New(g, ring.WaveletMatrix)
+	patterns := []Pattern{{S: V("x"), P: V("p"), O: V("y")}}
+	all := runJoin(t, r, patterns)
+	if len(all) < 4 {
+		t.Fatalf("need >= 4 rows for the limit test, have %d", len(all))
+	}
+	count := 0
+	err := JoinWith(r, patterns, Options{Limit: 3}, func(Row) bool { count++; return true })
+	if err != nil || count != 3 {
+		t.Fatalf("limit: count=%d err=%v, want 3 rows and nil error", count, err)
+	}
+}
+
+func TestJoinWithTimeout(t *testing.T) {
+	// A large dense graph and an unselective 3-pattern join: the
+	// enumeration must notice a 1ns deadline long before finishing.
+	b := triples.NewBuilder()
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 40; j++ {
+			b.Add(fmt.Sprintf("n%d", i), "p", fmt.Sprintf("n%d", j))
+		}
+	}
+	g := b.Build()
+	r := ring.New(g, ring.WaveletMatrix)
+	p, _ := g.PredID("p", false)
+	patterns := []Pattern{
+		{S: V("x"), P: C(p), O: V("y")},
+		{S: V("y"), P: C(p), O: V("z")},
+		{S: V("z"), P: C(p), O: V("w")},
+	}
+	count := 0
+	err := JoinWith(r, patterns, Options{Timeout: time.Nanosecond}, func(Row) bool {
+		count++
+		return true
+	})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("timeout: got err=%v after %d rows, want ErrTimeout", err, count)
+	}
+	full := runJoin(t, r, patterns)
+	if count >= len(full) {
+		t.Fatalf("timeout did not truncate: %d rows of %d", count, len(full))
+	}
+}
+
+func TestJoinWithFixedOrder(t *testing.T) {
+	g := enginetest.Metro()
+	r := ring.New(g, ring.WaveletMatrix)
+	l1, _ := g.PredID("l1", false)
+	l2, _ := g.PredID("l2", false)
+	patterns := []Pattern{
+		{S: V("x"), P: C(l1), O: V("y")},
+		{S: V("y"), P: C(l2), O: V("z")},
+	}
+	want := sortRows(runJoin(t, r, patterns), []string{"x", "y", "z"})
+
+	if !Feasible(patterns, []string{"x", "y", "z"}) {
+		t.Fatal("x,y,z should be feasible")
+	}
+	var rows []Row
+	err := JoinWith(r, patterns, Options{Order: []string{"x", "y", "z"}}, func(row Row) bool {
+		rows = append(rows, row)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sortRows(rows, []string{"x", "y", "z"})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fixed order: got %d rows, want %d", len(got), len(want))
+	}
+
+	// An order the rotations cannot realise is rejected with the typed
+	// error; an order missing a variable is rejected outright. For the
+	// all-variable pattern (?x, ?p, ?y) the three rotations admit
+	// exactly x<y<p, y<p<x and p<x<y, so y<x<p fits none.
+	allVar := []Pattern{{S: V("x"), P: V("p"), O: V("y")}}
+	if Feasible(allVar, []string{"y", "x", "p"}) {
+		t.Fatal("y,x,p should be infeasible for (?x, ?p, ?y)")
+	}
+	err = JoinWith(r, allVar, Options{Order: []string{"y", "x", "p"}}, func(Row) bool { return true })
+	if !errors.Is(err, ErrUnsupportedOrder) {
+		t.Fatalf("infeasible fixed order: got %v, want ErrUnsupportedOrder", err)
+	}
+	err = JoinWith(r, patterns, Options{Order: []string{"x", "y"}}, func(Row) bool { return true })
+	if err == nil || errors.Is(err, ErrUnsupportedOrder) {
+		t.Fatalf("incomplete order: got %v, want a coverage error", err)
 	}
 }

@@ -1,0 +1,372 @@
+package query
+
+import (
+	"errors"
+	"time"
+
+	"ringrpq/internal/core"
+	"ringrpq/internal/ltj"
+	"ringrpq/internal/pathexpr"
+	"ringrpq/internal/ring"
+	"ringrpq/internal/triples"
+)
+
+// ErrCrossShard reports a pattern whose clauses span several sub-rings
+// of a sharded index: every matching path of every clause must live in
+// one shard for the join to be routed wholesale, and cross-shard joins
+// are not yet supported (the RPQ-only cooperative traversal does not
+// extend to LTJ's rotation walks).
+var ErrCrossShard = errors.New("query: graph pattern spans multiple shards (cross-shard joins are not yet supported)")
+
+// ErrTimeout re-exports the engine's timeout error: bindings emitted
+// before the deadline are valid but incomplete.
+var ErrTimeout = core.ErrTimeout
+
+// Options tune one pattern evaluation.
+type Options struct {
+	// Limit caps the number of emitted bindings; 0 means unlimited.
+	Limit int
+	// Timeout bounds wall-clock evaluation time; 0 means none.
+	// Exceeding it returns ErrTimeout.
+	Timeout time.Duration
+}
+
+// Binding is one result row: variable name (without '?') to the bound
+// node name — or, for predicate-position variables, the completed
+// predicate name ('^'-prefixed for inverses).
+type Binding map[string]string
+
+// Exec evaluates graph patterns over one database layout. Like
+// core.Engine it owns working state and must not be used concurrently;
+// build one per worker (the SelCache may be shared across them).
+type Exec struct {
+	g   *triples.Graph
+	r   *ring.Ring     // single-ring layout (nil when sharded)
+	set *ring.ShardSet // sharded layout (nil when single-ring)
+	sel *SelCache
+
+	engines map[engineKey]*core.Engine
+	// plans memoises planning by canonical query text and routed ring:
+	// the planner's permutation search and estimate lookups depend only
+	// on the immutable index, so a long-lived Exec (a service worker)
+	// re-running a pattern pays planning once.
+	plans map[planKey]*Plan
+}
+
+// planKey identifies one memoised plan.
+type planKey struct {
+	canon string
+	r     *ring.Ring
+}
+
+// maxPlans bounds the per-Exec plan memo; on overflow the whole memo
+// is dropped (replanning a handful of patterns is cheaper than
+// tracking recency), mirroring core's compilation memo.
+const maxPlans = 128
+
+// engineKey identifies one engine slot: the routed ring and the RPQ
+// pipeline depth (nested path steps each need their own working
+// arrays).
+type engineKey struct {
+	r     *ring.Ring
+	depth int
+}
+
+// NewExec builds a pattern executor over a single ring. A nil sel
+// builds a private selectivity cache.
+func NewExec(g *triples.Graph, r *ring.Ring, sel *SelCache) *Exec {
+	if sel == nil {
+		sel = NewSelCache()
+	}
+	return &Exec{g: g, r: r, sel: sel, engines: map[engineKey]*core.Engine{}}
+}
+
+// NewExecSharded builds a pattern executor over a shard set.
+func NewExecSharded(g *triples.Graph, set *ring.ShardSet, sel *SelCache) *Exec {
+	if sel == nil {
+		sel = NewSelCache()
+	}
+	return &Exec{g: g, set: set, sel: sel, engines: map[engineKey]*core.Engine{}}
+}
+
+// ids resolves predicate occurrences against the graph dictionaries.
+func (x *Exec) ids(s pathexpr.Sym) (uint32, bool) {
+	return x.g.PredID(s.Name, s.Inverse)
+}
+
+// engineFor returns the engine for one (ring, pipeline depth) slot,
+// building it on first use.
+func (x *Exec) engineFor(r *ring.Ring, depth int) *core.Engine {
+	key := engineKey{r, depth}
+	if e, ok := x.engines[key]; ok {
+		return e
+	}
+	e := core.NewEngine(r, x.ids)
+	x.engines[key] = e
+	return e
+}
+
+// route picks the ring the whole pattern runs on. For the single-ring
+// layout that is trivially the ring; for a sharded layout every
+// predicate any clause can touch must map to one shard (variable
+// predicates and negated property sets span shards by construction).
+func (x *Exec) route(q *Query) (*ring.Ring, error) {
+	if x.set == nil {
+		return x.r, nil
+	}
+	if x.set.K == 1 {
+		return x.set.Shards[0], nil
+	}
+	shard := -1
+	assign := func(k int) error {
+		if shard == -1 {
+			shard = k
+		} else if shard != k {
+			return ErrCrossShard
+		}
+		return nil
+	}
+	for _, c := range q.Clauses {
+		if c.PredVar != "" {
+			// A variable predicate ranges over every completed
+			// predicate, hence over every shard.
+			return nil, ErrCrossShard
+		}
+		if pathexpr.HasNegSets(c.Path) {
+			return nil, ErrCrossShard
+		}
+		for _, s := range pathexpr.Predicates(c.Path) {
+			id, ok := x.ids(s)
+			if !ok {
+				continue // matches nothing; no shard constraint
+			}
+			if err := assign(x.set.ShardFor(id)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if shard == -1 {
+		shard = 0 // no known predicate: any shard answers (empty/ε cases)
+	}
+	return x.set.Shards[shard], nil
+}
+
+// Plan resolves and plans q without executing it (explain output and
+// planner tests).
+func (x *Exec) Plan(q *Query) (*Plan, error) {
+	r, err := x.route(q)
+	if err != nil {
+		return nil, err
+	}
+	return x.planFor(q, r)
+}
+
+// planFor returns the memoised plan of q on ring r, planning on first
+// use.
+func (x *Exec) planFor(q *Query, r *ring.Ring) (*Plan, error) {
+	key := planKey{canon: q.String(), r: r}
+	if pl, ok := x.plans[key]; ok {
+		return pl, nil
+	}
+	p := &planner{g: x.g, r: r, sel: x.sel.For(r)}
+	pl, err := p.plan(q)
+	if err != nil {
+		return nil, err
+	}
+	if x.plans == nil || len(x.plans) >= maxPlans {
+		x.plans = make(map[planKey]*Plan, 16)
+	}
+	x.plans[key] = pl
+	return pl, nil
+}
+
+// Run evaluates q, calling emit for every result binding. Bindings are
+// distinct; emit may return false to stop early. The map passed to emit
+// is freshly allocated per call and may be retained. Exceeding
+// Options.Timeout returns ErrTimeout with the bindings emitted so far
+// still valid; Options.Limit truncates silently.
+func (x *Exec) Run(q *Query, opts Options, emit func(Binding) bool) error {
+	r, err := x.route(q)
+	if err != nil {
+		return err
+	}
+	pl, err := x.planFor(q, r)
+	if err != nil {
+		return err
+	}
+	if pl.Empty {
+		return nil
+	}
+	rt := &run{
+		x: x, r: r, plan: pl, emit: emit,
+		limit:    opts.Limit,
+		row:      map[string]uint32{},
+		predVars: q.PredVars(),
+	}
+	if opts.Timeout > 0 {
+		rt.deadline = time.Now().Add(opts.Timeout)
+	}
+
+	if len(pl.Triples) > 0 {
+		lopts := ltj.Options{Order: pl.Order, Timeout: opts.Timeout}
+		err := ltj.JoinWith(r, pl.Triples, lopts, func(row ltj.Row) bool {
+			for k, v := range row {
+				rt.row[k] = v
+			}
+			cont := rt.steps(0)
+			for k := range row {
+				delete(rt.row, k)
+			}
+			return cont
+		})
+		if errors.Is(err, ltj.ErrTimeout) {
+			return ErrTimeout
+		}
+		if err != nil {
+			return err
+		}
+		return rt.failure
+	}
+	rt.steps(0)
+	return rt.failure
+}
+
+// run is the per-evaluation state of one pattern execution.
+type run struct {
+	x        *Exec
+	r        *ring.Ring
+	plan     *Plan
+	emit     func(Binding) bool
+	limit    int
+	emitted  int
+	row      map[string]uint32
+	predVars map[string]bool
+	deadline time.Time
+	failure  error
+}
+
+// remaining converts the deadline into a per-call engine timeout; false
+// means the deadline already passed.
+func (rt *run) remaining() (time.Duration, bool) {
+	if rt.deadline.IsZero() {
+		return 0, true
+	}
+	rem := time.Until(rt.deadline)
+	if rem <= 0 {
+		rt.failure = ErrTimeout
+		return 0, false
+	}
+	return rem, true
+}
+
+// steps runs the RPQ pipeline from step i under the current row,
+// emitting completed bindings at the end; false stops the whole
+// enumeration (failure, limit, or the caller's emit).
+func (rt *run) steps(i int) bool {
+	if rt.failure != nil {
+		return false
+	}
+	if i == len(rt.plan.Steps) {
+		return rt.emitRow()
+	}
+	s := rt.plan.Steps[i]
+	sid, sBound := rt.resolve(s.SVar, s.SID)
+	oid, oBound := rt.resolve(s.OVar, s.OID)
+	rem, ok := rt.remaining()
+	if !ok {
+		return false
+	}
+	eng := rt.x.engineFor(rt.r, i)
+	copts := core.Options{Timeout: rem}
+
+	cq := core.Query{Subject: core.Variable, Object: core.Variable, Expr: s.Expr}
+	if sBound {
+		cq.Subject = sid
+	}
+	if oBound {
+		cq.Object = oid
+	}
+
+	cont := true
+	var err error
+	switch {
+	case sBound && oBound:
+		found := false
+		_, err = eng.Eval(cq, core.Options{Timeout: rem, Limit: 1}, func(uint32, uint32) bool {
+			found = true
+			return false
+		})
+		if err == nil && found {
+			cont = rt.steps(i + 1)
+		}
+	case !sBound && !oBound && s.SVar == s.OVar && s.SVar != "":
+		// Same unbound variable on both ends: only v→v loops bind it.
+		_, err = eng.Eval(cq, copts, func(a, b uint32) bool {
+			if a != b {
+				return true
+			}
+			rt.row[s.SVar] = a
+			cont = rt.steps(i + 1)
+			delete(rt.row, s.SVar)
+			return cont
+		})
+	default:
+		_, err = eng.Eval(cq, copts, func(a, b uint32) bool {
+			if !sBound && s.SVar != "" {
+				rt.row[s.SVar] = a
+			}
+			if !oBound && s.OVar != "" {
+				rt.row[s.OVar] = b
+			}
+			cont = rt.steps(i + 1)
+			if !sBound && s.SVar != "" {
+				delete(rt.row, s.SVar)
+			}
+			if !oBound && s.OVar != "" {
+				delete(rt.row, s.OVar)
+			}
+			return cont
+		})
+	}
+	if err != nil {
+		if errors.Is(err, core.ErrTimeout) {
+			rt.failure = ErrTimeout
+		} else {
+			rt.failure = err
+		}
+		return false
+	}
+	return cont
+}
+
+// resolve returns the id a step endpoint is fixed to, if any: a
+// constant, or a variable already bound by LTJ or an earlier step.
+func (rt *run) resolve(v string, constID int64) (int64, bool) {
+	if v == "" {
+		if constID == core.Variable {
+			return core.Variable, false
+		}
+		return constID, true
+	}
+	if id, ok := rt.row[v]; ok {
+		return int64(id), true
+	}
+	return core.Variable, false
+}
+
+// emitRow renders the current row as a Binding and delivers it.
+func (rt *run) emitRow() bool {
+	b := make(Binding, len(rt.row))
+	for k, v := range rt.row {
+		if rt.predVars[k] {
+			b[k] = rt.x.g.PredName(v)
+		} else {
+			b[k] = rt.x.g.Nodes.Name(v)
+		}
+	}
+	rt.emitted++
+	if !rt.emit(b) {
+		return false
+	}
+	return rt.limit == 0 || rt.emitted < rt.limit
+}

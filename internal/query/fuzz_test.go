@@ -1,0 +1,68 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseQuery fuzzes the graph-pattern parser: it must never panic,
+// and on accepted inputs the canonical rendering must reparse to the
+// same canonical form (the fixed point the service's pattern cache
+// keys on).
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		"?x p ?y",
+		"?x ?p ?y",
+		"?x <advisor>/<advisor>* ?y . ?y country Q30",
+		"SELECT ?x ?y WHERE { ?x advisor+ ?y . ?y country Q30 }",
+		"select ?x where { ?x p ?y }",
+		"SELECT ?x WHERE { ?x p ?y",
+		"?x (a|^b)+/c? ?y .",
+		"?x !(a|^b) ?y",
+		"a ^p* <b.c>",
+		"?x p ?y . . ?y q ?z",
+		"?x p ?y }",
+		"{ ?x p ?y }",
+		"select where { }",
+		"?x ((a) ?y",
+		"?? ?p ?y",
+		"<> p ?y",
+		"?x () ?y",
+		". . .",
+		"x y",
+		"?x p ?y . ?y ?x ?z",
+		"SELECT ?x ?x WHERE { ?x p ?y }",
+		"\t?x\n p \n?y\t.\n?y q ?z",
+		"?x p/ ?y",
+		"?x <a<b> ?y",
+		"?x (.) ?y",
+		"?x <.> ?y . ?y .. ?z",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if len(q.Clauses) == 0 {
+			t.Fatalf("Parse(%q) accepted an empty pattern", src)
+		}
+		s1 := q.String()
+		q2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("canonical form %q (of %q) does not reparse: %v", s1, src, err)
+		}
+		if s2 := q2.String(); s2 != s1 {
+			t.Fatalf("canonical form is not a fixed point: %q → %q (from %q)", s1, s2, src)
+		}
+		// Structural invariants survive the round trip.
+		if len(q2.Clauses) != len(q.Clauses) || len(q2.Select) != len(q.Select) {
+			t.Fatalf("round trip changed shape: %q", src)
+		}
+		if strings.Join(q2.OutVars(), ",") != strings.Join(q.OutVars(), ",") {
+			t.Fatalf("round trip changed projection: %q", src)
+		}
+	})
+}

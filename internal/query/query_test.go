@@ -1,0 +1,133 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"ringrpq/internal/pathexpr"
+)
+
+func TestParseBasicPattern(t *testing.T) {
+	q, err := Parse("?x <advisor>/<advisor>* ?y . ?y country Q30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Clauses) != 2 || q.Select != nil {
+		t.Fatalf("got %d clauses, select=%v", len(q.Clauses), q.Select)
+	}
+	c0 := q.Clauses[0]
+	if c0.S.Var != "x" || c0.O.Var != "y" || c0.IsTriple() {
+		t.Fatalf("clause 0 misparsed: %+v", c0)
+	}
+	if got := pathexpr.String(c0.Path); got != "<advisor>/<advisor>*" && got != "advisor/advisor*" {
+		t.Fatalf("clause 0 path = %q", got)
+	}
+	c1 := q.Clauses[1]
+	sym, ok := c1.TripleSym()
+	if !ok || sym.Name != "country" || sym.Inverse {
+		t.Fatalf("clause 1 should be a const-predicate triple: %+v", c1)
+	}
+	if c1.O.IsVar() || c1.O.Name != "Q30" {
+		t.Fatalf("clause 1 object: %+v", c1.O)
+	}
+}
+
+func TestParseSelectWrapper(t *testing.T) {
+	q, err := Parse("SELECT ?m ?p WHERE { ?m manages+ ?e . ?e assigned ?p . ?p status active }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 2 || q.Select[0] != "m" || q.Select[1] != "p" {
+		t.Fatalf("select = %v", q.Select)
+	}
+	if len(q.Clauses) != 3 {
+		t.Fatalf("%d clauses", len(q.Clauses))
+	}
+	if got, want := q.OutVars(), []string{"m", "p"}; !eqStrings(got, want) {
+		t.Fatalf("OutVars = %v, want %v", got, want)
+	}
+}
+
+func TestParseForms(t *testing.T) {
+	good := []string{
+		"?x p ?y",
+		"?x ?p ?y",
+		"?x ^p ?y",
+		"a p b",
+		"?x (a|b)+ ?y",
+		"?x ( a | b )+ ?y", // path tokens re-joined across spaces
+		"?x !(a|^b) ?y",
+		"?x a/b? ?y . ?y c ?z .", // trailing dot
+		"select ?x where { ?x p ?y }",
+	}
+	for _, src := range good {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+		}
+	}
+	bad := []string{
+		"",
+		"?x p",
+		"?x",
+		". ?x p ?y",
+		"?x p ?y . .",
+		"?x p ?y }",
+		"select where { ?x p ?y }",
+		"select ?z where { ?x p ?y }", // ?z not in pattern
+		"select ?x ?x where { ?x p ?y }",
+		"select ?x { ?x p ?y }", // missing WHERE
+		"select ?x where ?x p ?y",
+		"select ?x where { ?x p ?y",
+		"?x p ?y . ?y ?x ?z", // ?x both node and predicate
+		"?x ((a) ?y",         // bad path expression
+		"?? p ?y",
+		"a<b p ?y",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+func TestParseVariablePredicate(t *testing.T) {
+	q := MustParse("?x ?p ?y")
+	c := q.Clauses[0]
+	if c.PredVar != "p" || !c.IsTriple() || c.Path != nil {
+		t.Fatalf("var-pred clause: %+v", c)
+	}
+	if !q.PredVars()["p"] || q.PredVars()["x"] {
+		t.Fatalf("PredVars = %v", q.PredVars())
+	}
+	if got, want := q.Vars(), []string{"x", "p", "y"}; !eqStrings(got, want) {
+		t.Fatalf("Vars = %v, want %v", got, want)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"?x advisor/advisor* ?y . ?y country Q30",
+		"SELECT ?m ?p WHERE { ?m manages+ ?e . ?e assigned ?p }",
+		"?x ?p ?y",
+		"<node?mark> p ?y",
+		"?x !(a|^b)/c ?y",
+		"a ^p* <b.c>",
+		"?x (.) ?y",  // a predicate literally named "." must re-bracket
+		"?x <.>* ?z", // ...also under operators? no: "." only alone is special
+	}
+	for _, src := range srcs {
+		q := MustParse(src)
+		s1 := q.String()
+		q2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q): %v", s1, src, err)
+		}
+		if s2 := q2.String(); s2 != s1 {
+			t.Fatalf("String not a fixed point: %q → %q", s1, s2)
+		}
+	}
+}
+
+func eqStrings(a, b []string) bool {
+	return strings.Join(a, "\x00") == strings.Join(b, "\x00")
+}

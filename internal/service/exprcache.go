@@ -4,87 +4,113 @@ import (
 	"sync"
 
 	"ringrpq/internal/pathexpr"
+	"ringrpq/internal/query"
 )
 
-// compiledExpr is one canonicalised path expression: the parsed AST
-// plus its canonical rendering, which identifies the expression across
-// syntactic variants (whitespace, redundant parentheses) and serves as
-// the result-cache key component.
-type compiledExpr struct {
-	// Canon is pathexpr.String of the AST; Parse(Canon) yields an
-	// equivalent AST (round-trip tested in pathexpr).
-	Canon string
-	// Node is the parsed AST, shared across requests. ASTs are
-	// immutable after parsing, so concurrent evaluation over the same
-	// Node is safe.
-	Node pathexpr.Node
-}
+// canonCache canonicalises and memoises parsed queries (path
+// expressions or graph patterns). Two levels of keys point at the same
+// entry: the raw source text (so a repeated request skips the parser
+// entirely) and the canonical form (so syntactic variants share one
+// parsed value and one result-cache key). Parsed values are immutable,
+// so sharing them across concurrent evaluations is safe.
+type canonCache[T any] struct {
+	// parse compiles one source text into its canonical form and
+	// parsed value.
+	parse func(src string) (canon string, val T, err error)
 
-// exprCache canonicalises and memoises parsed path expressions. Two
-// levels of keys point at the same entry: the raw source text (so a
-// repeated request skips the parser entirely) and the canonical form
-// (so syntactic variants share one AST and one result-cache key).
-type exprCache struct {
 	mu     sync.Mutex
 	lru    *lruCache
 	hits   int64
 	misses int64
 }
 
-// exprCost is the flat per-entry cost used for the expression cache's
-// byte bound; entries are tiny, so the cache is bounded by count with a
-// nominal per-entry size.
-const exprCost = 1
-
-func newExprCache(maxEntries int) *exprCache {
-	return &exprCache{lru: newLRUCache(maxEntries, int64(maxEntries))}
+// canonEntry is one cached compilation.
+type canonEntry[T any] struct {
+	canon string
+	val   T
 }
 
-// Compile returns the canonicalised expression for src, parsing it at
-// most once per cache lifetime.
-func (c *exprCache) Compile(src string) (compiledExpr, error) {
+// exprCost is the flat per-entry cost used for the compile caches'
+// byte bound; entries are tiny, so the caches are bounded by count
+// with a nominal per-entry size.
+const exprCost = 1
+
+func newCanonCache[T any](maxEntries int, parse func(string) (string, T, error)) *canonCache[T] {
+	return &canonCache[T]{parse: parse, lru: newLRUCache(maxEntries, int64(maxEntries))}
+}
+
+// Compile returns the canonical form and parsed value of src, parsing
+// it at most once per cache lifetime.
+func (c *canonCache[T]) Compile(src string) (string, T, error) {
 	c.mu.Lock()
 	if v, ok := c.lru.Get(src); ok {
 		c.hits++
 		c.mu.Unlock()
-		return v.(compiledExpr), nil
+		e := v.(canonEntry[T])
+		return e.canon, e.val, nil
 	}
 	c.misses++
 	c.mu.Unlock()
 
-	// Parse outside the lock; a racing request for the same expression
+	// Parse outside the lock; a racing request for the same source
 	// parses redundantly but harmlessly.
-	node, err := pathexpr.Parse(src)
+	canon, val, err := c.parse(src)
 	if err != nil {
-		return compiledExpr{}, err
+		var zero T
+		return "", zero, err
 	}
-	ce := compiledExpr{Canon: pathexpr.String(node), Node: node}
+	e := canonEntry[T]{canon: canon, val: val}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	// If the canonical form is already cached, adopt its AST so
-	// syntactic variants share one Node value.
-	if v, ok := c.lru.Get(ce.Canon); ok {
-		ce = v.(compiledExpr)
+	// If the canonical form is already cached, adopt its value so
+	// syntactic variants share one parsed representation.
+	if v, ok := c.lru.Get(e.canon); ok {
+		e = v.(canonEntry[T])
 	} else {
-		c.lru.Add(ce.Canon, ce, exprCost)
+		c.lru.Add(e.canon, e, exprCost)
 	}
-	if src != ce.Canon {
-		c.lru.Add(src, ce, exprCost)
+	if src != e.canon {
+		c.lru.Add(src, e, exprCost)
 	}
-	return ce, nil
+	return e.canon, e.val, nil
 }
 
 // Len reports the number of cached keys (raw and canonical).
-func (c *exprCache) Len() int {
+func (c *canonCache[T]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lru.Len()
 }
 
 // Counters reports lifetime hits and misses.
-func (c *exprCache) Counters() (hits, misses int64) {
+func (c *canonCache[T]) Counters() (hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// newExprCache builds the path-expression cache (canonical form:
+// pathexpr.String of the AST; Parse(canon) yields an equivalent AST,
+// round-trip tested in pathexpr).
+func newExprCache(maxEntries int) *canonCache[pathexpr.Node] {
+	return newCanonCache(maxEntries, func(src string) (string, pathexpr.Node, error) {
+		node, err := pathexpr.Parse(src)
+		if err != nil {
+			return "", nil, err
+		}
+		return pathexpr.String(node), node, nil
+	})
+}
+
+// newPatternCache builds the graph-pattern cache (canonical form:
+// query.Query.String, a parse fixed point by FuzzParseQuery).
+func newPatternCache(maxEntries int) *canonCache[*query.Query] {
+	return newCanonCache(maxEntries, func(src string) (string, *query.Query, error) {
+		q, err := query.Parse(src)
+		if err != nil {
+			return "", nil, err
+		}
+		return q.String(), q, nil
+	})
 }

@@ -67,9 +67,34 @@ type BatchJSON struct {
 	Queries []QueryJSON `json:"queries"`
 }
 
+// SelectJSON is the wire form of a POST /select body: a graph-pattern
+// query mixing triple patterns and RPQ clauses.
+type SelectJSON struct {
+	Query   string `json:"query"`
+	Limit   *int   `json:"limit,omitempty"`
+	Timeout string `json:"timeout,omitempty"`
+	Count   bool   `json:"count,omitempty"`
+}
+
+// SelectResultJSON is the wire form of a /select response: the
+// projected variable names and one row of values per solution.
+// Failures (parse errors, cross-shard patterns) are reported as
+// non-200 {"error": ...} responses; only timeouts reach a 200 body,
+// flagged with timed_out.
+type SelectResultJSON struct {
+	Vars         []string   `json:"vars"`
+	Rows         [][]string `json:"rows,omitempty"`
+	Count        int        `json:"count"`
+	Cached       bool       `json:"cached,omitempty"`
+	TimedOut     bool       `json:"timed_out,omitempty"`
+	LimitReached bool       `json:"limit_reached,omitempty"`
+	ElapsedMS    float64    `json:"elapsed_ms,omitempty"`
+}
+
 // NewHandler mounts the service's HTTP API:
 //
-//	POST /query   evaluate one query        (QueryJSON → ResultJSON)
+//	POST /query   evaluate one 2RPQ         (QueryJSON → ResultJSON)
+//	POST /select  evaluate a graph pattern  (SelectJSON → SelectResultJSON)
 //	POST /batch   evaluate many queries     (BatchJSON → {"results": [...]})
 //	GET  /stats   service + index counters
 //	GET  /healthz liveness probe
@@ -83,6 +108,7 @@ func NewHandler(s *Service, cfg HandlerConfig) http.Handler {
 	h := &handler{s: s, cfg: cfg}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", h.query)
+	mux.HandleFunc("POST /select", h.selectPattern)
 	mux.HandleFunc("POST /batch", h.batch)
 	mux.HandleFunc("GET /stats", h.stats)
 	mux.HandleFunc("GET /healthz", h.healthz)
@@ -162,6 +188,61 @@ func toJSON(req Request, res Result, elapsed time.Duration) ResultJSON {
 		out.Error = res.Err.Error()
 	}
 	return out
+}
+
+// toPatternRequest validates and converts one wire pattern query.
+func (h *handler) toPatternRequest(q SelectJSON) (Request, error) {
+	if q.Query == "" {
+		return Request{}, errors.New("missing query")
+	}
+	req := Request{Pattern: q.Query, Count: q.Count, Limit: h.cfg.DefaultLimit}
+	if q.Limit != nil {
+		if *q.Limit < 0 {
+			return Request{}, errors.New("limit must be non-negative")
+		}
+		req.Limit = *q.Limit
+	}
+	if q.Timeout != "" {
+		d, err := time.ParseDuration(q.Timeout)
+		if err != nil {
+			return Request{}, fmt.Errorf("bad timeout: %w", err)
+		}
+		if d <= 0 {
+			return Request{}, errors.New("timeout must be positive")
+		}
+		req.Timeout = d
+	}
+	return req, nil
+}
+
+func (h *handler) selectPattern(w http.ResponseWriter, r *http.Request) {
+	var q SelectJSON
+	if err := h.decodeBody(w, r, &q); err != nil {
+		return
+	}
+	req, err := h.toPatternRequest(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	start := time.Now()
+	res := h.s.Select(r.Context(), req)
+	if status, ok := failureStatus(res.Err); ok {
+		writeError(w, status, res.Err)
+		return
+	}
+	out := SelectResultJSON{
+		Vars:         res.Vars,
+		Rows:         res.Rows,
+		Count:        res.N,
+		Cached:       res.Cached,
+		ElapsedMS:    float64(time.Since(start).Microseconds()) / 1e3,
+		LimitReached: req.Limit > 0 && res.N >= req.Limit,
+	}
+	if errors.Is(res.Err, core.ErrTimeout) {
+		out.TimedOut = true
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (h *handler) query(w http.ResponseWriter, r *http.Request) {

@@ -72,18 +72,18 @@ func TestLRUDisabled(t *testing.T) {
 
 func TestExprCacheSharing(t *testing.T) {
 	c := newExprCache(64)
-	a, err := c.Compile("a/b*")
+	aCanon, aNode, err := c.Compile("a/b*")
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := c.Compile(" (a) / (b*) ")
+	bCanon, bNode, err := c.Compile(" (a) / (b*) ")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Canon != b.Canon {
-		t.Fatalf("canon mismatch: %q vs %q", a.Canon, b.Canon)
+	if aCanon != bCanon {
+		t.Fatalf("canon mismatch: %q vs %q", aCanon, bCanon)
 	}
-	if a.Node != b.Node {
+	if aNode != bNode {
 		t.Fatal("syntactic variants should share one AST")
 	}
 	hits, misses := c.Counters()
@@ -91,13 +91,34 @@ func TestExprCacheSharing(t *testing.T) {
 		t.Fatalf("hits=%d misses=%d", hits, misses)
 	}
 	// The raw text is now a key too.
-	if _, err := c.Compile("a/b*"); err != nil {
+	if _, _, err := c.Compile("a/b*"); err != nil {
 		t.Fatal(err)
 	}
 	if hits, _ := c.Counters(); hits != 1 {
 		t.Fatalf("hits=%d, want 1", hits)
 	}
-	if _, err := c.Compile("(("); err == nil {
+	if _, _, err := c.Compile("(("); err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestPatternCacheSharing(t *testing.T) {
+	c := newPatternCache(64)
+	aCanon, aQuery, err := c.Compile("?x a/b* ?y . ?y c ?z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bCanon, bQuery, err := c.Compile("  ?x (a)/(b*) ?y .  ?y c ?z  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aCanon != bCanon {
+		t.Fatalf("canon mismatch: %q vs %q", aCanon, bCanon)
+	}
+	if aQuery != bQuery {
+		t.Fatal("syntactic variants should share one parsed query")
+	}
+	if _, _, err := c.Compile("?x ((bad ?y"); err == nil {
 		t.Fatal("want parse error")
 	}
 }

@@ -29,6 +29,7 @@ import (
 
 	"ringrpq/internal/core"
 	"ringrpq/internal/pathexpr"
+	"ringrpq/internal/query"
 )
 
 // Solution is one result mapping of a query (mirrored by the public
@@ -51,6 +52,19 @@ type Backend interface {
 	// core.ErrTimeout with the solutions emitted so far still valid.
 	Eval(subject string, expr pathexpr.Node, object string, limit int, timeout time.Duration, emit func(Solution) bool) error
 }
+
+// PatternBackend is optionally implemented by backends that can
+// evaluate graph patterns (Request.Pattern). EvalPattern streams the
+// projected, deduplicated result rows of q (values ordered by
+// q.OutVars()); limit caps rows and timeout mirrors Eval's contract.
+// Requests with Pattern set fail against backends without it.
+type PatternBackend interface {
+	EvalPattern(q *query.Query, limit int, timeout time.Duration, emit func(row []string) bool) error
+}
+
+// errNoPatterns reports a pattern request against a backend that does
+// not implement PatternBackend.
+var errNoPatterns = errors.New("service: backend does not support graph patterns")
 
 // Config tunes a Service. The zero value picks sensible defaults;
 // negative cache sizes disable the corresponding cache.
@@ -95,29 +109,41 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Request is one query submission.
+// Request is one query submission: a 2RPQ (Subject/Expr/Object) or,
+// when Pattern is set, a graph-pattern query.
 type Request struct {
 	// Subject and Object are endpoint names; a '?' prefix marks a
 	// variable (as in ringrpq.DB.Query).
 	Subject, Object string
 	// Expr is the path expression source text.
 	Expr string
-	// Limit caps the number of solutions; 0 or negative means
-	// unlimited.
+	// Pattern, when non-empty, makes this a graph-pattern request
+	// (internal/query syntax); Subject/Expr/Object are ignored and the
+	// result arrives as Vars/Rows instead of Solutions. Pattern
+	// requests cannot be streamed through QueryFunc.
+	Pattern string
+	// Limit caps the number of solutions (pattern requests: distinct
+	// projected rows); 0 or negative means unlimited.
 	Limit int
 	// Timeout bounds evaluation; 0 or negative defers to the context
 	// deadline and the service's DefaultTimeout.
 	Timeout time.Duration
-	// Count asks for the solution count only; Result.Solutions stays
-	// nil.
+	// Count asks for the solution count only; Result.Solutions (or
+	// Rows) stays nil.
 	Count bool
 }
 
 // Result is the outcome of one Request.
 type Result struct {
-	// Solutions holds the result set (nil for Count requests). Shared
-	// with the result cache: callers must not modify it.
+	// Solutions holds the result set (nil for Count and pattern
+	// requests). Shared with the result cache: callers must not modify
+	// it.
 	Solutions []Solution
+	// Vars and Rows hold a pattern request's projected result table
+	// (Rows nil for Count requests); shared with the result cache like
+	// Solutions.
+	Vars []string
+	Rows [][]string
 	// N is the solution count (also set for non-Count requests).
 	N int
 	// Cached reports a result-cache hit.
@@ -156,6 +182,10 @@ type Stats struct {
 	// cache.
 	ExprHits, ExprMisses int64
 	ExprEntries          int
+	// PatternHits/PatternMisses/PatternEntries describe the compiled
+	// graph-pattern cache.
+	PatternHits, PatternMisses int64
+	PatternEntries             int
 	// ResultEntries/ResultBytes/ResultEvictions describe the result
 	// cache.
 	ResultEntries   int
@@ -173,7 +203,8 @@ type Service struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	exprs *exprCache
+	exprs    *canonCache[pathexpr.Node]
+	patterns *canonCache[*query.Query]
 
 	resMu   sync.Mutex
 	results *lruCache
@@ -191,12 +222,13 @@ type Service struct {
 }
 
 type job struct {
-	ctx    context.Context
-	req    Request
-	node   pathexpr.Node
-	key    string // result-cache key; "" = uncacheable
-	stream func(Solution) bool
-	done   chan Result
+	ctx     context.Context
+	req     Request
+	node    pathexpr.Node // 2RPQ requests
+	pattern *query.Query  // pattern requests
+	key     string        // result-cache key; "" = uncacheable
+	stream  func(Solution) bool
+	done    chan Result
 }
 
 // New starts a Service over backend. The backend itself is only used as
@@ -204,10 +236,11 @@ type job struct {
 func New(backend Backend, cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:     cfg,
-		queue:   make(chan *job, cfg.QueueDepth),
-		exprs:   newExprCache(cfg.ExprCacheEntries),
-		results: newLRUCache(cfg.ResultCacheEntries, cfg.ResultCacheBytes),
+		cfg:      cfg,
+		queue:    make(chan *job, cfg.QueueDepth),
+		exprs:    newExprCache(cfg.ExprCacheEntries),
+		patterns: newPatternCache(cfg.ExprCacheEntries),
+		results:  newLRUCache(cfg.ResultCacheEntries, cfg.ResultCacheBytes),
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -225,6 +258,15 @@ func (s *Service) Query(ctx context.Context, req Request) Result {
 // Count evaluates one request returning only the solution count.
 func (s *Service) Count(ctx context.Context, req Request) Result {
 	req.Count = true
+	return s.do(ctx, req, nil)
+}
+
+// Select evaluates one graph-pattern request (req.Pattern) through the
+// pool, returning the projected result table in Result.Vars/Rows.
+func (s *Service) Select(ctx context.Context, req Request) Result {
+	if req.Pattern == "" {
+		return Result{Err: errors.New("service: Select needs a Pattern")}
+	}
 	return s.do(ctx, req, nil)
 }
 
@@ -298,7 +340,20 @@ func (s *Service) submit(ctx context.Context, req Request, stream func(Solution)
 	if req.Timeout < 0 {
 		req.Timeout = 0
 	}
-	ce, err := s.exprs.Compile(req.Expr)
+	var (
+		node  pathexpr.Node
+		pat   *query.Query
+		canon string
+		err   error
+	)
+	if req.Pattern != "" {
+		if stream != nil {
+			return Result{Err: errors.New("service: pattern requests cannot be streamed")}, nil
+		}
+		canon, pat, err = s.patterns.Compile(req.Pattern)
+	} else {
+		canon, node, err = s.exprs.Compile(req.Expr)
+	}
 	if err != nil {
 		s.errs.Add(1)
 		return Result{Err: err}, nil
@@ -306,7 +361,7 @@ func (s *Service) submit(ctx context.Context, req Request, stream func(Solution)
 
 	var key string
 	if stream == nil && s.results.enabled() {
-		key = cacheKey(req, ce.Canon)
+		key = cacheKey(req, canon)
 		s.resMu.Lock()
 		v, ok := s.results.Get(key)
 		s.resMu.Unlock()
@@ -319,7 +374,7 @@ func (s *Service) submit(ctx context.Context, req Request, stream func(Solution)
 		s.misses.Add(1)
 	}
 
-	j := &job{ctx: ctx, req: req, node: ce.Node, key: key, stream: stream, done: make(chan Result, 1)}
+	j := &job{ctx: ctx, req: req, node: node, pattern: pat, key: key, stream: stream, done: make(chan Result, 1)}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -342,12 +397,19 @@ func (s *Service) submit(ctx context.Context, req Request, stream func(Solution)
 // the separator) cannot make distinct requests collide.
 func cacheKey(req Request, canon string) string {
 	mode := "q"
+	if req.Pattern != "" {
+		mode = "s"
+	}
 	if req.Count {
-		mode = "c"
+		mode += "c"
 	}
 	var sb strings.Builder
 	sb.WriteString(mode)
-	for _, part := range [...]string{req.Subject, canon, req.Object} {
+	parts := [...]string{req.Subject, canon, req.Object}
+	if req.Pattern != "" {
+		parts = [...]string{"", canon, ""}
+	}
+	for _, part := range parts {
 		sb.WriteString(strconv.Itoa(len(part)))
 		sb.WriteByte(':')
 		sb.WriteString(part)
@@ -379,6 +441,9 @@ func (s *Service) run(b Backend, j *job) Result {
 	if err != nil {
 		s.timeouts.Add(1)
 		return Result{Err: err}
+	}
+	if j.pattern != nil {
+		return s.runPattern(b, j, timeout)
 	}
 
 	var (
@@ -422,6 +487,65 @@ func (s *Service) run(b Backend, j *job) Result {
 		s.store(j, res)
 	}
 	return res
+}
+
+// runPattern evaluates one graph-pattern job on worker backend b.
+func (s *Service) runPattern(b Backend, j *job, timeout time.Duration) Result {
+	pb, ok := b.(PatternBackend)
+	if !ok {
+		s.errs.Add(1)
+		return Result{Err: errNoPatterns}
+	}
+	var (
+		rows    [][]string
+		n       int
+		stopped error
+	)
+	emit := func(row []string) bool {
+		n++
+		if !j.req.Count {
+			rows = append(rows, row)
+		}
+		if n%1024 == 0 && j.ctx.Err() != nil {
+			stopped = j.ctx.Err()
+			return false
+		}
+		return true
+	}
+	err := pb.EvalPattern(j.pattern, j.req.Limit, timeout, emit)
+	res := Result{Vars: j.pattern.OutVars(), Rows: rows, N: n, Err: err}
+	switch {
+	case stopped != nil:
+		s.countCtxErr(stopped)
+		res.Err = stopped
+	case errors.Is(err, core.ErrTimeout):
+		s.timeouts.Add(1)
+	case err != nil:
+		s.errs.Add(1)
+	default:
+		s.storePattern(j, res)
+	}
+	return res
+}
+
+// storePattern records a complete pattern result in the result cache.
+func (s *Service) storePattern(j *job, res Result) {
+	if j.key == "" {
+		return
+	}
+	cost := int64(64)
+	for _, v := range res.Vars {
+		cost += int64(len(v)) + 16
+	}
+	for _, row := range res.Rows {
+		cost += 24
+		for _, v := range row {
+			cost += int64(len(v)) + 16
+		}
+	}
+	s.resMu.Lock()
+	s.results.Add(j.key, res, cost)
+	s.resMu.Unlock()
 }
 
 // errStopped marks an early stop requested by a streaming callback.
@@ -474,6 +598,7 @@ func (s *Service) store(j *job, res Result) {
 // Stats snapshots the service counters.
 func (s *Service) Stats() Stats {
 	exprHits, exprMisses := s.exprs.Counters()
+	patHits, patMisses := s.patterns.Counters()
 	s.resMu.Lock()
 	rEntries, rBytes, rEvict := s.results.Len(), s.results.Bytes(), s.results.Evictions()
 	s.resMu.Unlock()
@@ -494,6 +619,9 @@ func (s *Service) Stats() Stats {
 		ExprHits:        exprHits,
 		ExprMisses:      exprMisses,
 		ExprEntries:     s.exprs.Len(),
+		PatternHits:     patHits,
+		PatternMisses:   patMisses,
+		PatternEntries:  s.patterns.Len(),
 		ResultEntries:   rEntries,
 		ResultBytes:     rBytes,
 		ResultEvictions: rEvict,

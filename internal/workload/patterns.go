@@ -1,0 +1,255 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ringrpq/internal/triples"
+)
+
+// This file generates graph-pattern workloads for the §6 query
+// subsystem (internal/query): star, path and hybrid joins, optionally
+// carrying an RPQ clause, with predicates frequency-weighted exactly
+// like the Table 1 RPQ generator (sampling completed edges uniformly
+// weights popular predicates most). Patterns are anchored on real edges
+// and walks so every generated query is satisfiable for at least its
+// first step.
+
+// PatternQuery is one generated graph-pattern query.
+type PatternQuery struct {
+	// Text is the pattern source, parseable by internal/query.
+	Text string
+	// Class is the join shape: "star", "path" or "hybrid".
+	Class string
+	// HasRPQ reports whether the pattern carries a non-trivial path
+	// clause next to its triple patterns.
+	HasRPQ bool
+}
+
+// String returns the pattern text.
+func (p PatternQuery) String() string { return p.Text }
+
+// PatternConfig controls graph-pattern generation.
+type PatternConfig struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Total is the number of patterns to generate (default 100),
+	// spread evenly across the three classes.
+	Total int
+	// RPQFraction is the fraction of star and path patterns that carry
+	// an RPQ clause (default 0.5). Hybrid patterns always carry one.
+	RPQFraction float64
+}
+
+// rpqTemplates are the path-clause skeletons, instantiated with
+// frequency-weighted predicates ($1, $2).
+var rpqTemplates = []string{
+	"$1*",
+	"$1+",
+	"$1/$2*",
+	"($1|$2)+",
+	"$1/$2",
+	"$1?/$2",
+}
+
+// GeneratePatterns instantiates a graph-pattern log over g.
+func GeneratePatterns(g *triples.Graph, cfg PatternConfig) []PatternQuery {
+	if cfg.Total == 0 {
+		cfg.Total = 100
+	}
+	if cfg.RPQFraction == 0 {
+		cfg.RPQFraction = 0.5
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gen := &patternGen{g: g, rng: rng, adj: map[uint32][]triples.Triple{}}
+	for _, t := range g.Triples {
+		gen.adj[t.S] = append(gen.adj[t.S], t)
+	}
+	out := make([]PatternQuery, 0, cfg.Total)
+	for i := 0; i < cfg.Total; i++ {
+		switch i % 3 {
+		case 0:
+			out = append(out, gen.star(rng.Float64() < cfg.RPQFraction))
+		case 1:
+			out = append(out, gen.path(rng.Float64() < cfg.RPQFraction))
+		default:
+			out = append(out, gen.hybrid())
+		}
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+type patternGen struct {
+	g   *triples.Graph
+	rng *rand.Rand
+	adj map[uint32][]triples.Triple
+}
+
+// edge samples a completed edge uniformly (frequency-weighting
+// predicates like the Table 1 generator).
+func (gen *patternGen) edge() triples.Triple {
+	return gen.g.Triples[gen.rng.Intn(len(gen.g.Triples))]
+}
+
+// predToken renders a completed predicate id as a pattern token
+// (inverses as ^p, non-identifier names bracketed).
+func (gen *patternGen) predToken(p uint32) string {
+	inv := ""
+	base := p
+	if p >= gen.g.NumPreds {
+		inv = "^"
+		base = p - gen.g.NumPreds
+	}
+	return inv + predNameToken(gen.g.Preds.Name(base))
+}
+
+// basePredToken samples a frequency-weighted base predicate token for
+// RPQ templates.
+func (gen *patternGen) basePredToken() string {
+	t := gen.edge()
+	base := t.P
+	if base >= gen.g.NumPreds {
+		base -= gen.g.NumPreds
+	}
+	return predNameToken(gen.g.Preds.Name(base))
+}
+
+// nodeToken renders a node constant.
+func (gen *patternGen) nodeToken(v uint32) string {
+	return constToken(gen.g.Nodes.Name(v))
+}
+
+// star builds 2–4 clauses sharing the subject variable ?x, anchored on
+// a node with enough distinct out-edges in the completed graph.
+func (gen *patternGen) star(withRPQ bool) PatternQuery {
+	t := gen.edge()
+	center := t.S
+	edges := gen.adj[center]
+	n := 2 + gen.rng.Intn(3)
+	if n > len(edges) {
+		n = len(edges)
+	}
+	var clauses []string
+	perm := gen.rng.Perm(len(edges))
+	for i := 0; i < n; i++ {
+		e := edges[perm[i]]
+		obj := fmt.Sprintf("?y%d", i)
+		if gen.rng.Intn(3) == 0 {
+			obj = gen.nodeToken(e.O)
+		}
+		clauses = append(clauses, fmt.Sprintf("?x %s %s", gen.predToken(e.P), obj))
+	}
+	hasRPQ := false
+	if withRPQ {
+		clauses = append(clauses, gen.rpqClause("?x", "?r"))
+		hasRPQ = true
+	}
+	return PatternQuery{Text: strings.Join(clauses, " . "), Class: "star", HasRPQ: hasRPQ}
+}
+
+// path builds a chain ?x0 -p1-> ?x1 -p2-> ... along a real walk.
+func (gen *patternGen) path(withRPQ bool) PatternQuery {
+	t := gen.edge()
+	want := 2 + gen.rng.Intn(3)
+	var walk []triples.Triple
+	cur := t
+	for len(walk) < want {
+		walk = append(walk, cur)
+		next := gen.adj[cur.O]
+		if len(next) == 0 {
+			break
+		}
+		cur = next[gen.rng.Intn(len(next))]
+	}
+	var clauses []string
+	for i, e := range walk {
+		subj := fmt.Sprintf("?x%d", i)
+		if i == 0 && gen.rng.Intn(4) == 0 {
+			subj = gen.nodeToken(e.S)
+		}
+		obj := fmt.Sprintf("?x%d", i+1)
+		if i == len(walk)-1 && gen.rng.Intn(3) == 0 {
+			obj = gen.nodeToken(e.O)
+		}
+		clauses = append(clauses, fmt.Sprintf("%s %s %s", subj, gen.predToken(e.P), obj))
+	}
+	hasRPQ := false
+	if withRPQ {
+		clauses = append(clauses, gen.rpqClause(anchorVar(clauses), "?r"))
+		hasRPQ = true
+	}
+	return PatternQuery{Text: strings.Join(clauses, " . "), Class: "path", HasRPQ: hasRPQ}
+}
+
+// anchorVar picks a variable already present in the clauses to attach
+// an RPQ clause to, keeping the pattern connected; a fresh variable is
+// the (rare) fallback when every endpoint is constant.
+func anchorVar(clauses []string) string {
+	for _, c := range clauses {
+		for _, tok := range strings.Fields(c) {
+			if strings.HasPrefix(tok, "?") {
+				return tok
+			}
+		}
+	}
+	return "?r0"
+}
+
+// hybrid glues a short star onto a short path and always adds an RPQ
+// clause between two of its variables.
+func (gen *patternGen) hybrid() PatternQuery {
+	p := gen.path(false)
+	star := gen.star(false)
+	// Rename the star's center onto one of the path's variables so the
+	// shapes join, keeping the star's branch variables distinct.
+	anchor := anchorVar(strings.Split(p.Text, " . "))
+	starText := strings.ReplaceAll(star.Text, "?x ", anchor+" ")
+	starText = strings.ReplaceAll(starText, "?y", "?s")
+	clauses := p.Text + " . " + starText + " . " + gen.rpqClause(anchor, "?r")
+	return PatternQuery{Text: clauses, Class: "hybrid", HasRPQ: true}
+}
+
+// rpqClause instantiates a template between the given endpoints; a
+// fresh variable object keeps the clause satisfiable wherever the
+// subject binds.
+func (gen *patternGen) rpqClause(subj, obj string) string {
+	tmpl := rpqTemplates[gen.rng.Intn(len(rpqTemplates))]
+	expr := strings.Replace(tmpl, "$1", gen.basePredToken(), 1)
+	expr = strings.Replace(expr, "$2", gen.basePredToken(), 1)
+	return fmt.Sprintf("%s %s %s", subj, expr, obj)
+}
+
+// predNameToken renders a predicate name in path-expression syntax.
+func predNameToken(name string) string {
+	if identLike(name) {
+		return name
+	}
+	return "<" + name + ">"
+}
+
+// constToken renders a node constant in pattern syntax.
+func constToken(name string) string {
+	if name == "" || name == "." || name == "{" || name == "}" ||
+		name[0] == '?' || name[0] == '<' || strings.ContainsAny(name, "<> \t\n") ||
+		strings.EqualFold(name, "select") || strings.EqualFold(name, "where") {
+		return "<" + name + ">"
+	}
+	return name
+}
+
+// identLike mirrors pathexpr's bare-identifier rule.
+func identLike(name string) bool {
+	if name == "" || name[0] == '-' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+			c >= '0' && c <= '9' || c == '_' || c == ':' || c == '.' || c == '-') {
+			return false
+		}
+	}
+	return true
+}

@@ -23,6 +23,15 @@
 // node. Expressions support predicates, inverses (^p), concatenation
 // (p1/p2), alternation (p1|p2), closures (p*, p+) and optionals (p?).
 //
+// Beyond single 2RPQs, multi-clause graph patterns mix triple patterns
+// with RPQ clauses and are evaluated by a selectivity-planned Leapfrog
+// Triejoin pipelined with bound-endpoint RPQ steps (the §6 extension):
+//
+//	vars, rows, err := db.Select(
+//		"SELECT ?x ?y WHERE { ?x advisor/advisor* ?y . ?y country Q30 }")
+//
+// See QueryPattern, Select and the README's "Graph patterns" section.
+//
 // A DB's query methods share working arrays and must not be called
 // concurrently. For concurrent serving, wrap the database in a Service
 // — a worker pool over the shared immutable index with a
@@ -53,6 +62,7 @@ import (
 
 	"ringrpq/internal/core"
 	"ringrpq/internal/pathexpr"
+	"ringrpq/internal/query"
 	"ringrpq/internal/ring"
 	"ringrpq/internal/service"
 	"ringrpq/internal/triples"
@@ -124,12 +134,12 @@ func (b *Builder) Build() (*DB, error) {
 	}
 	if b.cfg.Shards > 1 {
 		set := ring.NewShardSet(g, b.cfg.Shards, nil, b.cfg.Layout)
-		db := &DB{g: g, set: set}
+		db := &DB{g: g, set: set, sel: query.NewSelCache()}
 		db.engine = core.NewShardedEngine(set, db.predIDs())
 		return db, nil
 	}
 	r := ring.New(g, b.cfg.Layout)
-	db := &DB{g: g, r: r}
+	db := &DB{g: g, r: r, sel: query.NewSelCache()}
 	db.engine = core.NewEngine(r, db.predIDs())
 	return db, nil
 }
@@ -144,6 +154,12 @@ type DB struct {
 	r      *ring.Ring      // single-ring layout (nil when sharded)
 	set    *ring.ShardSet  // sharded layout (nil when single-ring)
 	engine core.Evaluator
+
+	// sel shares the planner's lazily built selectivity statistics
+	// across clones; pat is this instance's pattern executor (its
+	// working state follows the one-caller rule like engine's).
+	sel *query.SelCache
+	pat *query.Exec
 }
 
 // predIDs resolves predicate occurrences of query expressions against
@@ -157,7 +173,7 @@ func (db *DB) predIDs() func(s pathexpr.Sym) (uint32, bool) {
 // Clone returns a DB sharing the (immutable) index but with its own
 // query working arrays, safe to use from another goroutine.
 func (db *DB) Clone() *DB {
-	clone := &DB{g: db.g, r: db.r, set: db.set}
+	clone := &DB{g: db.g, r: db.r, set: db.set, sel: db.sel}
 	if db.set != nil {
 		clone.engine = core.NewShardedEngine(db.set, clone.predIDs())
 	} else {
@@ -395,6 +411,12 @@ func (b dbBackend) Eval(subject string, node pathexpr.Node, object string, limit
 	return b.db.queryNode(subject, node, object, core.Options{Limit: limit, Timeout: timeout}, emit)
 }
 
+// EvalPattern implements service.PatternBackend, so Services over a DB
+// serve graph patterns (Select, POST /select).
+func (b dbBackend) EvalPattern(q *query.Query, limit int, timeout time.Duration, emit func([]string) bool) error {
+	return b.db.selectFunc(q, core.Options{Limit: limit, Timeout: timeout}, emit)
+}
+
 // request converts one public call into a service Request, folding
 // WithLimit/WithTimeout options into the request parameters.
 func request(subject, expr, object string, opts []QueryOption) Request {
@@ -428,6 +450,15 @@ func (s *Service) QueryFunc(ctx context.Context, subject, expr, object string, e
 func (s *Service) Count(ctx context.Context, subject, expr, object string, opts ...QueryOption) (int, error) {
 	res := s.s.Count(ctx, request(subject, expr, object, opts))
 	return res.N, res.Err
+}
+
+// Select evaluates a graph-pattern query through the pool (see
+// DB.Select), consulting the result cache first. The returned slices
+// may be shared with the cache: treat them as read-only.
+func (s *Service) Select(ctx context.Context, pattern string, opts ...QueryOption) (vars []string, rows [][]string, err error) {
+	o := options(opts)
+	res := s.s.Select(ctx, service.Request{Pattern: pattern, Limit: o.Limit, Timeout: o.Timeout})
+	return res.Vars, res.Rows, res.Err
 }
 
 // Batch evaluates requests concurrently across the pool, returning one

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"ringrpq/internal/core"
+	"ringrpq/internal/query"
 	"ringrpq/internal/ring"
 	"ringrpq/internal/serial"
 	"ringrpq/internal/triples"
@@ -72,7 +73,7 @@ func loadSingle(sr *serial.Reader) (*DB, error) {
 		return nil, fmt.Errorf("ringrpq: load: ring/dictionary mismatch (%d/%d nodes, %d/%d preds)",
 			rg.NumNodes, g.NumNodes(), rg.NumPreds, g.NumCompletedPreds())
 	}
-	db := &DB{g: g, r: rg}
+	db := &DB{g: g, r: rg, sel: query.NewSelCache()}
 	db.engine = core.NewEngine(rg, db.predIDs())
 	return db, nil
 }
@@ -93,7 +94,7 @@ func loadSharded(sr *serial.Reader) (*DB, error) {
 		return nil, fmt.Errorf("ringrpq: load: shard set/dictionary mismatch (%d/%d nodes, %d/%d preds)",
 			set.NumNodes, g.NumNodes(), set.NumPreds, g.NumCompletedPreds())
 	}
-	db := &DB{g: g, set: set}
+	db := &DB{g: g, set: set, sel: query.NewSelCache()}
 	db.engine = core.NewShardedEngine(set, db.predIDs())
 	return db, nil
 }
