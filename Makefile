@@ -21,10 +21,11 @@ test:
 # Race-detector pass over the concurrency surface: the service package,
 # the sharded engine's cooperative fan-out (differential tests), the
 # graph-pattern subsystem (parallel differential harness over shared
-# selectivity caches), and the root-package stress tests.
+# selectivity caches), the live-update overlay (snapshot swap vs
+# concurrent readers/writers), and the root-package stress tests.
 race:
-	$(GO) test -race ./internal/service/ ./internal/core/ ./internal/ltj/ ./internal/query/ .
-	$(GO) test -race -run 'Stress|Clone|Sharded' .
+	$(GO) test -race ./internal/service/ ./internal/core/ ./internal/ltj/ ./internal/query/ ./internal/overlay/ .
+	$(GO) test -race -run 'Stress|Clone|Sharded|Update' .
 
 # Short bounded fuzz runs over the expression parser, the graph-pattern
 # parser and the database loader (go native fuzzing; one target per
@@ -33,6 +34,7 @@ race:
 fuzz:
 	$(GO) test -run NONE -fuzz FuzzParseExpr -fuzztime $(FUZZTIME) ./internal/pathexpr
 	$(GO) test -run NONE -fuzz FuzzParseQuery -fuzztime $(FUZZTIME) ./internal/query
+	$(GO) test -run NONE -fuzz FuzzDecodeNDJSONUpdates -fuzztime $(FUZZTIME) ./internal/service
 	$(GO) test -run NONE -fuzz FuzzLoadDB -fuzztime $(FUZZTIME) .
 
 # Service throughput scaling and cache-hit benchmarks.
@@ -47,13 +49,17 @@ bench-short:
 		./internal/bitvec/ ./internal/wavelet/ ./internal/core/
 
 # Machine-readable perf trajectory: the batched-vs-unbatched ablation
-# over the standard Table 1 workload (BENCH_PR3.json), and the
+# over the standard Table 1 workload (BENCH_PR3.json), the
 # graph-pattern workload — BGP-only vs mixed BGP+RPQ — on the
-# selectivity-planned executor (BENCH_PR4.json).
+# selectivity-planned executor (BENCH_PR4.json), and the live-update
+# workload — read latency vs overlay fill, interleaved read/write, and
+# the compaction swap pause (BENCH_PR5.json).
 bench-json:
 	$(GO) run ./cmd/rpqbench -json BENCH_PR3.json
 	$(GO) run ./cmd/rpqbench -nodes 8000 -edges 40000 -preds 40 -queries 120 \
 		-limit 10000 -patterns BENCH_PR4.json
+	$(GO) run ./cmd/rpqbench -nodes 10000 -edges 50000 -preds 40 -queries 400 \
+		-timeout 5s -limit 100000 -updates BENCH_PR5.json
 
 clean:
 	$(GO) clean ./...

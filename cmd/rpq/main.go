@@ -7,11 +7,18 @@
 //	rpq -data graph.nt "Baquedano" "(l1|l2|l5)+" "?station"
 //	rpq -data graph.nt -count "?x" "p31/p279*" "?y"
 //	rpq -data graph.nt -pattern "SELECT ?x WHERE { ?x advisor+ ?y . ?y country Q30 }"
+//	rpq -data graph.nt -update feed.ndjson "?x" "knows+" "?y"
 //
 // Endpoints starting with '?' are variables. The data file holds one
 // "subject predicate object" triple per line ('#' comments, optional
 // trailing dots, <IRI> tokens). Pattern mode prints a tab-separated
 // table: a header of variable names, then one row per solution.
+//
+// -update applies a live-update stream before querying: NDJSON with
+// one {"op":"add"|"del","s":...,"p":...,"o":...} per line (op defaults
+// to add), the same format POST /update accepts in bulk. Queries then
+// see ring ∪ adds − dels; -save persists the merged state (flushing
+// the overlay into the ring first).
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"time"
 
 	"ringrpq"
+	"ringrpq/internal/service"
 )
 
 func main() {
@@ -35,6 +43,7 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "per-query timeout (0 = none)")
 		stats   = flag.Bool("stats", false, "print database statistics and exit")
 		pattern = flag.Bool("pattern", false, "evaluate the single argument as a graph-pattern query (triple patterns + RPQ clauses)")
+		update  = flag.String("update", "", "NDJSON update stream to apply before querying (one {\"op\",\"s\",\"p\",\"o\"} per line)")
 	)
 	flag.Parse()
 	if *data == "" && *index == "" {
@@ -71,6 +80,32 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "indexed %s in %v\n", db, time.Since(start))
 	}
+	if *update != "" {
+		f, err := os.Open(*update)
+		if err != nil {
+			fatal(err)
+		}
+		adds, dels, err := service.DecodeNDJSONUpdates(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		conv := func(ts []service.UpdateTriple) []ringrpq.Triple {
+			out := make([]ringrpq.Triple, len(ts))
+			for i, t := range ts {
+				out[i] = ringrpq.Triple{Subject: t.S, Predicate: t.P, Object: t.O}
+			}
+			return out
+		}
+		ustart := time.Now()
+		st, err := db.Apply(conv(adds), conv(dels))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "applied %d adds, %d dels in %v (overlay: %d edges, %d tombstones)\n",
+			len(adds), len(dels), time.Since(ustart), st.OverlayEdges, st.Tombstones)
+	}
+
 	if *save != "" {
 		f, err := os.Create(*save)
 		if err != nil {

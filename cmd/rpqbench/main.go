@@ -64,9 +64,10 @@ func main() {
 		shards  = flag.Int("shards", 0, "also compare single-ring vs K-shard query latency (0 = off)")
 		jsonOut = flag.String("json", "", "run the batched-vs-unbatched ablation and write machine-readable results to this file (e.g. BENCH_PR3.json)")
 		patOut  = flag.String("patterns", "", "run the graph-pattern workload (BGP-only vs mixed BGP+RPQ) and write machine-readable results to this file (e.g. BENCH_PR4.json)")
+		updOut  = flag.String("updates", "", "run the live-update workload (read latency vs overlay fill, swap pause) and write machine-readable results to this file (e.g. BENCH_PR5.json)")
 	)
 	flag.Parse()
-	all := !*table1 && !*table2 && !*fig8 && !*build && *jsonOut == "" && *patOut == ""
+	all := !*table1 && !*table2 && !*fig8 && !*build && *jsonOut == "" && *patOut == "" && *updOut == ""
 
 	fmt.Printf("generating graph: %d nodes, %d edge draws, %d predicates (seed %d)\n",
 		*nodes, *edges, *preds, *seed)
@@ -175,6 +176,14 @@ func main() {
 			Seed: *seed, Timeout: timeout.String(), Limit: *limit,
 		}
 		runPatternBench(g, *queries, *timeout, *limit, *patOut, cfg)
+	}
+
+	if *updOut != "" {
+		cfg := benchConfig{
+			Nodes: *nodes, Edges: *edges, Preds: *preds, Queries: *queries,
+			Seed: *seed, Timeout: timeout.String(), Limit: *limit,
+		}
+		runUpdateBench(g, qs, *timeout, *limit, *updOut, cfg)
 	}
 }
 

@@ -1,0 +1,279 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime/pprof"
+	"time"
+
+	"ringrpq"
+	"ringrpq/internal/pathexpr"
+	"ringrpq/internal/triples"
+	"ringrpq/internal/workload"
+)
+
+// This file is the live-update benchmark behind `rpqbench -updates`
+// (BENCH_PR5.json): how much does an unflushed overlay cost reads, how
+// fast do updates apply, and how long is the compaction swap pause.
+//
+// Phases:
+//
+//  1. static     — replay the Table 1 query log on the clean ring;
+//  2. fills      — apply synthetic update batches (from the workload
+//     package's interleaved generator) until the overlay reaches 1%,
+//     5% and 10% of the completed triple count, replaying the same
+//     log at each level (automatic compaction disabled so fills are
+//     exact) and reporting the latency ratio against phase 1;
+//  3. interleave — replay a mixed read/write stream, timing reads
+//     while writes land between them;
+//  4. swap       — Flush() the dirty overlay, reporting the rebuild
+//     wall time and the swap critical-section pause, then replay the
+//     log once more on the compacted ring (sanity: back to ~static).
+
+// updateReport is the BENCH_PR5.json schema.
+type updateReport struct {
+	Bench      string          `json:"bench"`
+	Config     benchConfig     `json:"config"`
+	Static     modeStats       `json:"static"`
+	Fills      []fillStats     `json:"fills"`
+	Interleave interleaveStats `json:"interleave"`
+	Swap       swapStats       `json:"swap"`
+	PostSwap   modeStats       `json:"post_swap"`
+}
+
+type fillStats struct {
+	// Fill is the overlay weight as a fraction of the completed triple
+	// count; OverlayEdges/Tombstones are the absolute sizes.
+	Fill         float64   `json:"fill"`
+	OverlayEdges int       `json:"overlay_edges"`
+	Tombstones   int       `json:"tombstones"`
+	Reads        modeStats `json:"reads"`
+	// RatioP50/RatioP95 compare against the static phase (≤ 1.5 at 10%
+	// fill is the acceptance bar).
+	RatioP50 float64 `json:"ratio_p50"`
+	RatioP95 float64 `json:"ratio_p95"`
+}
+
+type interleaveStats struct {
+	Reads          modeStats `json:"reads"`
+	UpdateBatches  int       `json:"update_batches"`
+	UpdateEdges    int       `json:"update_edges"`
+	UpdatesPerSec  float64   `json:"updates_per_sec"`
+	BatchMeanMicro float64   `json:"batch_mean_us"`
+}
+
+type swapStats struct {
+	RebuildMs float64 `json:"rebuild_ms"`
+	PauseUs   float64 `json:"pause_us"`
+	Epoch     uint64  `json:"epoch"`
+}
+
+// buildPublicDB re-interns the generated graph through the public
+// builder (updates are a DB-level feature).
+func buildPublicDB(g *triples.Graph) (*ringrpq.DB, error) {
+	b := ringrpq.NewBuilder()
+	for _, t := range g.Triples {
+		if t.P >= g.NumPreds {
+			continue // completion edges are re-derived by Build
+		}
+		b.Add(g.Nodes.Name(t.S), g.Preds.Name(t.P), g.Nodes.Name(t.O))
+	}
+	return b.Build()
+}
+
+func runUpdateBench(g *triples.Graph, qs []workload.Query, timeout time.Duration, limit int, path string, cfg benchConfig) {
+	db, err := buildPublicDB(g)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "update bench: %v\n", err)
+		os.Exit(1)
+	}
+	db.SetCompactionThreshold(-1) // exact fills; compaction measured explicitly
+	completedN := db.Stats().CompletedEdges
+
+	opts := []ringrpq.QueryOption{ringrpq.WithLimit(limit), ringrpq.WithTimeout(timeout)}
+	perQuery := map[int]time.Duration{}
+	diag := os.Getenv("RPQBENCH_DIAG") != ""
+	replay := func() modeStats {
+		var lat []time.Duration
+		timeouts := 0
+		for qi, q := range qs {
+			subject, object := q.Subject, q.Object
+			if subject == "" {
+				subject = "?x"
+			}
+			if object == "" {
+				object = "?y"
+			}
+			expr := pathexpr.String(q.Expr)
+			t0 := time.Now()
+			err := db.QueryFunc(subject, expr, object, func(ringrpq.Solution) bool { return true }, opts...)
+			d := time.Since(t0)
+			if errors.Is(err, ringrpq.ErrTimeout) {
+				timeouts++
+				continue
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "update bench: %s: %v\n", q, err)
+				continue
+			}
+			if diag {
+				if base, ok := perQuery[qi]; !ok {
+					perQuery[qi] = d
+				} else if d > 4*base && d > 2*time.Millisecond {
+					fmt.Fprintf(os.Stderr, "DIAG slow %6.2fx %8v (base %8v) %s [%s]\n",
+						float64(d)/float64(base), d, base, q, q.Pattern)
+				}
+			}
+			lat = append(lat, d)
+		}
+		return summarize(lat, timeouts)
+	}
+
+	conv := func(ts []workload.UpdateTriple) []ringrpq.Triple {
+		out := make([]ringrpq.Triple, len(ts))
+		for i, t := range ts {
+			out[i] = ringrpq.Triple{Subject: t.S, Predicate: t.P, Object: t.O}
+		}
+		return out
+	}
+
+	rep := updateReport{Bench: "live-updates", Config: cfg}
+
+	// Phase 1: clean ring, with one warm-up pass for compile caches.
+	replay()
+	rep.Static = replay()
+	fmt.Printf("update bench: static reads p50=%.0fµs p95=%.0fµs (%d timeouts)\n",
+		rep.Static.P50us, rep.Static.P95us, rep.Static.Timeouts)
+
+	// Phase 2: fills from the interleaved generator's update batches.
+	updates := workload.GenerateMixed(g, workload.MixedConfig{
+		Seed: cfg.Seed + 7, Total: 4096, WriteRatio: 1.0, BatchSize: 64, DeleteFrac: 0.15,
+	})
+	next := 0
+	applyUntil := func(weight int) {
+		for next < len(updates) {
+			st := db.UpdateStats()
+			if st.OverlayEdges+st.Tombstones >= weight {
+				return
+			}
+			op := updates[next]
+			next++
+			if _, err := db.Apply(conv(op.Adds), conv(op.Dels)); err != nil {
+				fmt.Fprintf(os.Stderr, "update bench: apply: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	for _, fill := range []float64{0.01, 0.05, 0.10} {
+		applyUntil(int(fill * float64(completedN)))
+		st := db.UpdateStats()
+		if prof := os.Getenv("RPQBENCH_CPUPROFILE"); prof != "" && fill == 0.10 {
+			f, _ := os.Create(prof)
+			pprof.StartCPUProfile(f)
+			replay()
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		reads := replay()
+		fs := fillStats{
+			Fill:         fill,
+			OverlayEdges: st.OverlayEdges,
+			Tombstones:   st.Tombstones,
+			Reads:        reads,
+		}
+		if rep.Static.P50us > 0 {
+			fs.RatioP50 = reads.P50us / rep.Static.P50us
+		}
+		if rep.Static.P95us > 0 {
+			fs.RatioP95 = reads.P95us / rep.Static.P95us
+		}
+		rep.Fills = append(rep.Fills, fs)
+		fmt.Printf("update bench: %2.0f%% fill (%d edges, %d tombstones): p50=%.0fµs (%.2fx) p95=%.0fµs (%.2fx)\n",
+			fill*100, st.OverlayEdges, st.Tombstones, reads.P50us, fs.RatioP50, reads.P95us, fs.RatioP95)
+	}
+
+	// Phase 3: interleaved reads and writes on the dirty database.
+	mixed := workload.GenerateMixed(g, workload.MixedConfig{
+		Seed: cfg.Seed + 11, Total: len(qs), WriteRatio: 0.2, BatchSize: 16, DeleteFrac: 0.2,
+	})
+	var lat []time.Duration
+	timeouts, batches, edges := 0, 0, 0
+	var updTotal time.Duration
+	for _, op := range mixed {
+		if op.IsUpdate() {
+			t0 := time.Now()
+			if _, err := db.Apply(conv(op.Adds), conv(op.Dels)); err != nil {
+				fmt.Fprintf(os.Stderr, "update bench: apply: %v\n", err)
+				os.Exit(1)
+			}
+			updTotal += time.Since(t0)
+			batches++
+			edges += len(op.Adds) + len(op.Dels)
+			continue
+		}
+		q := *op.Query
+		subject, object := q.Subject, q.Object
+		if subject == "" {
+			subject = "?x"
+		}
+		if object == "" {
+			object = "?y"
+		}
+		t0 := time.Now()
+		err := db.QueryFunc(subject, pathexpr.String(q.Expr), object, func(ringrpq.Solution) bool { return true }, opts...)
+		d := time.Since(t0)
+		if errors.Is(err, ringrpq.ErrTimeout) {
+			timeouts++
+		} else if err == nil {
+			lat = append(lat, d)
+		}
+	}
+	rep.Interleave = interleaveStats{
+		Reads:         summarize(lat, timeouts),
+		UpdateBatches: batches,
+		UpdateEdges:   edges,
+	}
+	if updTotal > 0 {
+		rep.Interleave.UpdatesPerSec = float64(edges) / updTotal.Seconds()
+		rep.Interleave.BatchMeanMicro = float64(updTotal.Microseconds()) / float64(batches)
+	}
+	fmt.Printf("update bench: interleaved reads p50=%.0fµs; %d batches (%d edges) at %.0f edges/s\n",
+		rep.Interleave.Reads.P50us, batches, edges, rep.Interleave.UpdatesPerSec)
+
+	// Phase 4: compaction swap.
+	t0 := time.Now()
+	if err := db.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "update bench: flush: %v\n", err)
+		os.Exit(1)
+	}
+	flushWall := time.Since(t0)
+	st := db.UpdateStats()
+	rep.Swap = swapStats{
+		RebuildMs: float64(st.LastCompaction.Microseconds()) / 1e3,
+		PauseUs:   float64(st.LastSwapPause.Microseconds()),
+		Epoch:     st.Epoch,
+	}
+	replay()
+	rep.PostSwap = replay()
+	fmt.Printf("update bench: flush took %v (rebuild %.1fms, swap pause %.0fµs); post-swap reads p50=%.0fµs\n",
+		flushWall, rep.Swap.RebuildMs, rep.Swap.PauseUs, rep.PostSwap.P50us)
+
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "update bench: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "update bench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "update bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("update bench: wrote %s\n", path)
+}

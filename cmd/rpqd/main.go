@@ -23,6 +23,9 @@
 //	POST /select  {"query":"SELECT ?x ?y WHERE { ?x a/b* ?y . ?y c wd:Q30 }",
 //	               "limit":100,"timeout":"2s","count":false}
 //	POST /batch   {"queries":[{...},{...}]}
+//	POST /update  {"add":[{"s":"a","p":"knows","o":"b"}],"del":[...]}
+//	              or bulk NDJSON (Content-Type: application/x-ndjson,
+//	              one {"op":"add"|"del","s":..,"p":..,"o":..} per line)
 //	GET  /stats   service and index statistics
 //	GET  /healthz liveness probe
 //
@@ -37,6 +40,14 @@
 // returns {"vars": [...], "rows": [[...], ...]}. On a sharded index,
 // patterns whose predicates span shards fail with a cross-shard error
 // (single-shard patterns are routed wholesale).
+//
+// /update applies live updates atomically: queries in flight finish on
+// the snapshot they started with, later queries see the union
+// ring ∪ adds − dels, and a background compactor (tuned with
+// -compact-threshold) rebuilds the ring and swaps it in atomically
+// once the overlay grows past the threshold. New node names are fine;
+// new predicate names are rejected (the completed predicate id space
+// is fixed at build time).
 package main
 
 import (
@@ -67,6 +78,7 @@ func main() {
 		resC     = flag.Int("result-cache", 0, "result cache entries (0 = default, negative = off)")
 		resBytes = flag.Int64("result-cache-bytes", 0, "result cache byte bound (0 = default, negative = off)")
 		maxBatch = flag.Int("max-batch", 1024, "maximum queries per /batch call")
+		compact  = flag.Int("compact-threshold", 0, "overlay size triggering background compaction (0 = auto: N/4, negative = disabled)")
 	)
 	flag.Parse()
 	if *data == "" && *index == "" {
@@ -77,6 +89,9 @@ func main() {
 	db, err := loadDB(*data, *index, *shards)
 	if err != nil {
 		fatal(err)
+	}
+	if *compact != 0 {
+		db.SetCompactionThreshold(*compact)
 	}
 	fmt.Fprintf(os.Stderr, "rpqd: serving %s\n", db)
 
@@ -94,7 +109,9 @@ func main() {
 		Handler: svc.Handler(ringrpq.HandlerConfig{
 			DefaultLimit: *limit,
 			MaxBatch:     *maxBatch,
-			Info:         func() any { return db.Stats() },
+			Info: func() any {
+				return map[string]any{"index": db.Stats(), "updates": db.UpdateStats()}
+			},
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}

@@ -104,6 +104,12 @@ type batchOwner struct {
 	// the union of the state masks that reached the leaf this level,
 	// fresh the subset not yet visited there.
 	part2Leaf func(s uint32, all, fresh uint64) error
+	// leafMask, when non-nil, computes the state mask a part-2 leaf
+	// actually receives from its items (default: the OR of the item
+	// masks). The overlay union engine drops items whose occurrences of
+	// the subject are all tombstoned, making the batched part 2 exact
+	// without fragmenting the coalesced ranges.
+	leafMask func(s uint32, its []wavelet.RangeMask) uint64
 }
 
 // stepManyOn is the batched §4 step over a whole level of one ring:
@@ -229,8 +235,15 @@ func part2ManyOn(o *batchOwner, lsItems []wavelet.RangeMask, base uint64) error 
 			return 0
 		}
 		var all uint64
-		for _, it := range its {
-			all |= it.Mask
+		if o.leafMask != nil {
+			all = o.leafMask(s, its)
+		} else {
+			for _, it := range its {
+				all |= it.Mask
+			}
+		}
+		if all == 0 {
+			return 0
 		}
 		fresh := all &^ visited
 		if fresh == 0 {
@@ -275,4 +288,38 @@ func (e *Engine) stepMany(eng *glushkov.Engine, items []wavelet.RangeMask, base 
 	var err error
 	e.lsItems, err = stepManyOn(&o, eng, items, e.lsItems, base)
 	return err
+}
+
+// LevelOwner is the exported face of batchOwner for engines outside
+// this package (the overlay union engine): the same per-owner hooks,
+// so the frontier-batched §4 level expansion exists exactly once.
+type LevelOwner struct {
+	R            *ring.Ring
+	BNode, DNode *lazy.MaskArray
+	Stats        *Stats
+	// Check is the owner's deadline probe.
+	Check func() error
+	// Mark is the owner's markSubject; a nil Mark is allowed when the
+	// Leaf action does its own (bottom-up D[v] maintenance included).
+	Mark func(leaf wavelet.NodeID, states uint64)
+	// LeafMask computes the state mask a part-2 leaf receives from its
+	// items (nil = OR of the item masks): see batchOwner.leafMask.
+	LeafMask func(s uint32, its []wavelet.RangeMask) uint64
+	// Leaf handles one discovered subject (see batchOwner.part2Leaf).
+	Leaf func(s uint32, all, fresh uint64) error
+}
+
+// StepLevelMany runs the batched parts 1–2 over one ring for a whole
+// frontier level (sorted disjoint L_p range items). The lsItems
+// scratch is threaded through and returned for reuse.
+func StepLevelMany(o *LevelOwner, eng *glushkov.Engine, items, lsItems []wavelet.RangeMask, base uint64) ([]wavelet.RangeMask, error) {
+	mark := o.Mark
+	if mark == nil {
+		mark = func(wavelet.NodeID, uint64) {}
+	}
+	bo := batchOwner{
+		r: o.R, bNode: o.BNode, dNode: o.DNode, stats: o.Stats,
+		check: o.Check, mark: mark, part2Leaf: o.Leaf, leafMask: o.LeafMask,
+	}
+	return stepManyOn(&bo, eng, items, lsItems, base)
 }

@@ -1,0 +1,229 @@
+package overlay
+
+import (
+	"cmp"
+	"slices"
+	"sort"
+
+	"ringrpq/internal/core"
+	"ringrpq/internal/glushkov"
+	"ringrpq/internal/wavelet"
+)
+
+// Frontier-batched union traversal: the union engine drains whole BFS
+// levels like core's batched path (one multi-range wavelet descent per
+// ring per level), recovering the PR-3 batching speedup that the
+// item-at-a-time union loop gives up. Each level runs two passes:
+//
+//   - batched (per ring): core.StepLevelMany over the level's
+//     coalesced L_p ranges. Tombstones are handled exactly through the
+//     LeafMask hook: per ring and overlay version, each tombstone's
+//     leaf rank under its subject is cached, and a part-2 leaf drops
+//     the items whose occurrences of the subject are all tombstoned —
+//     no per-leaf deletion probes and, crucially, no fragmentation of
+//     the coalesced ranges (a punched-out position would split them
+//     into thousands of single-gap pieces);
+//   - overlay: the object-sorted adds entering each frontier object,
+//     merged linearly against the sorted frontier.
+//
+// Both passes share the global visited mask and the per-ring D[v]
+// marks, so the visited product subgraph is exactly the one the
+// item-at-a-time union traversal explores.
+
+// batchCutoff mirrors core's: tiny levels expand item-at-a-time.
+const batchCutoff = 4
+
+// delRanks resolves (and caches per overlay version) each tombstone's
+// leaf rank under its subject in this ring's L_s: the triple (s, p, o)
+// occupies exactly one position of its backward-search range, and its
+// rank among the occurrences of s is Rank(s, lsB) — one rank probe per
+// tombstone, once per overlay version.
+func (e *Engine) delRanks(w *ringWork) map[uint32][]int {
+	if w.delRanksValid && w.delRanksVersion == e.ov.version {
+		return w.delRanks
+	}
+	m := map[uint32][]int{}
+	e.ov.EachDel(func(d Edge) bool {
+		r := w.r
+		if int(d.O) >= r.NumNodes || d.P >= r.NumPreds {
+			return true
+		}
+		b, end := r.ObjectRange(d.O)
+		if b == end {
+			return true
+		}
+		lsB, lsE := r.BackwardByPred(b, end, d.P)
+		r0 := r.Ls.Rank(d.S, lsB)
+		if r.Ls.Rank(d.S, lsE) == r0 {
+			return true // not in this ring
+		}
+		m[d.S] = append(m[d.S], r0)
+		return true
+	})
+	for _, rs := range m {
+		sort.Ints(rs)
+	}
+	w.delRanks = m
+	w.delRanksVersion = e.ov.version
+	w.delRanksValid = true
+	return m
+}
+
+// leafMaskFor builds the part-2 LeafMask hook for one ring: the OR of
+// the item masks, minus items whose occurrences of the subject are all
+// tombstoned. Nil when the ring has no tombstones.
+func (e *Engine) leafMaskFor(w *ringWork) func(s uint32, its []wavelet.RangeMask) uint64 {
+	ranks := e.delRanks(w)
+	if len(ranks) == 0 {
+		return nil
+	}
+	return func(s uint32, its []wavelet.RangeMask) uint64 {
+		var all uint64
+		rs, ok := ranks[s]
+		if !ok {
+			for _, it := range its {
+				all |= it.Mask
+			}
+			return all
+		}
+		for _, it := range its {
+			lo := sort.SearchInts(rs, it.B)
+			hi := sort.SearchInts(rs, it.E)
+			if it.E-it.B > hi-lo {
+				all |= it.Mask
+			}
+		}
+		return all
+	}
+}
+
+// drainFrontier sorts and merges the queued level into e.level
+// (duplicate nodes union their masks) and clears the queue.
+func (e *Engine) drainFrontier() []item {
+	slices.SortFunc(e.queue, func(a, b item) int { return cmp.Compare(a.node, b.node) })
+	e.level = e.level[:0]
+	for _, it := range e.queue {
+		if n := len(e.level); n > 0 && e.level[n-1].node == it.node {
+			e.level[n-1].d |= it.d
+			continue
+		}
+		e.level = append(e.level, it)
+	}
+	e.queue = e.queue[:0]
+	return e.level
+}
+
+// lpItemsFor converts a level into one ring's sorted disjoint L_p
+// range items, coalescing adjacent equal-mask ranges.
+func (e *Engine) lpItemsFor(w *ringWork, level []item) []wavelet.RangeMask {
+	e.lpItems = e.lpItems[:0]
+	for _, it := range level {
+		if int(it.node) >= w.r.NumNodes {
+			continue
+		}
+		b, end := w.r.ObjectRange(it.node)
+		if b >= end {
+			continue
+		}
+		if n := len(e.lpItems); n > 0 && e.lpItems[n-1].E == b && e.lpItems[n-1].Mask == it.d {
+			e.lpItems[n-1].E = end
+			continue
+		}
+		e.lpItems = append(e.lpItems, wavelet.RangeMask{B: b, E: end, Mask: it.d})
+	}
+	return e.lpItems
+}
+
+// batchLeaf is the batched part-2 leaf action: global dedup, marking,
+// emission and next-level enqueueing (the batched arrive).
+func (e *Engine) batchLeaf(eng *glushkov.Engine, s uint32, all uint64, emit core.EmitFunc) error {
+	newStates := all &^ (e.visited.Get(int(s)) | e.base)
+	if newStates == 0 {
+		return nil
+	}
+	e.stats.ProductNodes++
+	e.markNode(s, all)
+	if newStates&eng.Init != 0 {
+		if !emit(s, 0) {
+			return errLimit
+		}
+		newStates &^= eng.Init
+	}
+	if newStates != 0 && e.hasInEdges(s) {
+		e.queue = append(e.queue, item{s, newStates})
+	}
+	return nil
+}
+
+// bfsBatched drains the worklist level-synchronously with the
+// two-pass expansion above.
+func (e *Engine) bfsBatched(eng *glushkov.Engine, emit core.EmitFunc) error {
+	for len(e.queue) > 0 {
+		if err := e.checkDeadline(); err != nil {
+			return err
+		}
+		level := e.drainFrontier()
+		if len(level) < batchCutoff {
+			for _, it := range level {
+				if err := e.expand(eng, it.node, it.d, emit); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		// Batched expansion per ring; tombstoned triples are punched out
+		// of the part-2 ranges positionally.
+		for _, w := range e.work {
+			items := e.lpItemsFor(w, level)
+			if len(items) == 0 {
+				continue
+			}
+			lo := core.LevelOwner{
+				R: w.r, BNode: w.bNode, DNode: w.dNode, Stats: &e.stats,
+				Check:    e.checkDeadline,
+				LeafMask: e.leafMaskFor(w),
+				Leaf: func(s uint32, all, fresh uint64) error {
+					return e.batchLeaf(eng, s, all, emit)
+				},
+			}
+			var err error
+			e.lsItems, err = core.StepLevelMany(&lo, eng, items, e.lsItems, e.base)
+			if err != nil {
+				return err
+			}
+		}
+		// Overlay adds entering the frontier (both sorted by object: a
+		// linear merge instead of per-node binary searches).
+		if err := e.overlayLevel(eng, level, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// overlayLevel merges the sorted frontier with the object-sorted
+// overlay adds and NFA-steps each matching edge.
+func (e *Engine) overlayLevel(eng *glushkov.Engine, level []item, emit core.EmitFunc) error {
+	adds := e.ov.adds
+	i := 0
+	for _, it := range level {
+		for i < len(adds) && adds[i].O < it.node {
+			i++
+		}
+		for j := i; j < len(adds) && adds[j].O == it.node; j++ {
+			bp := eng.BFor(adds[j].P)
+			if it.d&bp == 0 {
+				continue
+			}
+			e.stats.ProductEdges++
+			d2 := eng.Trev(it.d & bp)
+			if d2 == 0 {
+				continue
+			}
+			if !e.arrive(eng, adds[j].S, d2, emit) {
+				return e.failure
+			}
+		}
+	}
+	return nil
+}

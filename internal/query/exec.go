@@ -6,6 +6,7 @@ import (
 
 	"ringrpq/internal/core"
 	"ringrpq/internal/ltj"
+	"ringrpq/internal/overlay"
 	"ringrpq/internal/pathexpr"
 	"ringrpq/internal/ring"
 	"ringrpq/internal/triples"
@@ -27,7 +28,9 @@ type Options struct {
 	// Limit caps the number of emitted bindings; 0 means unlimited.
 	Limit int
 	// Timeout bounds wall-clock evaluation time; 0 means none.
-	// Exceeding it returns ErrTimeout.
+	// Exceeding it returns ErrTimeout. The budget is one absolute
+	// deadline captured at entry covering planning, the LTJ core and
+	// every RPQ step — a pattern never runs materially past 1× it.
 	Timeout time.Duration
 }
 
@@ -45,12 +48,23 @@ type Exec struct {
 	set *ring.ShardSet // sharded layout (nil when single-ring)
 	sel *SelCache
 
-	engines map[engineKey]*core.Engine
-	// plans memoises planning by canonical query text and routed ring:
-	// the planner's permutation search and estimate lookups depend only
-	// on the immutable index, so a long-lived Exec (a service worker)
-	// re-running a pattern pays planning once.
-	plans map[planKey]*Plan
+	// ov, when non-nil and non-empty, switches execution to the
+	// overlay-aware union mode: every clause (triple patterns included)
+	// becomes a pipelined step over union evaluators, so patterns see
+	// ring ∪ adds − dels. numNodes is the owning snapshot's node-id
+	// space.
+	ov       *overlay.Overlay
+	numNodes int
+
+	engines  map[engineKey]*core.Engine
+	uengines map[engineKey]*overlay.Engine
+	// plans memoises planning by canonical query text and routed ring
+	// (dirtyPlans holds the all-steps union-mode variants): the
+	// planner's permutation search and estimate lookups depend only on
+	// the immutable static index, so a long-lived Exec (a service
+	// worker) re-running a pattern pays planning once.
+	plans      map[planKey]*Plan
+	dirtyPlans map[planKey]*Plan
 }
 
 // planKey identifies one memoised plan.
@@ -89,13 +103,32 @@ func NewExecSharded(g *triples.Graph, set *ring.ShardSet, sel *SelCache) *Exec {
 	return &Exec{g: g, set: set, sel: sel, engines: map[engineKey]*core.Engine{}}
 }
 
+// SetOverlay points the executor at a snapshot's overlay (nil or empty
+// restores the plain static path). Call before Run, under the same
+// one-caller discipline as Run itself.
+func (x *Exec) SetOverlay(ov *overlay.Overlay, numNodes int) {
+	x.ov = ov
+	x.numNodes = numNodes
+}
+
+// dirty reports whether union-mode execution is on.
+func (x *Exec) dirty() bool { return x.ov != nil && !x.ov.Empty() }
+
 // ids resolves predicate occurrences against the graph dictionaries.
 func (x *Exec) ids(s pathexpr.Sym) (uint32, bool) {
 	return x.g.PredID(s.Name, s.Inverse)
 }
 
-// engineFor returns the engine for one (ring, pipeline depth) slot,
-// building it on first use.
+// allRings lists the layout's sub-rings.
+func (x *Exec) allRings() []*ring.Ring {
+	if x.set != nil {
+		return x.set.Shards
+	}
+	return []*ring.Ring{x.r}
+}
+
+// engineFor returns the static engine for one (ring, pipeline depth)
+// slot, building it on first use.
 func (x *Exec) engineFor(r *ring.Ring, depth int) *core.Engine {
 	key := engineKey{r, depth}
 	if e, ok := x.engines[key]; ok {
@@ -104,6 +137,28 @@ func (x *Exec) engineFor(r *ring.Ring, depth int) *core.Engine {
 	e := core.NewEngine(r, x.ids)
 	x.engines[key] = e
 	return e
+}
+
+// evaluatorFor returns the evaluator a step at the given depth should
+// use: the routed ring's static engine, or — in union mode — an
+// overlay engine over every sub-ring that delegates to it when the
+// step's predicates are untouched.
+func (x *Exec) evaluatorFor(r *ring.Ring, depth int) core.Evaluator {
+	static := x.engineFor(r, depth)
+	if !x.dirty() {
+		return static
+	}
+	key := engineKey{r, depth}
+	ue, ok := x.uengines[key]
+	if !ok {
+		if x.uengines == nil {
+			x.uengines = map[engineKey]*overlay.Engine{}
+		}
+		ue = overlay.NewEngine(static, x.allRings(), x.ids, x.g.NumCompletedPreds())
+		x.uengines[key] = ue
+	}
+	ue.SetSnapshot(x.ov, x.numNodes)
+	return ue
 }
 
 // route picks the ring the whole pattern runs on. For the single-ring
@@ -158,25 +213,31 @@ func (x *Exec) Plan(q *Query) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return x.planFor(q, r)
+	return x.planFor(q, r, time.Time{}, x.dirty())
 }
 
 // planFor returns the memoised plan of q on ring r, planning on first
-// use.
-func (x *Exec) planFor(q *Query, r *ring.Ring) (*Plan, error) {
+// use under the given absolute deadline (zero = none). allSteps plans
+// every clause as a pipelined step (union mode bypasses LTJ, which
+// reads only the static ring).
+func (x *Exec) planFor(q *Query, r *ring.Ring, deadline time.Time, allSteps bool) (*Plan, error) {
+	memo := &x.plans
+	if allSteps {
+		memo = &x.dirtyPlans
+	}
 	key := planKey{canon: q.String(), r: r}
-	if pl, ok := x.plans[key]; ok {
+	if pl, ok := (*memo)[key]; ok {
 		return pl, nil
 	}
-	p := &planner{g: x.g, r: r, sel: x.sel.For(r)}
-	pl, err := p.plan(q)
+	p := &planner{g: x.g, r: r, sel: x.sel.For(r), deadline: deadline}
+	pl, err := p.plan(q, allSteps)
 	if err != nil {
 		return nil, err
 	}
-	if x.plans == nil || len(x.plans) >= maxPlans {
-		x.plans = make(map[planKey]*Plan, 16)
+	if *memo == nil || len(*memo) >= maxPlans {
+		*memo = make(map[planKey]*Plan, 16)
 	}
-	x.plans[key] = pl
+	(*memo)[key] = pl
 	return pl, nil
 }
 
@@ -186,11 +247,17 @@ func (x *Exec) planFor(q *Query, r *ring.Ring) (*Plan, error) {
 // Options.Timeout returns ErrTimeout with the bindings emitted so far
 // still valid; Options.Limit truncates silently.
 func (x *Exec) Run(q *Query, opts Options, emit func(Binding) bool) error {
+	// One absolute deadline captured at entry governs routing,
+	// planning, LTJ and every RPQ step: planning runs on the clock.
+	var deadline time.Time
+	if opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
 	r, err := x.route(q)
 	if err != nil {
 		return err
 	}
-	pl, err := x.planFor(q, r)
+	pl, err := x.planFor(q, r, deadline, x.dirty())
 	if err != nil {
 		return err
 	}
@@ -202,13 +269,15 @@ func (x *Exec) Run(q *Query, opts Options, emit func(Binding) bool) error {
 		limit:    opts.Limit,
 		row:      map[string]uint32{},
 		predVars: q.PredVars(),
-	}
-	if opts.Timeout > 0 {
-		rt.deadline = time.Now().Add(opts.Timeout)
+		deadline: deadline,
 	}
 
 	if len(pl.Triples) > 0 {
-		lopts := ltj.Options{Order: pl.Order, Timeout: opts.Timeout}
+		rem, ok := rt.remaining()
+		if !ok {
+			return ErrTimeout
+		}
+		lopts := ltj.Options{Order: pl.Order, Timeout: rem}
 		err := ltj.JoinWith(r, pl.Triples, lopts, func(row ltj.Row) bool {
 			for k, v := range row {
 				rt.row[k] = v
@@ -242,6 +311,7 @@ type run struct {
 	row      map[string]uint32
 	predVars map[string]bool
 	deadline time.Time
+	ticks    int
 	failure  error
 }
 
@@ -259,6 +329,20 @@ func (rt *run) remaining() (time.Duration, bool) {
 	return rem, true
 }
 
+// tick is a cheap amortised deadline probe for the executor's own
+// loops (the union-mode edge enumerations).
+func (rt *run) tick() bool {
+	rt.ticks++
+	if rt.deadline.IsZero() || rt.ticks%256 != 0 {
+		return true
+	}
+	if time.Now().After(rt.deadline) {
+		rt.failure = ErrTimeout
+		return false
+	}
+	return true
+}
+
 // steps runs the RPQ pipeline from step i under the current row,
 // emitting completed bindings at the end; false stops the whole
 // enumeration (failure, limit, or the caller's emit).
@@ -270,13 +354,16 @@ func (rt *run) steps(i int) bool {
 		return rt.emitRow()
 	}
 	s := rt.plan.Steps[i]
+	if s.PredVar != "" {
+		return rt.predVarStep(i, s)
+	}
 	sid, sBound := rt.resolve(s.SVar, s.SID)
 	oid, oBound := rt.resolve(s.OVar, s.OID)
 	rem, ok := rt.remaining()
 	if !ok {
 		return false
 	}
-	eng := rt.x.engineFor(rt.r, i)
+	eng := rt.x.evaluatorFor(rt.r, i)
 	copts := core.Options{Timeout: rem}
 
 	cq := core.Query{Subject: core.Variable, Object: core.Variable, Expr: s.Expr}
@@ -337,6 +424,107 @@ func (rt *run) steps(i int) bool {
 		return false
 	}
 	return cont
+}
+
+// predVarStep executes a variable-predicate triple pattern in union
+// mode by enumerating matching union edges directly (the static path
+// joins these through LTJ instead, which union mode bypasses).
+func (rt *run) predVarStep(i int, st PathStep) bool {
+	sid, sBound := rt.resolve(st.SVar, st.SID)
+	oid, oBound := rt.resolve(st.OVar, st.OID)
+	pid := int64(core.Variable)
+	if v, ok := rt.row[st.PredVar]; ok {
+		pid = int64(v)
+	}
+	if !sBound {
+		sid = core.Variable
+	}
+	if !oBound {
+		oid = core.Variable
+	}
+	cont := true
+	rt.x.eachUnionEdge(sid, pid, oid, func(es, ep, eo uint32) bool {
+		if !rt.tick() {
+			return false
+		}
+		// Bind the step's variables against the edge, rejecting
+		// inconsistent repeats (e.g. ?x ?x ?x) and unwinding after the
+		// recursive continuation.
+		okRow := true
+		var added []string
+		try := func(name string, v uint32) {
+			if !okRow || name == "" {
+				return
+			}
+			if cur, bound := rt.row[name]; bound {
+				if cur != v {
+					okRow = false
+				}
+				return
+			}
+			rt.row[name] = v
+			added = append(added, name)
+		}
+		try(st.SVar, es)
+		try(st.PredVar, ep)
+		try(st.OVar, eo)
+		if okRow {
+			cont = rt.steps(i + 1)
+		}
+		for _, n := range added {
+			delete(rt.row, n)
+		}
+		return cont
+	})
+	return cont && rt.failure == nil
+}
+
+// eachUnionEdge streams the union edges matching the given constraints
+// (core.Variable wildcards), distinct by construction: the static
+// sub-rings partition the static triples, overlay adds are disjoint
+// from them, and tombstoned edges are dropped.
+func (x *Exec) eachUnionEdge(sid, pid, oid int64, fn func(s, p, o uint32) bool) {
+	half := x.g.NumPreds
+	inv := func(p uint32) uint32 {
+		if p < half {
+			return p + half
+		}
+		return p - half
+	}
+	rings, ov := x.allRings(), x.ov
+	inOf := func(o uint32, f func(p, s uint32) bool) bool {
+		return overlay.EachInEdge(rings, ov, o, f)
+	}
+	filter := func(s, p, o uint32) bool {
+		if sid != core.Variable && int64(s) != sid {
+			return true
+		}
+		if pid != core.Variable && int64(p) != pid {
+			return true
+		}
+		if oid != core.Variable && int64(o) != oid {
+			return true
+		}
+		return fn(s, p, o)
+	}
+	switch {
+	case oid != core.Variable:
+		if oid >= 0 && int(oid) < x.numNodes {
+			inOf(uint32(oid), func(p, s uint32) bool { return filter(s, p, uint32(oid)) })
+		}
+	case sid != core.Variable:
+		// Out-edges of s are the inverses of its in-edges in the
+		// completed graph: (s, p, o) ⟺ (o, p̂, s).
+		if sid >= 0 && int(sid) < x.numNodes {
+			inOf(uint32(sid), func(q, o uint32) bool { return filter(uint32(sid), inv(q), o) })
+		}
+	default:
+		for o := 0; o < x.numNodes; o++ {
+			if !inOf(uint32(o), func(p, s uint32) bool { return filter(s, p, uint32(o)) }) {
+				return
+			}
+		}
+	}
 }
 
 // resolve returns the id a step endpoint is fixed to, if any: a

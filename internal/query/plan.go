@@ -2,6 +2,7 @@ package query
 
 import (
 	"sort"
+	"time"
 
 	"ringrpq/internal/core"
 	"ringrpq/internal/ltj"
@@ -34,10 +35,14 @@ type Plan struct {
 	VarEst map[string]float64
 }
 
-// PathStep is one scheduled RPQ clause.
+// PathStep is one scheduled RPQ clause — or, in the union-mode
+// all-steps plan, any clause, including triple patterns.
 type PathStep struct {
-	// Expr is the clause's path expression.
+	// Expr is the clause's path expression (nil when PredVar is set).
 	Expr pathexpr.Node
+	// PredVar names a variable predicate: the step enumerates union
+	// edges instead of running the RPQ engine (all-steps plans only).
+	PredVar string
 	// SVar/OVar name variable endpoints ("" = constant endpoint).
 	SVar, OVar string
 	// SID/OID are constant endpoint ids (core.Variable for variables).
@@ -52,18 +57,23 @@ const maxExhaustiveVars = 8
 
 // planner carries the inputs of one planning pass.
 type planner struct {
-	g   *triples.Graph
-	r   *ring.Ring
-	sel *ring.Selectivity // may be nil: C-array estimates only
+	g        *triples.Graph
+	r        *ring.Ring
+	sel      *ring.Selectivity // may be nil: C-array estimates only
+	deadline time.Time         // absolute query deadline; zero = none
 }
 
 // plan resolves and orders q. A nil error with Empty set means the
-// query provably has no results.
-func (p *planner) plan(q *Query) (*Plan, error) {
+// query provably has no results. With allSteps set, every clause —
+// triple patterns included — is scheduled as a pipelined step (union
+// mode: LTJ reads only the static ring, so it is bypassed). Planning
+// honours the deadline: a pathological permutation search returns
+// ErrTimeout instead of running off the clock.
+func (p *planner) plan(q *Query, allSteps bool) (*Plan, error) {
 	pl := &Plan{VarEst: map[string]float64{}}
 	var paths []Clause
 	for _, c := range q.Clauses {
-		if c.IsTriple() {
+		if !allSteps && c.IsTriple() {
 			pat, ok := p.resolveTriple(c)
 			if !ok {
 				pl.Empty = true
@@ -84,7 +94,10 @@ func (p *planner) plan(q *Query) (*Plan, error) {
 	if len(pl.Triples) > 0 {
 		bgpVars := ltj.Vars(pl.Triples)
 		if len(bgpVars) <= maxExhaustiveVars {
-			order, ok := bestFeasibleOrder(pl.Triples, bgpVars, est)
+			order, ok, err := bestFeasibleOrder(pl.Triples, bgpVars, est, p.deadline)
+			if err != nil {
+				return nil, err
+			}
 			if !ok {
 				return nil, ltj.ErrUnsupportedOrder
 			}
@@ -140,6 +153,9 @@ func (p *planner) plan(q *Query) (*Plan, error) {
 		if c.O.IsVar() {
 			bound[c.O.Var] = true
 		}
+		if c.PredVar != "" {
+			bound[c.PredVar] = true
+		}
 	}
 	return pl, nil
 }
@@ -179,10 +195,11 @@ func (p *planner) resolveNodeTerm(t Term) (ltj.Term, bool) {
 	return ltj.C(id), true
 }
 
-// resolveStep maps an RPQ clause to a PathStep; false means a constant
-// endpoint is absent from the graph.
+// resolveStep maps an RPQ clause — or, in all-steps plans, any clause
+// — to a PathStep; false means a constant endpoint is absent from the
+// graph.
 func (p *planner) resolveStep(c Clause, cost float64) (PathStep, bool) {
-	step := PathStep{Expr: c.Path, SID: core.Variable, OID: core.Variable, Est: cost}
+	step := PathStep{Expr: c.Path, PredVar: c.PredVar, SID: core.Variable, OID: core.Variable, Est: cost}
 	if c.S.IsVar() {
 		step.SVar = c.S.Var
 	} else {
@@ -240,13 +257,17 @@ func (p *planner) scanCost(c Clause, est map[string]float64) float64 {
 
 // bestFeasibleOrder searches the permutations of vars for the feasible
 // order minimising the position-weighted estimates — the most selective
-// variables first. Iteration order is deterministic.
-func bestFeasibleOrder(patterns []ltj.Pattern, vars []string, est map[string]float64) ([]string, bool) {
+// variables first. Iteration order is deterministic. The deadline is
+// probed every few hundred candidates: the search is exponential in the
+// variable count and must stay inside the query's budget.
+func bestFeasibleOrder(patterns []ltj.Pattern, vars []string, est map[string]float64, deadline time.Time) ([]string, bool, error) {
 	sort.Strings(vars)
 	perm := append([]string(nil), vars...)
 	best := []string{}
 	found := false
 	bestCost := 0.0
+	tried := 0
+	var timedOut error
 	score := func(order []string) float64 {
 		cost, w := 0.0, 1.0
 		for i := len(order) - 1; i >= 0; i-- {
@@ -257,7 +278,15 @@ func bestFeasibleOrder(patterns []ltj.Pattern, vars []string, est map[string]flo
 	}
 	var rec func(k int)
 	rec = func(k int) {
+		if timedOut != nil {
+			return
+		}
 		if k == len(perm) {
+			tried++
+			if !deadline.IsZero() && tried%512 == 0 && time.Now().After(deadline) {
+				timedOut = core.ErrTimeout
+				return
+			}
 			if !ltj.Feasible(patterns, perm) {
 				return
 			}
@@ -275,7 +304,10 @@ func bestFeasibleOrder(patterns []ltj.Pattern, vars []string, est map[string]flo
 		}
 	}
 	rec(0)
-	return best, found
+	if timedOut != nil {
+		return nil, false, timedOut
+	}
+	return best, found, nil
 }
 
 // estimates computes a per-variable candidate-set size: the minimum,

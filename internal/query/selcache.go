@@ -42,3 +42,20 @@ func (c *SelCache) For(r *ring.Ring) *ring.Selectivity {
 	c.mu.Unlock()
 	return s
 }
+
+// Retain drops every cached entry whose ring is not in keep: after a
+// compaction swap, superseded rings' statistics are unreachable
+// garbage (structurally shared shards keep theirs).
+func (c *SelCache) Retain(keep []*ring.Ring) {
+	live := make(map[*ring.Ring]bool, len(keep))
+	for _, r := range keep {
+		live[r] = true
+	}
+	c.mu.Lock()
+	for r := range c.m {
+		if !live[r] {
+			delete(c.m, r)
+		}
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,74 @@
+package ring
+
+import (
+	"ringrpq/internal/triples"
+	"ringrpq/internal/wavelet"
+)
+
+// This file holds the ring-side building blocks of the live-update
+// subsystem (internal/overlay): membership probes used to decide
+// whether a delete is a tombstone, triple reconstruction used by the
+// compactor to rebuild a ring from ring+overlay, and per-shard
+// replacement so a sharded compaction only rebuilds the sub-rings
+// whose predicates the overlay touched.
+
+// Has reports whether the ring contains the completed triple (s, p, o).
+// Ids outside the ring's spaces are simply absent. One backward-search
+// step (Eqs. 4–5) plus a rank probe: O(log σ).
+func (r *Ring) Has(s, p, o uint32) bool {
+	if int(s) >= r.NumNodes || int(o) >= r.NumNodes || p >= r.NumPreds {
+		return false
+	}
+	b, e := r.ObjectRange(o)
+	if b == e {
+		return false
+	}
+	lsB, lsE := r.BackwardByPred(b, e, p)
+	if lsB == lsE {
+		return false
+	}
+	return r.Ls.Rank(s, lsE) > r.Ls.Rank(s, lsB)
+}
+
+// Layout reports the wavelet representation the ring was built with
+// (needed to rebuild a compatible ring during compaction of a loaded
+// index, whose construction-time configuration is not stored).
+func (r *Ring) Layout() Layout {
+	if _, ok := r.Lo.(*wavelet.Tree); ok {
+		return WaveletTree
+	}
+	return WaveletMatrix
+}
+
+// Triples reconstructs the ring's completed triple set by following the
+// LF cycle at every position of L_p (order unspecified). O(N log σ);
+// used by the compactor, which merges the result with the overlay.
+func (r *Ring) Triples() []triples.Triple {
+	out := make([]triples.Triple, r.N)
+	for i := 0; i < r.N; i++ {
+		out[i] = r.TripleAt(i)
+	}
+	return out
+}
+
+// FromTriples builds a ring directly over a completed triple list with
+// explicit id spaces (the compactor's entry point; New remains the
+// builder's, going through a Graph).
+func FromTriples(ts []triples.Triple, numNodes int, numPreds uint32, layout Layout) *Ring {
+	return fromTriples(ts, numNodes, numPreds, layout)
+}
+
+// ShardSetFrom assembles a ShardSet from pre-built sub-rings (all over
+// the same global id spaces). The compactor uses it to swap rebuilt
+// shards in next to untouched ones, which are shared structurally with
+// the previous set.
+func ShardSetFrom(shards []*Ring, part Partitioner, numNodes int, numPreds uint32) *ShardSet {
+	if part == nil {
+		part = HashPartitioner{}
+	}
+	s := &ShardSet{K: len(shards), Shards: shards, Part: part, NumNodes: numNodes, NumPreds: numPreds}
+	for _, r := range shards {
+		s.N += r.N
+	}
+	return s
+}

@@ -51,7 +51,14 @@ type ResultJSON struct {
 	Solutions []SolutionJSON `json:"solutions,omitempty"`
 	Count     int            `json:"count"`
 	Cached    bool           `json:"cached,omitempty"`
-	TimedOut  bool           `json:"timed_out,omitempty"`
+	// Truncated reports a partial result: the evaluation hit its
+	// deadline and the solutions are what was found in time. Truncated
+	// responses are served with 206 Partial Content (batch items keep
+	// the whole-batch 200) and are never stored in — or replayed from —
+	// the result cache.
+	Truncated bool `json:"truncated,omitempty"`
+	// TimedOut is kept as an alias of Truncated for older clients.
+	TimedOut bool `json:"timed_out,omitempty"`
 	// LimitReached reports that the result filled the request's (or
 	// the server's default) solution cap: the count may be truncated.
 	LimitReached bool   `json:"limit_reached,omitempty"`
@@ -86,9 +93,38 @@ type SelectResultJSON struct {
 	Rows         [][]string `json:"rows,omitempty"`
 	Count        int        `json:"count"`
 	Cached       bool       `json:"cached,omitempty"`
+	Truncated    bool       `json:"truncated,omitempty"`
 	TimedOut     bool       `json:"timed_out,omitempty"`
 	LimitReached bool       `json:"limit_reached,omitempty"`
 	ElapsedMS    float64    `json:"elapsed_ms,omitempty"`
+}
+
+// UpdateTripleJSON is the wire form of one update triple.
+type UpdateTripleJSON struct {
+	S string `json:"s"`
+	P string `json:"p"`
+	O string `json:"o"`
+	// Op selects "add" (default) or "del"; only meaningful in NDJSON
+	// streams, where each line stands alone.
+	Op string `json:"op,omitempty"`
+}
+
+// UpdateJSON is the wire form of a POST /update body (JSON mode).
+type UpdateJSON struct {
+	Add []UpdateTripleJSON `json:"add,omitempty"`
+	Del []UpdateTripleJSON `json:"del,omitempty"`
+}
+
+// UpdateResultJSON is the wire form of a POST /update response.
+type UpdateResultJSON struct {
+	Added        int     `json:"added"`
+	Deleted      int     `json:"deleted"`
+	OverlayEdges int     `json:"overlay_edges"`
+	Tombstones   int     `json:"tombstones"`
+	Epoch        uint64  `json:"epoch"`
+	Version      uint64  `json:"version"`
+	Compacting   bool    `json:"compacting,omitempty"`
+	ElapsedMS    float64 `json:"elapsed_ms,omitempty"`
 }
 
 // NewHandler mounts the service's HTTP API:
@@ -110,6 +146,7 @@ func NewHandler(s *Service, cfg HandlerConfig) http.Handler {
 	mux.HandleFunc("POST /query", h.query)
 	mux.HandleFunc("POST /select", h.selectPattern)
 	mux.HandleFunc("POST /batch", h.batch)
+	mux.HandleFunc("POST /update", h.update)
 	mux.HandleFunc("GET /stats", h.stats)
 	mux.HandleFunc("GET /healthz", h.healthz)
 	return mux
@@ -183,11 +220,22 @@ func toJSON(req Request, res Result, elapsed time.Duration) ResultJSON {
 	}
 	switch {
 	case errors.Is(res.Err, core.ErrTimeout):
+		out.Truncated = true
 		out.TimedOut = true
 	case res.Err != nil:
 		out.Error = res.Err.Error()
 	}
 	return out
+}
+
+// resultStatus picks the HTTP status of a successful evaluation:
+// truncated (deadline-cut) results are distinguishable from complete
+// ones without parsing the body.
+func resultStatus(err error) int {
+	if errors.Is(err, core.ErrTimeout) {
+		return http.StatusPartialContent
+	}
+	return http.StatusOK
 }
 
 // toPatternRequest validates and converts one wire pattern query.
@@ -240,9 +288,10 @@ func (h *handler) selectPattern(w http.ResponseWriter, r *http.Request) {
 		LimitReached: req.Limit > 0 && res.N >= req.Limit,
 	}
 	if errors.Is(res.Err, core.ErrTimeout) {
+		out.Truncated = true
 		out.TimedOut = true
 	}
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, resultStatus(res.Err), out)
 }
 
 func (h *handler) query(w http.ResponseWriter, r *http.Request) {
@@ -261,7 +310,7 @@ func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, res.Err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toJSON(req, res, time.Since(start)))
+	writeJSON(w, resultStatus(res.Err), toJSON(req, res, time.Since(start)))
 }
 
 // decodeBody decodes a size-bounded JSON request body, writing the

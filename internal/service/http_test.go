@@ -123,15 +123,15 @@ func TestHTTPTimeout(t *testing.T) {
 	f.shared.delay = 50 * time.Millisecond
 	srv := newTestServer(t, f, Config{Workers: 1}, HandlerConfig{})
 	resp, body := postJSON(t, srv.URL+"/query", `{"expr":"a","timeout":"1ms"}`)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("timeouts should return partial results: %d %s", resp.StatusCode, body)
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("timeouts should return partial results with 206: %d %s", resp.StatusCode, body)
 	}
 	var out ResultJSON
 	if err := json.Unmarshal(body, &out); err != nil {
 		t.Fatal(err)
 	}
-	if !out.TimedOut {
-		t.Fatalf("want timed_out: %s", body)
+	if !out.Truncated || !out.TimedOut {
+		t.Fatalf("want truncated (and the timed_out alias): %s", body)
 	}
 }
 

@@ -62,9 +62,45 @@ type PatternBackend interface {
 	EvalPattern(q *query.Query, limit int, timeout time.Duration, emit func(row []string) bool) error
 }
 
+// UpdateTriple is one update triple in string form.
+type UpdateTriple struct {
+	S, P, O string
+}
+
+// UpdateResult reports the index state after an update batch.
+type UpdateResult struct {
+	// OverlayEdges/Tombstones are the pending completed overlay sizes.
+	OverlayEdges, Tombstones int
+	// Epoch counts snapshot swaps; Version counts data changes.
+	Epoch, Version uint64
+	// Compacting reports a background compaction in flight.
+	Compacting bool
+}
+
+// Updater is optionally implemented by backends whose index accepts
+// live updates (Service.Update, POST /update). Apply must be safe for
+// concurrent use — it goes to the shared snapshot holder, not through
+// the worker pool.
+type Updater interface {
+	ApplyUpdates(adds, dels []UpdateTriple) (UpdateResult, error)
+}
+
+// Versioned is optionally implemented by backends whose data can
+// change (live updates). DataVersion must advance on every visible
+// change — applies and compaction swaps — and be safe for concurrent
+// use. The result cache keys its entries to it, so results computed
+// against superseded data are never replayed.
+type Versioned interface {
+	DataVersion() uint64
+}
+
 // errNoPatterns reports a pattern request against a backend that does
 // not implement PatternBackend.
 var errNoPatterns = errors.New("service: backend does not support graph patterns")
+
+// errNoUpdates reports an update against a backend that does not
+// implement Updater.
+var errNoUpdates = errors.New("service: backend does not support live updates")
 
 // Config tunes a Service. The zero value picks sensible defaults;
 // negative cache sizes disable the corresponding cache.
@@ -178,6 +214,11 @@ type Stats struct {
 	// expressions included); Rejected counts submissions whose context
 	// fired while the queue was full.
 	Timeouts, Cancelled, Errors, Rejected int64
+	// Updates counts applied update batches; QueueWaitNS accumulates
+	// the time evaluated requests spent queued — wait that counts
+	// against their deadlines, which are anchored at submission.
+	Updates     int64
+	QueueWaitNS int64
 	// ExprHits/ExprMisses/ExprEntries describe the compiled-expression
 	// cache.
 	ExprHits, ExprMisses int64
@@ -199,6 +240,11 @@ type Service struct {
 	cfg   Config
 	queue chan *job
 
+	// src is the backend the service was built over: updates and data
+	// versions go to it directly (both are safe for concurrent use by
+	// contract), never through the worker clones.
+	src Backend
+
 	mu     sync.RWMutex // guards closed vs. queue sends
 	closed bool
 	wg     sync.WaitGroup
@@ -210,6 +256,8 @@ type Service struct {
 	results *lruCache
 
 	requests  atomic.Int64
+	updates   atomic.Int64
+	queueWait atomic.Int64
 	batches   atomic.Int64
 	inflight  atomic.Int64
 	completed atomic.Int64
@@ -227,8 +275,23 @@ type job struct {
 	node    pathexpr.Node // 2RPQ requests
 	pattern *query.Query  // pattern requests
 	key     string        // result-cache key; "" = uncacheable
-	stream  func(Solution) bool
-	done    chan Result
+	version uint64        // data version observed at submission
+	// deadline is the request's evaluation deadline, anchored at
+	// submission: queue wait counts against the budget, so a request
+	// that waited out its timeout evaluates to an immediate (empty,
+	// truncated) result instead of getting a fresh budget. Zero means
+	// unbounded.
+	deadline time.Time
+	enqueued time.Time
+	stream   func(Solution) bool
+	done     chan Result
+}
+
+// cachedResult is one result-cache entry, pinned to the data version
+// it was computed against.
+type cachedResult struct {
+	res     Result
+	version uint64
 }
 
 // New starts a Service over backend. The backend itself is only used as
@@ -237,6 +300,7 @@ func New(backend Backend, cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
 		cfg:      cfg,
+		src:      backend,
 		queue:    make(chan *job, cfg.QueueDepth),
 		exprs:    newExprCache(cfg.ExprCacheEntries),
 		patterns: newPatternCache(cfg.ExprCacheEntries),
@@ -359,6 +423,7 @@ func (s *Service) submit(ctx context.Context, req Request, stream func(Solution)
 		return Result{Err: err}, nil
 	}
 
+	version := s.dataVersion()
 	var key string
 	if stream == nil && s.results.enabled() {
 		key = cacheKey(req, canon)
@@ -366,15 +431,35 @@ func (s *Service) submit(ctx context.Context, req Request, stream func(Solution)
 		v, ok := s.results.Get(key)
 		s.resMu.Unlock()
 		if ok {
-			s.hits.Add(1)
-			res := v.(Result)
-			res.Cached = true
-			return res, nil
+			if e := v.(cachedResult); e.version == version {
+				s.hits.Add(1)
+				res := e.res
+				res.Cached = true
+				return res, nil
+			}
+			// Computed against superseded data: a live update or a
+			// compaction swap invalidated it.
+			ok = false
 		}
-		s.misses.Add(1)
+		if !ok {
+			s.misses.Add(1)
+		}
 	}
 
-	j := &job{ctx: ctx, req: req, node: node, pattern: pat, key: key, stream: stream, done: make(chan Result, 1)}
+	j := &job{ctx: ctx, req: req, node: node, pattern: pat, key: key, version: version, stream: stream, done: make(chan Result, 1)}
+	// Anchor the evaluation deadline now: time spent queued counts
+	// against the request's budget (the context-deadline clamp is kept).
+	t := req.Timeout
+	if t <= 0 {
+		t = s.cfg.DefaultTimeout
+	}
+	if t > 0 {
+		j.deadline = time.Now().Add(t)
+	}
+	if dl, ok := ctx.Deadline(); ok && (j.deadline.IsZero() || dl.Before(j.deadline)) {
+		j.deadline = dl
+	}
+	j.enqueued = time.Now()
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -436,11 +521,18 @@ func (s *Service) run(b Backend, j *job) Result {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 	defer s.completed.Add(1)
+	s.queueWait.Add(time.Since(j.enqueued).Nanoseconds())
 
-	timeout, err := s.effectiveTimeout(j)
-	if err != nil {
-		s.timeouts.Add(1)
-		return Result{Err: err}
+	var timeout time.Duration
+	if !j.deadline.IsZero() {
+		timeout = time.Until(j.deadline)
+		if timeout <= 0 {
+			// The queue wait consumed the whole budget: an empty
+			// truncated result, exactly as if evaluation had started
+			// and timed out immediately.
+			s.timeouts.Add(1)
+			return Result{Err: core.ErrTimeout}
+		}
 	}
 	if j.pattern != nil {
 		return s.runPattern(b, j, timeout)
@@ -470,7 +562,7 @@ func (s *Service) run(b Backend, j *job) Result {
 		}
 		return true
 	}
-	err = b.Eval(j.req.Subject, j.node, j.req.Object, j.req.Limit, timeout, emit)
+	err := b.Eval(j.req.Subject, j.node, j.req.Object, j.req.Limit, timeout, emit)
 	res := Result{Solutions: sols, N: n, Err: err}
 	switch {
 	case stopped == errStopped:
@@ -544,7 +636,7 @@ func (s *Service) storePattern(j *job, res Result) {
 		}
 	}
 	s.resMu.Lock()
-	s.results.Add(j.key, res, cost)
+	s.results.Add(j.key, cachedResult{res: res, version: j.version}, cost)
 	s.resMu.Unlock()
 }
 
@@ -562,25 +654,6 @@ func (s *Service) countCtxErr(err error) {
 	}
 }
 
-// effectiveTimeout combines the request timeout, the context deadline
-// and the configured default into one evaluation bound.
-func (s *Service) effectiveTimeout(j *job) (time.Duration, error) {
-	t := j.req.Timeout
-	if t == 0 {
-		t = s.cfg.DefaultTimeout
-	}
-	if dl, ok := j.ctx.Deadline(); ok {
-		rem := time.Until(dl)
-		if rem <= 0 {
-			return 0, context.DeadlineExceeded
-		}
-		if t == 0 || rem < t {
-			t = rem
-		}
-	}
-	return t, nil
-}
-
 // store records a complete result in the result cache.
 func (s *Service) store(j *job, res Result) {
 	if j.key == "" {
@@ -591,8 +664,43 @@ func (s *Service) store(j *job, res Result) {
 		cost += int64(len(sol.Subject)+len(sol.Object)) + 32
 	}
 	s.resMu.Lock()
-	s.results.Add(j.key, res, cost)
+	s.results.Add(j.key, cachedResult{res: res, version: j.version}, cost)
 	s.resMu.Unlock()
+}
+
+// dataVersion reads the backend's current data version (0 for static
+// backends).
+func (s *Service) dataVersion() uint64 {
+	if v, ok := s.src.(Versioned); ok {
+		return v.DataVersion()
+	}
+	return 0
+}
+
+// Update applies one live-update batch (adds then dels) through the
+// backend's snapshot holder. It does not occupy a worker: updates and
+// queries proceed concurrently, and queries started before the update
+// finish on the snapshot they pinned. Fails with an error when the
+// backend has no live-update support.
+func (s *Service) Update(ctx context.Context, adds, dels []UpdateTriple) (UpdateResult, error) {
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return UpdateResult{}, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return UpdateResult{}, err
+	}
+	u, ok := s.src.(Updater)
+	if !ok {
+		return UpdateResult{}, errNoUpdates
+	}
+	res, err := u.ApplyUpdates(adds, dels)
+	if err == nil {
+		s.updates.Add(1)
+	}
+	return res, err
 }
 
 // Stats snapshots the service counters.
@@ -616,6 +724,8 @@ func (s *Service) Stats() Stats {
 		Cancelled:       s.cancelled.Load(),
 		Errors:          s.errs.Load(),
 		Rejected:        s.rejected.Load(),
+		Updates:         s.updates.Load(),
+		QueueWaitNS:     s.queueWait.Load(),
 		ExprHits:        exprHits,
 		ExprMisses:      exprMisses,
 		ExprEntries:     s.exprs.Len(),

@@ -1,0 +1,133 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// This file is the HTTP face of live updates: POST /update accepts one
+// batch either as a JSON document ({"add": [...], "del": [...]}) or as
+// a bulk NDJSON stream (Content-Type application/x-ndjson, one
+// {"op":"add"|"del","s":...,"p":...,"o":...} per line) and applies it
+// atomically through Service.Update.
+
+// maxNDJSONLine bounds one NDJSON line; the whole body is already
+// bounded by HandlerConfig.MaxBodyBytes.
+const maxNDJSONLine = 1 << 20
+
+// DecodeNDJSONUpdates parses a bulk NDJSON update stream into add and
+// delete triples. Lines hold one UpdateTripleJSON each: op "add"
+// (default when absent) or "del"; blank lines are skipped. Errors
+// carry the 1-based line number. Exported for reuse by cmd/rpq and as
+// a fuzz target.
+func DecodeNDJSONUpdates(r io.Reader) (adds, dels []UpdateTriple, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxNDJSONLine)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var t UpdateTripleJSON
+		dec := json.NewDecoder(strings.NewReader(line))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&t); err != nil {
+			return nil, nil, fmt.Errorf("update line %d: %w", lineNo, err)
+		}
+		// One JSON value per line, nothing trailing.
+		if dec.More() {
+			return nil, nil, fmt.Errorf("update line %d: trailing data after triple", lineNo)
+		}
+		if t.S == "" || t.P == "" || t.O == "" {
+			return nil, nil, fmt.Errorf("update line %d: s, p and o must all be non-empty", lineNo)
+		}
+		switch t.Op {
+		case "", "add":
+			adds = append(adds, UpdateTriple{S: t.S, P: t.P, O: t.O})
+		case "del":
+			dels = append(dels, UpdateTriple{S: t.S, P: t.P, O: t.O})
+		default:
+			return nil, nil, fmt.Errorf("update line %d: unknown op %q (want add or del)", lineNo, t.Op)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("update line %d: %w", lineNo+1, err)
+	}
+	return adds, dels, nil
+}
+
+// update handles POST /update.
+func (h *handler) update(w http.ResponseWriter, r *http.Request) {
+	var adds, dels []UpdateTriple
+	if strings.Contains(r.Header.Get("Content-Type"), "ndjson") {
+		r.Body = http.MaxBytesReader(w, r.Body, h.cfg.MaxBodyBytes)
+		var err error
+		adds, dels, err = DecodeNDJSONUpdates(r.Body)
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusRequestEntityTooLarge, err)
+			} else {
+				writeError(w, http.StatusBadRequest, err)
+			}
+			return
+		}
+	} else {
+		var u UpdateJSON
+		if err := h.decodeBody(w, r, &u); err != nil {
+			return
+		}
+		conv := func(ts []UpdateTripleJSON, kind string) ([]UpdateTriple, error) {
+			out := make([]UpdateTriple, 0, len(ts))
+			for i, t := range ts {
+				if t.S == "" || t.P == "" || t.O == "" {
+					return nil, fmt.Errorf("%s[%d]: s, p and o must all be non-empty", kind, i)
+				}
+				out = append(out, UpdateTriple{S: t.S, P: t.P, O: t.O})
+			}
+			return out, nil
+		}
+		var err error
+		if adds, err = conv(u.Add, "add"); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if dels, err = conv(u.Del, "del"); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if len(adds) == 0 && len(dels) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty update"))
+		return
+	}
+
+	start := time.Now()
+	res, err := h.s.Update(r.Context(), adds, dels)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, UpdateResultJSON{
+		Added:        len(adds),
+		Deleted:      len(dels),
+		OverlayEdges: res.OverlayEdges,
+		Tombstones:   res.Tombstones,
+		Epoch:        res.Epoch,
+		Version:      res.Version,
+		Compacting:   res.Compacting,
+		ElapsedMS:    float64(time.Since(start).Microseconds()) / 1e3,
+	})
+}

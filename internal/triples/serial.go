@@ -5,8 +5,9 @@ import "ringrpq/internal/serial"
 // Encode writes the dictionary's names in id order.
 func (d *Dict) Encode(w *serial.Writer) {
 	w.Magic("dic1")
-	w.Int(len(d.names))
-	for _, n := range d.names {
+	names := d.NamesView()
+	w.Int(len(names))
+	for _, n := range names {
 		w.String(n)
 	}
 }

@@ -7,6 +7,8 @@ package triples
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Triple is a dictionary-encoded edge s --p--> o.
@@ -14,44 +16,70 @@ type Triple struct {
 	S, P, O uint32
 }
 
-// Dict maps strings to dense ids in insertion order.
+// Dict maps strings to dense ids in insertion order. It is append-only
+// and safe for one writer interning concurrently with any number of
+// readers: Name and NamesView are lock-free against an atomically
+// published slice header (ids never disappear or change), while
+// Lookup/Intern synchronise on an internal mutex. This is what lets
+// live updates intern new node names while queries pinned to an older
+// snapshot keep resolving theirs.
 type Dict struct {
-	names []string
+	mu    sync.RWMutex
+	names atomic.Pointer[[]string]
 	ids   map[string]uint32
 }
 
 // NewDict returns an empty dictionary.
 func NewDict() *Dict {
-	return &Dict{ids: make(map[string]uint32)}
+	d := &Dict{ids: make(map[string]uint32)}
+	d.names.Store(new([]string))
+	return d
 }
 
 // Intern returns the id of name, assigning the next id on first sight.
 func (d *Dict) Intern(name string) uint32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if id, ok := d.ids[name]; ok {
 		return id
 	}
-	id := uint32(len(d.names))
-	d.names = append(d.names, name)
+	cur := *d.names.Load()
+	id := uint32(len(cur))
+	// Appending may write one slot past the published length into a
+	// shared backing array; readers only index below their header's
+	// length, so the new header is published atomically afterwards.
+	next := append(cur, name)
+	d.names.Store(&next)
 	d.ids[name] = id
 	return id
 }
 
 // Lookup returns the id of name if present.
 func (d *Dict) Lookup(name string) (uint32, bool) {
+	d.mu.RLock()
 	id, ok := d.ids[name]
+	d.mu.RUnlock()
 	return id, ok
 }
 
 // Name returns the string for id.
-func (d *Dict) Name(id uint32) string { return d.names[id] }
+func (d *Dict) Name(id uint32) string { return (*d.names.Load())[id] }
 
 // Len reports the number of interned strings.
-func (d *Dict) Len() int { return len(d.names) }
+func (d *Dict) Len() int { return len(*d.names.Load()) }
+
+// NamesView returns the current names in id order. The slice is an
+// immutable snapshot: later Interns never mutate entries below its
+// length.
+func (d *Dict) NamesView() []string {
+	v := *d.names.Load()
+	return v[:len(v):len(v)]
+}
 
 // SizeBytes estimates the dictionary footprint.
 func (d *Dict) SizeBytes() int {
 	sz := 0
-	for _, n := range d.names {
+	for _, n := range d.NamesView() {
 		sz += len(n) + 16 + // names slice entry
 			len(n) + 24 // map key and value, approximate
 	}
@@ -104,7 +132,7 @@ func (b *Builder) Preds() *Dict { return b.preds }
 // (o, p+|P|, s) is added, doubling edges and predicates (§5). The builder
 // must not be used afterwards.
 func (b *Builder) Build() *Graph {
-	np := uint32(len(b.preds.names))
+	np := uint32(b.preds.Len())
 	g := &Graph{
 		Nodes:    b.nodes,
 		Preds:    b.preds,
@@ -142,7 +170,7 @@ type Graph struct {
 }
 
 // NumNodes reports |V|.
-func (g *Graph) NumNodes() int { return len(g.Nodes.names) }
+func (g *Graph) NumNodes() int { return g.Nodes.Len() }
 
 // NumCompletedPreds reports |Σ↔| = 2|P|.
 func (g *Graph) NumCompletedPreds() uint32 { return 2 * g.NumPreds }

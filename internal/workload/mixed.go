@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ringrpq/internal/triples"
+)
+
+// This file generates interleaved read/write workloads for the
+// live-update benchmarks: a stream of operations mixing Table 1
+// queries with update batches (edge adds weighted towards existing
+// predicates/nodes like real feeds, plus deletes of existing edges).
+
+// UpdateTriple is one string-form update edge.
+type UpdateTriple struct {
+	S, P, O string
+}
+
+// MixedOp is one operation of an interleaved workload: exactly one of
+// Query (a read) or Adds/Dels (an update batch) is populated.
+type MixedOp struct {
+	Query      *Query
+	Adds, Dels []UpdateTriple
+}
+
+// IsUpdate reports whether the op is an update batch.
+func (op MixedOp) IsUpdate() bool { return op.Query == nil }
+
+// MixedConfig controls GenerateMixed.
+type MixedConfig struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Total is the number of operations (default 400).
+	Total int
+	// WriteRatio is the fraction of update ops (default 0.2).
+	WriteRatio float64
+	// BatchSize is the number of edges per update batch (default 16).
+	BatchSize int
+	// DeleteFrac is the fraction of update edges that are deletes of
+	// existing graph edges (default 0.2).
+	DeleteFrac float64
+	// FreshNodeFrac is the fraction of added edges that mint a new
+	// node name (default 0.1), exercising dictionary growth.
+	FreshNodeFrac float64
+}
+
+func (c MixedConfig) withDefaults() MixedConfig {
+	if c.Total == 0 {
+		c.Total = 400
+	}
+	if c.WriteRatio == 0 {
+		c.WriteRatio = 0.2
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 16
+	}
+	if c.DeleteFrac == 0 {
+		c.DeleteFrac = 0.2
+	}
+	if c.FreshNodeFrac == 0 {
+		c.FreshNodeFrac = 0.1
+	}
+	return c
+}
+
+// GenerateMixed builds an interleaved read/write stream over g. Reads
+// follow the Table 1 pattern mix; update batches add edges between
+// frequency-weighted existing nodes (occasionally minting new nodes)
+// under existing predicates, and delete sampled existing edges.
+func GenerateMixed(g *triples.Graph, cfg MixedConfig) []MixedOp {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	writes := int(float64(cfg.Total) * cfg.WriteRatio)
+	reads := cfg.Total - writes
+
+	qs := Generate(g, Config{Seed: cfg.Seed + 1, Total: reads})
+	// Table 1 rounding can undershoot; top the reads up by cycling so
+	// the op count is exact.
+	for i := 0; len(qs) < reads && len(qs) > 0; i++ {
+		qs = append(qs, qs[i%len(qs)])
+	}
+	gen := &generator{g: g, rng: rng}
+	fresh := 0
+
+	ops := make([]MixedOp, 0, cfg.Total)
+	for _, q := range qs {
+		q := q
+		ops = append(ops, MixedOp{Query: &q})
+	}
+	for i := 0; i < writes; i++ {
+		var op MixedOp
+		for j := 0; j < cfg.BatchSize; j++ {
+			if rng.Float64() < cfg.DeleteFrac {
+				t := gen.randomEdge()
+				if t.P >= g.NumPreds {
+					t = triples.Triple{S: t.O, P: t.P - g.NumPreds, O: t.S}
+				}
+				op.Dels = append(op.Dels, UpdateTriple{
+					S: g.Nodes.Name(t.S), P: g.Preds.Name(t.P), O: g.Nodes.Name(t.O)})
+				continue
+			}
+			pName, edge := gen.predOccurrence()
+			sName := g.Nodes.Name(edge.S)
+			oName := g.Nodes.Name(uint32(rng.Intn(g.NumNodes())))
+			if rng.Float64() < cfg.FreshNodeFrac {
+				fresh++
+				oName = fmt.Sprintf("fresh-%d-%d", cfg.Seed, fresh)
+			}
+			op.Adds = append(op.Adds, UpdateTriple{S: sName, P: pName, O: oName})
+		}
+		ops = append(ops, op)
+	}
+	rng.Shuffle(len(ops), func(i, j int) { ops[i], ops[j] = ops[j], ops[i] })
+	return ops
+}

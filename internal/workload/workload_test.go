@@ -107,3 +107,47 @@ func TestConstToVar(t *testing.T) {
 		t.Fatalf("String=%q", got)
 	}
 }
+
+func TestGenerateMixed(t *testing.T) {
+	g := datagen.Generate(datagen.Config{Seed: 5, Nodes: 500, Edges: 2500, Preds: 12})
+	ops := GenerateMixed(g, MixedConfig{Seed: 3, Total: 100, WriteRatio: 0.3})
+	if len(ops) != 100 {
+		t.Fatalf("got %d ops, want 100", len(ops))
+	}
+	reads, writes, adds, dels, freshNodes := 0, 0, 0, 0, 0
+	for _, op := range ops {
+		if op.IsUpdate() {
+			writes++
+			adds += len(op.Adds)
+			dels += len(op.Dels)
+			for _, a := range op.Adds {
+				if _, ok := g.Preds.Lookup(a.P); !ok {
+					t.Fatalf("add uses unknown predicate %q", a.P)
+				}
+				if _, ok := g.Nodes.Lookup(a.O); !ok {
+					freshNodes++
+				}
+			}
+			for _, d := range op.Dels {
+				if _, ok := g.Preds.Lookup(d.P); !ok {
+					t.Fatalf("del uses unknown predicate %q", d.P)
+				}
+			}
+		} else {
+			reads++
+		}
+	}
+	if writes != 30 || reads != 70 {
+		t.Fatalf("mix: %d writes, %d reads", writes, reads)
+	}
+	if adds == 0 || dels == 0 || freshNodes == 0 {
+		t.Fatalf("batches should mix adds (%d), dels (%d) and fresh nodes (%d)", adds, dels, freshNodes)
+	}
+	// Deterministic for a fixed seed.
+	again := GenerateMixed(g, MixedConfig{Seed: 3, Total: 100, WriteRatio: 0.3})
+	for i := range ops {
+		if ops[i].IsUpdate() != again[i].IsUpdate() {
+			t.Fatalf("generation is not deterministic at op %d", i)
+		}
+	}
+}

@@ -45,16 +45,24 @@ func ParseQuery(q string) error {
 	return err
 }
 
-// pattern lazily builds the per-DB pattern executor; the selectivity
+// patternFor lazily builds the per-DB pattern executor for a pinned
+// snapshot, rebuilding it after a compaction swap and pointing it at
+// the snapshot's overlay so patterns see live updates. The selectivity
 // statistics behind the planner are shared across clones via the
 // SelCache created at construction time.
-func (db *DB) pattern() *query.Exec {
-	if db.pat == nil {
-		if db.set != nil {
-			db.pat = query.NewExecSharded(db.g, db.set, db.sel)
+func (db *DB) patternFor(snap *snapshot) *query.Exec {
+	if db.pat == nil || db.patEpoch != snap.epoch {
+		if snap.set != nil {
+			db.pat = query.NewExecSharded(db.g, snap.set, db.sel)
 		} else {
-			db.pat = query.NewExec(db.g, db.r, db.sel)
+			db.pat = query.NewExec(db.g, snap.r, db.sel)
 		}
+		db.patEpoch = snap.epoch
+	}
+	if snap.ov.Empty() {
+		db.pat.SetOverlay(nil, 0)
+	} else {
+		db.pat.SetOverlay(snap.ov, snap.numNodes)
 	}
 	return db.pat
 }
@@ -86,7 +94,9 @@ func (db *DB) QueryPatternFunc(q string, emit func(Binding) bool, opts ...QueryO
 // queryPattern evaluates a pre-parsed pattern (the entry point used by
 // Service workers, which share parsed patterns across requests).
 func (db *DB) queryPattern(node *query.Query, o core.Options, emit func(Binding) bool) error {
-	return db.pattern().Run(node, query.Options{Limit: o.Limit, Timeout: o.Timeout}, emit)
+	snap := db.h.acquire()
+	defer db.h.release(snap)
+	return db.patternFor(snap).Run(node, query.Options{Limit: o.Limit, Timeout: o.Timeout}, emit)
 }
 
 // options folds QueryOptions into a core.Options value.
@@ -184,7 +194,9 @@ func (db *DB) ExplainPattern(q string) (order []string, pathSteps int, err error
 	if err != nil {
 		return nil, 0, err
 	}
-	pl, err := db.pattern().Plan(node)
+	snap := db.h.acquire()
+	defer db.h.release(snap)
+	pl, err := db.patternFor(snap).Plan(node)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -48,7 +48,14 @@
 // and loading are transparent to the layout (see the README's sharded
 // mode section).
 //
-// Command rpqd serves the same API over HTTP.
+// The index also accepts live updates: Apply (or Begin/Commit) folds
+// triples into an in-memory overlay that every query unions in
+// transparently, and a background compactor rebuilds the ring and
+// swaps the snapshot atomically — in-flight queries finish on the
+// snapshot they started with (see Apply, Flush and the README's "Live
+// updates" section).
+//
+// Command rpqd serves the same API over HTTP, including POST /update.
 package ringrpq
 
 import (
@@ -61,6 +68,7 @@ import (
 	"time"
 
 	"ringrpq/internal/core"
+	"ringrpq/internal/overlay"
 	"ringrpq/internal/pathexpr"
 	"ringrpq/internal/query"
 	"ringrpq/internal/ring"
@@ -134,32 +142,47 @@ func (b *Builder) Build() (*DB, error) {
 	}
 	if b.cfg.Shards > 1 {
 		set := ring.NewShardSet(g, b.cfg.Shards, nil, b.cfg.Layout)
-		db := &DB{g: g, set: set, sel: query.NewSelCache()}
-		db.engine = core.NewShardedEngine(set, db.predIDs())
-		return db, nil
+		return newDB(g, nil, set, b.cfg.Layout), nil
 	}
 	r := ring.New(g, b.cfg.Layout)
-	db := &DB{g: g, r: r, sel: query.NewSelCache()}
-	db.engine = core.NewEngine(r, db.predIDs())
-	return db, nil
+	return newDB(g, r, nil, b.cfg.Layout), nil
 }
 
-// DB is an immutable RPQ-queryable graph database. A DB's query methods
-// share working arrays and must not be called concurrently; use Clone
-// for parallel workers. (A sharded DB's single evaluation may itself
-// fan out across its shards with internal goroutines; that is invisible
-// to callers and does not relax the one-caller rule.)
+// newDB assembles a DB around a freshly built or loaded static index.
+func newDB(g *triples.Graph, r *ring.Ring, set *ring.ShardSet, layout Layout) *DB {
+	return &DB{g: g, h: newHolder(r, set, layout, g.NumNodes()), sel: query.NewSelCache()}
+}
+
+// DB is an RPQ-queryable graph database. Its query methods share
+// working arrays and must not be called concurrently; use Clone for
+// parallel workers. (A sharded DB's single evaluation may itself fan
+// out across its shards with internal goroutines; that is invisible to
+// callers and does not relax the one-caller rule.)
+//
+// The index is no longer frozen after Build: Apply folds live updates
+// into an in-memory overlay that every query unions in, and a
+// background compactor periodically rebuilds the static ring and swaps
+// the snapshot atomically (see Apply, Begin, Flush and the README's
+// "Live updates" section). Updates are safe from any goroutine; each
+// query evaluates against the one snapshot it pinned at entry.
 type DB struct {
-	g      *triples.Graph
-	r      *ring.Ring      // single-ring layout (nil when sharded)
-	set    *ring.ShardSet  // sharded layout (nil when single-ring)
-	engine core.Evaluator
+	g *triples.Graph
+	// h publishes the current (static index, overlay) snapshot, shared
+	// with every clone.
+	h *holder
 
 	// sel shares the planner's lazily built selectivity statistics
-	// across clones; pat is this instance's pattern executor (its
-	// working state follows the one-caller rule like engine's).
+	// across clones.
 	sel *query.SelCache
-	pat *query.Exec
+
+	// Per-clone evaluation state, rebuilt when the pinned snapshot's
+	// epoch moves past it (one-caller rule applies).
+	epoch    uint64
+	haveEng  bool
+	static   core.Evaluator
+	union    *overlay.Engine
+	pat      *query.Exec
+	patEpoch uint64
 }
 
 // predIDs resolves predicate occurrences of query expressions against
@@ -170,25 +193,42 @@ func (db *DB) predIDs() func(s pathexpr.Sym) (uint32, bool) {
 	}
 }
 
-// Clone returns a DB sharing the (immutable) index but with its own
-// query working arrays, safe to use from another goroutine.
+// Clone returns a DB sharing the index (and the live snapshot state:
+// updates applied through any clone are visible to all) but with its
+// own query working arrays, safe to use from another goroutine.
 func (db *DB) Clone() *DB {
-	clone := &DB{g: db.g, r: db.r, set: db.set, sel: db.sel}
-	if db.set != nil {
-		clone.engine = core.NewShardedEngine(db.set, clone.predIDs())
-	} else {
-		clone.engine = core.NewEngine(db.r, clone.predIDs())
-	}
-	return clone
+	return &DB{g: db.g, h: db.h, sel: db.sel}
 }
 
 // Shards reports the number of sub-rings the database is partitioned
 // into (1 for the classic single-ring layout).
 func (db *DB) Shards() int {
-	if db.set != nil {
-		return db.set.K
+	return db.h.cur.Load().shards()
+}
+
+// evaluatorFor returns this clone's evaluator for the pinned snapshot:
+// the plain static engine when the overlay is empty, the union engine
+// otherwise. Engines are rebuilt when a compaction has swapped the
+// snapshot since they were built.
+func (db *DB) evaluatorFor(snap *snapshot) core.Evaluator {
+	if !db.haveEng || db.epoch != snap.epoch {
+		db.epoch = snap.epoch
+		db.haveEng = true
+		if snap.set != nil {
+			db.static = core.NewShardedEngine(snap.set, db.predIDs())
+		} else {
+			db.static = core.NewEngine(snap.r, db.predIDs())
+		}
+		db.union = nil
 	}
-	return 1
+	if snap.ov.Empty() {
+		return db.static
+	}
+	if db.union == nil {
+		db.union = overlay.NewEngine(db.static, snap.rings(), db.predIDs(), db.g.NumCompletedPreds())
+	}
+	db.union.SetSnapshot(snap.ov, snap.numNodes)
+	return db.union
 }
 
 // Solution is one result mapping of a query: Subject and Object name
@@ -263,7 +303,9 @@ func (db *DB) queryNode(subject string, node pathexpr.Node, object string, optio
 		}
 		q.Object = int64(id)
 	}
-	_, err := db.engine.Eval(q, options, func(s, o uint32) bool {
+	snap := db.h.acquire()
+	defer db.h.release(snap)
+	_, err := db.evaluatorFor(snap).Eval(q, options, func(s, o uint32) bool {
 		return emit(Solution{
 			Subject: db.g.Nodes.Name(s),
 			Object:  db.g.Nodes.Name(o),
@@ -302,20 +344,15 @@ type Stats struct {
 	Shards int
 }
 
-// indexN reports the completed triple count of the index layout.
+// indexN reports the completed triple count of the static index (the
+// overlay's pending adds are not included; see UpdateStats).
 func (db *DB) indexN() int {
-	if db.set != nil {
-		return db.set.N
-	}
-	return db.r.N
+	return db.h.cur.Load().indexN()
 }
 
 // indexQueryBytes reports the query-relevant index footprint.
 func (db *DB) indexQueryBytes() int {
-	if db.set != nil {
-		return db.set.QuerySizeBytes()
-	}
-	return db.r.QuerySizeBytes()
+	return db.h.cur.Load().indexQueryBytes()
 }
 
 // Stats reports database statistics.
@@ -388,14 +425,15 @@ var ErrServiceClosed = service.ErrClosed
 // LRU result cache. All methods are safe for concurrent use; see
 // NewService.
 type Service struct {
-	s *service.Service
+	s  *service.Service
+	db *DB
 }
 
 // NewService starts a query service over db. The db may still be used
 // directly (single-threadedly) by the caller; workers evaluate on
 // clones. Close the service to release its workers.
 func NewService(db *DB, cfg ServiceConfig) *Service {
-	return &Service{s: service.New(dbBackend{db}, cfg)}
+	return &Service{s: service.New(dbBackend{db}, cfg), db: db}
 }
 
 // dbBackend adapts a DB to the service worker interface.
@@ -416,6 +454,32 @@ func (b dbBackend) Eval(subject string, node pathexpr.Node, object string, limit
 func (b dbBackend) EvalPattern(q *query.Query, limit int, timeout time.Duration, emit func([]string) bool) error {
 	return b.db.selectFunc(q, core.Options{Limit: limit, Timeout: timeout}, emit)
 }
+
+// ApplyUpdates implements service.Updater: Services over a DB accept
+// live updates (Update, POST /update). Safe for concurrent use — the
+// batch goes to the shared snapshot holder, not through the pool.
+func (b dbBackend) ApplyUpdates(adds, dels []service.UpdateTriple) (service.UpdateResult, error) {
+	conv := func(ts []service.UpdateTriple) []Triple {
+		out := make([]Triple, len(ts))
+		for i, t := range ts {
+			out[i] = Triple{Subject: t.S, Predicate: t.P, Object: t.O}
+		}
+		return out
+	}
+	st, err := b.db.Apply(conv(adds), conv(dels))
+	return service.UpdateResult{
+		OverlayEdges: st.OverlayEdges,
+		Tombstones:   st.Tombstones,
+		Epoch:        st.Epoch,
+		Version:      st.DataVersion,
+		Compacting:   st.Compacting,
+	}, err
+}
+
+// DataVersion implements service.Versioned: the result cache pins
+// entries to the data version they were computed against, so updates
+// and compaction swaps invalidate them in O(1).
+func (b dbBackend) DataVersion() uint64 { return b.db.DataVersion() }
 
 // request converts one public call into a service Request, folding
 // WithLimit/WithTimeout options into the request parameters.
@@ -466,6 +530,23 @@ func (s *Service) Select(ctx context.Context, pattern string, opts ...QueryOptio
 // timeouts) are reported per Result, not as a batch failure.
 func (s *Service) Batch(ctx context.Context, reqs []Request) []Result {
 	return s.s.Batch(ctx, reqs)
+}
+
+// Update atomically applies one live-update batch (adds then dels) to
+// the underlying database (see DB.Apply). It does not occupy a worker:
+// queries in flight finish on the snapshot they pinned, queries
+// submitted afterwards see the update, and stale result-cache entries
+// are never replayed.
+func (s *Service) Update(ctx context.Context, adds, dels []Triple) (UpdateStats, error) {
+	conv := func(ts []Triple) []service.UpdateTriple {
+		out := make([]service.UpdateTriple, len(ts))
+		for i, t := range ts {
+			out[i] = service.UpdateTriple{S: t.Subject, P: t.Predicate, O: t.Object}
+		}
+		return out
+	}
+	_, err := s.s.Update(ctx, conv(adds), conv(dels))
+	return s.db.UpdateStats(), err
 }
 
 // Stats snapshots the service counters.

@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"io"
 
-	"ringrpq/internal/core"
-	"ringrpq/internal/query"
 	"ringrpq/internal/ring"
 	"ringrpq/internal/serial"
 	"ringrpq/internal/triples"
@@ -27,18 +25,47 @@ const (
 // rdbs1 container) to w in a compact binary format. Building the index
 // once and reloading it with LoadDB skips the construction sorts on
 // subsequent runs.
+//
+// The on-disk formats hold only the static index, so a dirty overlay
+// is flushed (compacted into the ring) first: Save persists exactly
+// the data the database currently serves. Updates applied concurrently
+// with Save trigger another flush round before the snapshot is pinned,
+// so every acknowledged Apply that happened-before Save's pin is in
+// the file; under a continuous write stream Save keeps flushing until
+// it catches a quiescent window.
 func (db *DB) Save(w io.Writer) error {
+	var snap *snapshot
+	for {
+		if !db.h.cur.Load().ov.Empty() {
+			if err := db.Flush(); err != nil {
+				return err
+			}
+		}
+		// Pin under the update lock: no Apply can slip between the
+		// emptiness check and the pin.
+		db.h.mu.Lock()
+		s := db.h.cur.Load()
+		if s.ov.Empty() {
+			s.refs.Add(1)
+			snap = s
+		}
+		db.h.mu.Unlock()
+		if snap != nil {
+			break
+		}
+	}
+	defer db.h.release(snap)
 	sw := serial.NewWriter(w)
-	if db.set != nil {
+	if snap.set != nil {
 		sw.Magic(fileMagicSharded)
 		sw.Int(shardedVersion)
 		db.g.EncodeMeta(sw)
-		db.set.Encode(sw)
+		snap.set.Encode(sw)
 		return sw.Flush()
 	}
 	sw.Magic(fileMagic)
 	db.g.EncodeMeta(sw)
-	db.r.Encode(sw)
+	snap.r.Encode(sw)
 	return sw.Flush()
 }
 
@@ -73,9 +100,7 @@ func loadSingle(sr *serial.Reader) (*DB, error) {
 		return nil, fmt.Errorf("ringrpq: load: ring/dictionary mismatch (%d/%d nodes, %d/%d preds)",
 			rg.NumNodes, g.NumNodes(), rg.NumPreds, g.NumCompletedPreds())
 	}
-	db := &DB{g: g, r: rg, sel: query.NewSelCache()}
-	db.engine = core.NewEngine(rg, db.predIDs())
-	return db, nil
+	return newDB(g, rg, nil, rg.Layout()), nil
 }
 
 func loadSharded(sr *serial.Reader) (*DB, error) {
@@ -94,7 +119,9 @@ func loadSharded(sr *serial.Reader) (*DB, error) {
 		return nil, fmt.Errorf("ringrpq: load: shard set/dictionary mismatch (%d/%d nodes, %d/%d preds)",
 			set.NumNodes, g.NumNodes(), set.NumPreds, g.NumCompletedPreds())
 	}
-	db := &DB{g: g, set: set, sel: query.NewSelCache()}
-	db.engine = core.NewShardedEngine(set, db.predIDs())
-	return db, nil
+	layout := ring.WaveletMatrix
+	if set.K > 0 {
+		layout = set.Shards[0].Layout()
+	}
+	return newDB(g, nil, set, layout), nil
 }

@@ -1,0 +1,490 @@
+package ringrpq
+
+// This file is the snapshot layer of the live-update subsystem: the
+// holder publishes immutable snapshots (static ring/shard set + one
+// overlay version), Apply folds updates into a new snapshot, and the
+// compactor rebuilds the static index from ring+overlay and swaps it
+// in atomically. Queries pin the snapshot they start on (epoch +
+// refcount), so an in-flight evaluation — including one on a service
+// worker clone — is never torn by a concurrent Apply or swap.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ringrpq/internal/overlay"
+	"ringrpq/internal/ring"
+	"ringrpq/internal/triples"
+)
+
+// Triple is one update triple in string form (the form Builder.Add
+// takes).
+type Triple struct {
+	Subject, Predicate, Object string
+}
+
+// ErrUnknownPredicate reports an added triple whose predicate was not
+// part of the graph at build time. The completed predicate id space
+// (p̂ = p + |P|) is frozen when the ring is built, so new predicates
+// require a rebuild through a Builder; new *nodes* are fine and are
+// interned on the fly.
+var ErrUnknownPredicate = errors.New("ringrpq: unknown predicate in update (the predicate set is fixed at build time)")
+
+// UpdateStats describes the live-update state of a database.
+type UpdateStats struct {
+	// OverlayEdges and Tombstones are the completed adds and deletes
+	// pending in the overlay (2× the data edges).
+	OverlayEdges, Tombstones int
+	// Epoch counts atomic snapshot swaps (compactions); DataVersion
+	// counts every visible data change (applies and swaps).
+	Epoch, DataVersion uint64
+	// Compactions is the number of completed compactions; Compacting
+	// reports one in flight.
+	Compactions int64
+	Compacting  bool
+	// LastCompaction is the wall time of the last rebuild (outside the
+	// swap lock); LastSwapPause is the last swap's critical section —
+	// the only window concurrent Applies wait on.
+	LastCompaction, LastSwapPause time.Duration
+	// PinnedSnapshots counts snapshots still referenced by in-flight
+	// queries (including the current one).
+	PinnedSnapshots int
+}
+
+// snapshot is one immutable (static index, overlay) pair.
+type snapshot struct {
+	r   *ring.Ring     // single-ring layout (nil when sharded)
+	set *ring.ShardSet // sharded layout (nil when single-ring)
+	ov  *overlay.Overlay
+
+	epoch    uint64
+	version  uint64
+	numNodes int // node dictionary length when published
+
+	refs atomic.Int64
+}
+
+// rings lists the snapshot's sub-rings (one for the single layout).
+func (s *snapshot) rings() []*ring.Ring {
+	if s.set != nil {
+		return s.set.Shards
+	}
+	return []*ring.Ring{s.r}
+}
+
+func (s *snapshot) indexN() int {
+	if s.set != nil {
+		return s.set.N
+	}
+	return s.r.N
+}
+
+func (s *snapshot) indexQueryBytes() int {
+	if s.set != nil {
+		return s.set.QuerySizeBytes()
+	}
+	return s.r.QuerySizeBytes()
+}
+
+func (s *snapshot) shards() int {
+	if s.set != nil {
+		return s.set.K
+	}
+	return 1
+}
+
+// inStatic reports membership of a completed edge in the static index.
+func (s *snapshot) inStatic(e overlay.Edge) bool {
+	if s.set != nil {
+		return s.set.Shards[s.set.ShardFor(e.P)].Has(e.S, e.P, e.O)
+	}
+	return s.r.Has(e.S, e.P, e.O)
+}
+
+// holder is the mutable cell shared by a DB and all its clones.
+type holder struct {
+	mu  sync.Mutex // serialises Apply and the swap critical section
+	cur atomic.Pointer[snapshot]
+
+	compactMu  sync.Mutex // serialises whole compactions
+	compacting atomic.Bool
+	// compactBase is the data version of the in-flight compaction's
+	// base snapshot, or -1 when none: the overlay's replay log only
+	// needs batches newer than it (they are replayed onto the rebuilt
+	// ring at swap time), so Apply prunes everything older.
+	compactBase atomic.Int64
+
+	layout    ring.Layout
+	threshold atomic.Int64 // 0 = automatic, < 0 = disabled
+
+	compactions   atomic.Int64
+	lastRebuildNS atomic.Int64
+	lastSwapNS    atomic.Int64
+
+	// live tracks published-but-possibly-pinned snapshots for the
+	// PinnedSnapshots stat; entries are pruned once unpinned.
+	liveMu sync.Mutex
+	live   []*snapshot
+}
+
+// newHolder publishes the initial snapshot.
+func newHolder(r *ring.Ring, set *ring.ShardSet, layout ring.Layout, numNodes int) *holder {
+	h := &holder{layout: layout}
+	h.compactBase.Store(-1)
+	s := &snapshot{r: r, set: set, ov: overlay.New(), numNodes: numNodes}
+	h.cur.Store(s)
+	h.live = []*snapshot{s}
+	return h
+}
+
+// acquire pins the current snapshot for one evaluation.
+func (h *holder) acquire() *snapshot {
+	for {
+		s := h.cur.Load()
+		s.refs.Add(1)
+		if h.cur.Load() == s {
+			return s
+		}
+		// A swap raced the pin; retry on the new snapshot.
+		s.refs.Add(-1)
+	}
+}
+
+// release unpins a snapshot.
+func (h *holder) release(s *snapshot) { s.refs.Add(-1) }
+
+// publish swaps in a new snapshot; callers hold h.mu.
+func (h *holder) publish(s *snapshot) {
+	h.cur.Store(s)
+	h.liveMu.Lock()
+	kept := h.live[:0]
+	for _, old := range h.live {
+		if old.refs.Load() > 0 {
+			kept = append(kept, old)
+		}
+	}
+	h.live = append(kept, s)
+	h.liveMu.Unlock()
+}
+
+func (h *holder) pinned() int {
+	h.liveMu.Lock()
+	defer h.liveMu.Unlock()
+	n := 0
+	for _, s := range h.live {
+		if s.refs.Load() > 0 || s == h.cur.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// effectiveThreshold resolves the compaction trigger for a given
+// static index size.
+func (h *holder) effectiveThreshold(staticN int) int {
+	t := h.threshold.Load()
+	if t < 0 {
+		return 0 // disabled
+	}
+	if t > 0 {
+		return int(t)
+	}
+	auto := staticN / 4
+	if auto < 1024 {
+		auto = 1024
+	}
+	return auto
+}
+
+// SetCompactionThreshold tunes the background compactor: the overlay
+// weight (completed adds + tombstones) that triggers a rebuild. 0
+// restores the default (a quarter of the static triple count, at least
+// 1024); a negative value disables automatic compaction (Flush still
+// compacts on demand). Safe to call concurrently with queries and
+// updates; shared with every clone.
+func (db *DB) SetCompactionThreshold(n int) {
+	db.h.threshold.Store(int64(n))
+}
+
+// UpdateStats snapshots the live-update counters.
+func (db *DB) UpdateStats() UpdateStats {
+	s := db.h.cur.Load()
+	return UpdateStats{
+		OverlayEdges:    s.ov.AddCount(),
+		Tombstones:      s.ov.DelCount(),
+		Epoch:           s.epoch,
+		DataVersion:     s.version,
+		Compactions:     db.h.compactions.Load(),
+		Compacting:      db.h.compacting.Load(),
+		LastCompaction:  time.Duration(db.h.lastRebuildNS.Load()),
+		LastSwapPause:   time.Duration(db.h.lastSwapNS.Load()),
+		PinnedSnapshots: db.h.pinned(),
+	}
+}
+
+// DataVersion reports the current data version: it advances on every
+// Apply and every compaction swap. Result caches key their entries to
+// it (see the service layer).
+func (db *DB) DataVersion() uint64 { return db.h.cur.Load().version }
+
+// resolveAdds interns and completes added triples; unknown predicates
+// fail the whole batch. Predicates are validated in a first pass
+// before any node is interned, so a rejected batch leaves the node
+// dictionary untouched (phantom nodes would otherwise surface as
+// spurious nullable self-pairs in later queries).
+func (db *DB) resolveAdds(adds []Triple) ([]overlay.Edge, error) {
+	np := db.g.NumPreds
+	preds := make([]uint32, len(adds))
+	for i, t := range adds {
+		p, ok := db.g.Preds.Lookup(t.Predicate)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownPredicate, t.Predicate)
+		}
+		preds[i] = p
+	}
+	out := make([]overlay.Edge, 0, 2*len(adds))
+	for i, t := range adds {
+		p := preds[i]
+		s := db.g.Nodes.Intern(t.Subject)
+		o := db.g.Nodes.Intern(t.Object)
+		out = append(out,
+			overlay.Edge{S: s, P: p, O: o},
+			overlay.Edge{S: o, P: p + np, O: s})
+	}
+	return out, nil
+}
+
+// resolveDels completes deleted triples; names never seen are no-ops.
+func (db *DB) resolveDels(dels []Triple) []overlay.Edge {
+	np := db.g.NumPreds
+	out := make([]overlay.Edge, 0, 2*len(dels))
+	for _, t := range dels {
+		p, ok := db.g.Preds.Lookup(t.Predicate)
+		if !ok {
+			continue
+		}
+		s, ok := db.g.Nodes.Lookup(t.Subject)
+		if !ok {
+			continue
+		}
+		o, ok := db.g.Nodes.Lookup(t.Object)
+		if !ok {
+			continue
+		}
+		out = append(out,
+			overlay.Edge{S: s, P: p, O: o},
+			overlay.Edge{S: o, P: p + np, O: s})
+	}
+	return out
+}
+
+// Apply atomically applies one update batch: adds then dels (within
+// one batch a delete wins over an add of the same triple). New node
+// names are interned; new predicate names are rejected with
+// ErrUnknownPredicate (the completed id space is frozen at build
+// time). Deletes of absent triples are no-ops.
+//
+// Queries running concurrently — directly on clones or through a
+// Service — are unaffected: each evaluation pins the snapshot it
+// started on and the update becomes visible to evaluations that start
+// afterwards. Apply is safe to call from any goroutine and any clone;
+// batches are serialised internally. When the overlay crosses the
+// compaction threshold a background rebuild is kicked off (see
+// SetCompactionThreshold and Flush).
+func (db *DB) Apply(adds, dels []Triple) (UpdateStats, error) {
+	addEdges, err := db.resolveAdds(adds)
+	if err != nil {
+		return db.UpdateStats(), err
+	}
+	delEdges := db.resolveDels(dels)
+
+	h := db.h
+	h.mu.Lock()
+	cur := h.cur.Load()
+	ov := cur.ov.Apply(cur.version+1, addEdges, delEdges, cur.inStatic)
+	// Bound the replay log: batches are only ever replayed by a
+	// compaction whose base predates them, and the only base that can
+	// predate already-applied batches is the in-flight one.
+	keepAfter := ^uint64(0)
+	if base := h.compactBase.Load(); base >= 0 {
+		keepAfter = uint64(base)
+	}
+	ov = ov.WithBatchesAfter(keepAfter)
+	next := &snapshot{
+		r: cur.r, set: cur.set, ov: ov,
+		epoch:    cur.epoch,
+		version:  cur.version + 1,
+		numNodes: db.g.NumNodes(),
+	}
+	h.publish(next)
+	h.mu.Unlock()
+
+	if t := h.effectiveThreshold(next.indexN()); t > 0 && ov.Weight() >= t {
+		if h.compacting.CompareAndSwap(false, true) {
+			go func() {
+				defer h.compacting.Store(false)
+				db.compactNow()
+			}()
+		}
+	}
+	return db.UpdateStats(), nil
+}
+
+// Update accumulates one update batch for a DB (see DB.Begin).
+type Update struct {
+	db         *DB
+	adds, dels []Triple
+}
+
+// Begin starts an update batch. Add/Del stage triples; Commit applies
+// them atomically (one snapshot transition; queries see all of the
+// batch or none of it).
+func (db *DB) Begin() *Update { return &Update{db: db} }
+
+// Add stages the edge s --p--> o.
+func (u *Update) Add(s, p, o string) *Update {
+	u.adds = append(u.adds, Triple{s, p, o})
+	return u
+}
+
+// Del stages the removal of the edge s --p--> o.
+func (u *Update) Del(s, p, o string) *Update {
+	u.dels = append(u.dels, Triple{s, p, o})
+	return u
+}
+
+// Commit applies the staged batch; the Update must not be reused.
+func (u *Update) Commit() (UpdateStats, error) {
+	return u.db.Apply(u.adds, u.dels)
+}
+
+// Flush synchronously compacts: it rebuilds the static index from
+// ring+overlay, swaps the snapshot atomically, and returns once the
+// swap is visible. A no-op when the overlay is empty. Concurrent
+// queries are never blocked by the rebuild — only the pointer swap
+// itself is serialised with Apply.
+func (db *DB) Flush() error {
+	db.compactNow()
+	return nil
+}
+
+// compactNow runs one compaction cycle end to end.
+func (db *DB) compactNow() {
+	h := db.h
+	h.compactMu.Lock()
+	defer h.compactMu.Unlock()
+
+	// Select the base under the holder lock so Apply's replay-log
+	// pruning can never race past it, and advertise it until the swap.
+	h.mu.Lock()
+	base := h.cur.Load()
+	h.compactBase.Store(int64(base.version))
+	h.mu.Unlock()
+	defer h.compactBase.Store(-1)
+	if base.ov.Empty() {
+		return
+	}
+	numNodes := db.g.NumNodes()
+	t0 := time.Now()
+	var newR *ring.Ring
+	var newSet *ring.ShardSet
+	if base.set != nil {
+		newSet = rebuildShards(base, numNodes, h.layout)
+	} else {
+		newR = rebuildSingle(base, numNodes, h.layout)
+	}
+	h.lastRebuildNS.Store(time.Since(t0).Nanoseconds())
+
+	inNew := func(e overlay.Edge) bool {
+		if newSet != nil {
+			return newSet.Shards[newSet.ShardFor(e.P)].Has(e.S, e.P, e.O)
+		}
+		return newR.Has(e.S, e.P, e.O)
+	}
+
+	// Swap critical section: fold updates that raced the rebuild into a
+	// residual overlay against the new ring, then publish. This is the
+	// only pause concurrent Applies observe; queries never block (they
+	// pin whatever snapshot is current when they start).
+	t1 := time.Now()
+	h.mu.Lock()
+	latest := h.cur.Load()
+	// The residual needs no replay log of its own: any future
+	// compaction's base will already contain it consolidated.
+	residual := overlay.Replay(latest.ov.BatchesAfter(base.ov.Version()), inNew).WithBatchesAfter(^uint64(0))
+	next := &snapshot{
+		r: newR, set: newSet, ov: residual,
+		epoch:    latest.epoch + 1,
+		version:  latest.version + 1,
+		numNodes: numNodes,
+	}
+	h.publish(next)
+	h.mu.Unlock()
+	h.lastSwapNS.Store(time.Since(t1).Nanoseconds())
+	h.compactions.Add(1)
+
+	// Old-ring selectivity statistics are garbage now; unchanged shards
+	// (shared pointers) keep theirs.
+	db.sel.Retain(next.rings())
+}
+
+// rebuildSingle merges ring+overlay into a fresh single ring.
+func rebuildSingle(base *snapshot, numNodes int, layout ring.Layout) *ring.Ring {
+	ts := base.r.Triples()
+	merged := make([]triples.Triple, 0, len(ts)+base.ov.AddCount())
+	for _, t := range ts {
+		if !base.ov.Deleted(overlay.Edge{S: t.S, P: t.P, O: t.O}) {
+			merged = append(merged, t)
+		}
+	}
+	base.ov.EachAdd(func(e overlay.Edge) bool {
+		merged = append(merged, triples.Triple{S: e.S, P: e.P, O: e.O})
+		return true
+	})
+	return ring.FromTriples(merged, numNodes, base.r.NumPreds, layout)
+}
+
+// rebuildShards merges ring+overlay per shard, rebuilding only the
+// sub-rings whose predicates the overlay touched and sharing the rest
+// structurally — unless the node id space grew, which forces a full
+// rebuild (every sub-ring's partition arrays are sized by it).
+func rebuildShards(base *snapshot, numNodes int, layout ring.Layout) *ring.ShardSet {
+	set := base.set
+	grow := numNodes != set.NumNodes
+	changed := make([]bool, set.K)
+	for _, p := range base.ov.TouchedPreds() {
+		changed[set.ShardFor(p)] = true
+	}
+
+	shards := make([]*ring.Ring, set.K)
+	var wg sync.WaitGroup
+	for i, old := range set.Shards {
+		if !changed[i] && !grow {
+			shards[i] = old
+			continue
+		}
+		wg.Add(1)
+		go func(i int, old *ring.Ring) {
+			defer wg.Done()
+			ts := old.Triples()
+			merged := make([]triples.Triple, 0, len(ts))
+			for _, t := range ts {
+				if !base.ov.Deleted(overlay.Edge{S: t.S, P: t.P, O: t.O}) {
+					merged = append(merged, t)
+				}
+			}
+			base.ov.EachAdd(func(e overlay.Edge) bool {
+				if set.ShardFor(e.P) == i {
+					merged = append(merged, triples.Triple{S: e.S, P: e.P, O: e.O})
+				}
+				return true
+			})
+			shards[i] = ring.FromTriples(merged, numNodes, set.NumPreds, layout)
+		}(i, old)
+	}
+	wg.Wait()
+	return ring.ShardSetFrom(shards, set.Part, numNodes, set.NumPreds)
+}
