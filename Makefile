@@ -22,10 +22,12 @@ test:
 # the sharded engine's cooperative fan-out (differential tests), the
 # graph-pattern subsystem (parallel differential harness over shared
 # selectivity caches), the live-update overlay (snapshot swap vs
-# concurrent readers/writers), and the root-package stress tests.
+# concurrent readers/writers), the standing-subscription registry, and
+# the root-package stress tests (including the subscription
+# close-under-update stress and the standing differential harness).
 race:
-	$(GO) test -race ./internal/service/ ./internal/core/ ./internal/ltj/ ./internal/query/ ./internal/overlay/ .
-	$(GO) test -race -run 'Stress|Clone|Sharded|Update' .
+	$(GO) test -race ./internal/service/ ./internal/core/ ./internal/ltj/ ./internal/query/ ./internal/overlay/ ./internal/standing/ .
+	$(GO) test -race -run 'Stress|Clone|Sharded|Update|Subscribe|Standing' .
 
 # Short bounded fuzz runs over the expression parser, the graph-pattern
 # parser and the database loader (go native fuzzing; one target per
@@ -35,6 +37,7 @@ fuzz:
 	$(GO) test -run NONE -fuzz FuzzParseExpr -fuzztime $(FUZZTIME) ./internal/pathexpr
 	$(GO) test -run NONE -fuzz FuzzParseQuery -fuzztime $(FUZZTIME) ./internal/query
 	$(GO) test -run NONE -fuzz FuzzDecodeNDJSONUpdates -fuzztime $(FUZZTIME) ./internal/service
+	$(GO) test -run NONE -fuzz FuzzDecodeSubscribeRequest -fuzztime $(FUZZTIME) ./internal/service
 	$(GO) test -run NONE -fuzz FuzzLoadDB -fuzztime $(FUZZTIME) .
 
 # Service throughput scaling and cache-hit benchmarks.
@@ -53,13 +56,17 @@ bench-short:
 # graph-pattern workload — BGP-only vs mixed BGP+RPQ — on the
 # selectivity-planned executor (BENCH_PR4.json), and the live-update
 # workload — read latency vs overlay fill, interleaved read/write, and
-# the compaction swap pause (BENCH_PR5.json).
+# the compaction swap pause (BENCH_PR5.json), and the standing-
+# subscription workload — incremental delta maintenance vs full
+# re-evaluation over the same update stream (BENCH_PR6.json).
 bench-json:
 	$(GO) run ./cmd/rpqbench -json BENCH_PR3.json
 	$(GO) run ./cmd/rpqbench -nodes 8000 -edges 40000 -preds 40 -queries 120 \
 		-limit 10000 -patterns BENCH_PR4.json
 	$(GO) run ./cmd/rpqbench -nodes 10000 -edges 50000 -preds 40 -queries 400 \
 		-timeout 5s -limit 100000 -updates BENCH_PR5.json
+	$(GO) run ./cmd/rpqbench -nodes 4000 -edges 20000 -preds 30 -queries 200 \
+		-timeout 5s -limit 100000 -subs BENCH_PR6.json
 
 clean:
 	$(GO) clean ./...

@@ -65,9 +65,10 @@ func main() {
 		jsonOut = flag.String("json", "", "run the batched-vs-unbatched ablation and write machine-readable results to this file (e.g. BENCH_PR3.json)")
 		patOut  = flag.String("patterns", "", "run the graph-pattern workload (BGP-only vs mixed BGP+RPQ) and write machine-readable results to this file (e.g. BENCH_PR4.json)")
 		updOut  = flag.String("updates", "", "run the live-update workload (read latency vs overlay fill, swap pause) and write machine-readable results to this file (e.g. BENCH_PR5.json)")
+		subsOut = flag.String("subs", "", "run the standing-subscription workload (incremental delta maintenance vs full re-evaluation) and write machine-readable results to this file (e.g. BENCH_PR6.json)")
 	)
 	flag.Parse()
-	all := !*table1 && !*table2 && !*fig8 && !*build && *jsonOut == "" && *patOut == "" && *updOut == ""
+	all := !*table1 && !*table2 && !*fig8 && !*build && *jsonOut == "" && *patOut == "" && *updOut == "" && *subsOut == ""
 
 	fmt.Printf("generating graph: %d nodes, %d edge draws, %d predicates (seed %d)\n",
 		*nodes, *edges, *preds, *seed)
@@ -184,6 +185,14 @@ func main() {
 			Seed: *seed, Timeout: timeout.String(), Limit: *limit,
 		}
 		runUpdateBench(g, qs, *timeout, *limit, *updOut, cfg)
+	}
+
+	if *subsOut != "" {
+		cfg := benchConfig{
+			Nodes: *nodes, Edges: *edges, Preds: *preds, Queries: *queries,
+			Seed: *seed, Timeout: timeout.String(), Limit: *limit,
+		}
+		runSubsBench(g, qs, *timeout, *subsOut, cfg)
 	}
 }
 

@@ -1,0 +1,333 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime/pprof"
+	"strings"
+	"time"
+
+	"ringrpq"
+	"ringrpq/internal/pathexpr"
+	"ringrpq/internal/triples"
+	"ringrpq/internal/workload"
+)
+
+// This file is the standing-query benchmark behind `rpqbench -subs`
+// (BENCH_PR6.json): register a set of standing 2RPQ and graph-pattern
+// subscriptions, replay a write-only update stream, and compare the
+// per-batch delta latency of incremental maintenance against the
+// full-re-evaluation baseline (StandingConfig.ForceFull) on an
+// identical database and stream. Both runs reconstruct every
+// subscription's result set purely from its deltas and the final sets
+// must agree pair-for-pair; a committed report provably passed that
+// cross-check.
+
+// subsReport is the BENCH_PR6.json schema.
+type subsReport struct {
+	Bench         string      `json:"bench"`
+	Config        benchConfig `json:"config"`
+	Subscriptions int         `json:"subscriptions"`
+	PatternSubs   int         `json:"pattern_subs"`
+	Batches       int         `json:"batches"`
+	BatchEdges    int         `json:"batch_edges"`
+	Incremental   subsMode    `json:"incremental"`
+	FullReeval    subsMode    `json:"full_reeval"`
+	// SpeedupTotal is full-re-eval wall time over incremental wall
+	// time for the identical stream (> 1 means incremental wins).
+	SpeedupTotal float64 `json:"speedup_total"`
+	SpeedupP50   float64 `json:"speedup_p50"`
+	SpeedupP95   float64 `json:"speedup_p95"`
+	// Mismatches counts subscriptions whose delta-reconstructed result
+	// sets differ between the two modes; nonzero fails the run.
+	Mismatches int `json:"mismatches"`
+}
+
+// subsMode is one mode's measurements: Latency summarises the
+// per-batch delta latency (Apply return to all deltas delivered), the
+// counters come from the registry.
+type subsMode struct {
+	Latency     modeStats `json:"latency"`
+	Deltas      int64     `json:"deltas"`
+	Incremental int64     `json:"incremental"`
+	FullReevals int64     `json:"full_reevals"`
+	Skipped     int64     `json:"skipped"`
+	EvalMs      float64   `json:"eval_ms"`
+}
+
+// subsMirror reconstructs one subscription's result set from deltas.
+type subsMirror struct {
+	sub   *ringrpq.Subscription
+	pairs map[ringrpq.Pair]bool
+	rows  map[string]bool
+}
+
+func subsRowKey(row []string) string {
+	var sb strings.Builder
+	for _, v := range row {
+		fmt.Fprintf(&sb, "%d:%s", len(v), v)
+	}
+	return sb.String()
+}
+
+func (m *subsMirror) drain() (deltas int64, err error) {
+	for {
+		d, ok, err := m.sub.TryNext()
+		if err != nil {
+			return deltas, err
+		}
+		if !ok {
+			return deltas, nil
+		}
+		deltas++
+		for _, p := range d.Added {
+			m.pairs[p] = true
+		}
+		for _, p := range d.Removed {
+			delete(m.pairs, p)
+		}
+		for _, row := range d.AddedRows {
+			m.rows[subsRowKey(row)] = true
+		}
+		for _, row := range d.RemovedRows {
+			delete(m.rows, subsRowKey(row))
+		}
+	}
+}
+
+// pickSubRequests selects standing queries from the Table 1 log whose
+// current result set is small enough to maintain (the probe uses db
+// read-only), plus two fixed graph patterns over the most common
+// predicates.
+func pickSubRequests(db *ringrpq.DB, g *triples.Graph, qs []workload.Query, n, maxResults int, timeout time.Duration) (reqs []ringrpq.SubscribeRequest, patterns int) {
+	for _, q := range qs {
+		if len(reqs) >= n {
+			break
+		}
+		subject, object := q.Subject, q.Object
+		if subject == "" {
+			subject = "?x"
+		}
+		if object == "" {
+			object = "?y"
+		}
+		expr := pathexpr.String(q.Expr)
+		count := 0
+		err := db.QueryFunc(subject, expr, object,
+			func(ringrpq.Solution) bool { count++; return count <= maxResults },
+			ringrpq.WithLimit(maxResults+1), ringrpq.WithTimeout(timeout))
+		if err != nil || count > maxResults {
+			continue
+		}
+		reqs = append(reqs, ringrpq.SubscribeRequest{Subject: subject, Object: object, Expr: expr})
+	}
+	if g.NumPreds >= 2 {
+		p0, p1 := g.Preds.Name(0), g.Preds.Name(1)
+		reqs = append(reqs,
+			ringrpq.SubscribeRequest{Pattern: fmt.Sprintf("?x %s ?y . ?y %s ?z", p0, p0)},
+			ringrpq.SubscribeRequest{Pattern: fmt.Sprintf("?x %s ?y . ?y %s ?z", p0, p1)},
+		)
+		patterns = 2
+	}
+	return reqs, patterns
+}
+
+// runSubsMode replays the update stream on one database with the given
+// standing configuration, returning per-batch delta latencies and the
+// final delta-reconstructed result sets.
+func runSubsMode(g *triples.Graph, cfg ringrpq.StandingConfig, reqs []ringrpq.SubscribeRequest, ops []workload.MixedOp) ([]*subsMirror, subsMode, error) {
+	db, err := buildPublicDB(g)
+	if err != nil {
+		return nil, subsMode{}, err
+	}
+	db.SetCompactionThreshold(-1)
+	db.SetStandingConfig(cfg)
+
+	conv := func(ts []workload.UpdateTriple) []ringrpq.Triple {
+		out := make([]ringrpq.Triple, len(ts))
+		for i, t := range ts {
+			out[i] = ringrpq.Triple{Subject: t.S, Predicate: t.P, Object: t.O}
+		}
+		return out
+	}
+
+	var mirrors []*subsMirror
+	for _, req := range reqs {
+		req.Snapshot = true
+		sub, err := db.Subscribe(req)
+		if err != nil {
+			return nil, subsMode{}, fmt.Errorf("subscribe: %w", err)
+		}
+		m := &subsMirror{sub: sub, pairs: map[ringrpq.Pair]bool{}, rows: map[string]bool{}}
+		if _, err := m.drain(); err != nil {
+			return nil, subsMode{}, fmt.Errorf("baseline drain: %w", err)
+		}
+		mirrors = append(mirrors, m)
+	}
+
+	var lat []time.Duration
+	var deltas int64
+	for _, op := range ops {
+		if !op.IsUpdate() {
+			continue
+		}
+		if _, err := db.Apply(conv(op.Adds), conv(op.Dels)); err != nil {
+			return nil, subsMode{}, fmt.Errorf("apply: %w", err)
+		}
+		t0 := time.Now()
+		db.SyncStanding()
+		lat = append(lat, time.Since(t0))
+		for _, m := range mirrors {
+			n, err := m.drain()
+			if err != nil {
+				return nil, subsMode{}, fmt.Errorf("drain: %w", err)
+			}
+			deltas += n
+		}
+	}
+
+	st := db.StandingStats()
+	mode := subsMode{
+		Latency:     summarize(lat, 0),
+		Deltas:      deltas,
+		Incremental: st.Incremental,
+		FullReevals: st.FullReevals,
+		Skipped:     st.Skipped,
+		EvalMs:      float64(st.EvalNS) / 1e6,
+	}
+	for _, m := range mirrors {
+		m.sub.Close()
+	}
+	return mirrors, mode, nil
+}
+
+func runSubsBench(g *triples.Graph, qs []workload.Query, timeout time.Duration, path string, cfg benchConfig) {
+	// A throwaway database answers the result-size probes that pick
+	// maintainable subscriptions.
+	probe, err := buildPublicDB(g)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "subs bench: %v\n", err)
+		os.Exit(1)
+	}
+	reqs, patterns := pickSubRequests(probe, g, qs, 12, 20000, timeout)
+	if len(reqs) == 0 {
+		fmt.Fprintln(os.Stderr, "subs bench: no maintainable subscriptions in the log")
+		os.Exit(1)
+	}
+
+	ops := workload.GenerateMixed(g, workload.MixedConfig{
+		Seed: cfg.Seed + 13, Total: 512, WriteRatio: 1.0, BatchSize: 4, DeleteFrac: 0.2,
+	})
+	batches, edges := 0, 0
+	for _, op := range ops {
+		if op.IsUpdate() {
+			batches++
+			edges += len(op.Adds) + len(op.Dels)
+		}
+	}
+
+	// Because the subscriber queue must absorb the full stream between
+	// drains, size it to the batch count.
+	queue := batches + 8
+	var prof *os.File
+	if path := os.Getenv("RPQBENCH_CPUPROFILE"); path != "" {
+		prof, _ = os.Create(path)
+		pprof.StartCPUProfile(prof)
+	}
+	incMirrors, inc, err := runSubsMode(g,
+		ringrpq.StandingConfig{QueueDepth: queue, EvalTimeout: timeout}, reqs, ops)
+	if prof != nil {
+		pprof.StopCPUProfile()
+		prof.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "subs bench: incremental: %v\n", err)
+		os.Exit(1)
+	}
+	fullMirrors, full, err := runSubsMode(g,
+		ringrpq.StandingConfig{QueueDepth: queue, EvalTimeout: timeout, ForceFull: true}, reqs, ops)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "subs bench: full re-eval: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Cross-check: both modes must reconstruct identical result sets
+	// from their delta streams.
+	mismatches := 0
+	for i := range incMirrors {
+		a, b := incMirrors[i], fullMirrors[i]
+		same := len(a.pairs) == len(b.pairs) && len(a.rows) == len(b.rows)
+		if same {
+			for p := range a.pairs {
+				if !b.pairs[p] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			for k := range a.rows {
+				if !b.rows[k] {
+					same = false
+					break
+				}
+			}
+		}
+		if !same {
+			mismatches++
+			fmt.Fprintf(os.Stderr, "subs bench: MISMATCH sub %d: incremental %d pairs/%d rows, full %d pairs/%d rows\n",
+				i, len(a.pairs), len(a.rows), len(b.pairs), len(b.rows))
+		}
+	}
+
+	rep := subsReport{
+		Bench:         "standing-subscriptions",
+		Config:        cfg,
+		Subscriptions: len(reqs),
+		PatternSubs:   patterns,
+		Batches:       batches,
+		BatchEdges:    edges,
+		Incremental:   inc,
+		FullReeval:    full,
+		Mismatches:    mismatches,
+	}
+	if inc.Latency.TotalMs > 0 {
+		rep.SpeedupTotal = full.Latency.TotalMs / inc.Latency.TotalMs
+	}
+	if inc.Latency.P50us > 0 {
+		rep.SpeedupP50 = full.Latency.P50us / inc.Latency.P50us
+	}
+	if inc.Latency.P95us > 0 {
+		rep.SpeedupP95 = full.Latency.P95us / inc.Latency.P95us
+	}
+	fmt.Printf("subs bench: %d subscriptions (%d patterns), %d batches (%d edges)\n",
+		len(reqs), patterns, batches, edges)
+	fmt.Printf("subs bench: incremental delta latency p50=%.0fµs p95=%.0fµs (%d deltas, %d incremental / %d full / %d skipped steps)\n",
+		inc.Latency.P50us, inc.Latency.P95us, inc.Deltas, inc.Incremental, inc.FullReevals, inc.Skipped)
+	fmt.Printf("subs bench: full-reeval  delta latency p50=%.0fµs p95=%.0fµs (%d deltas)\n",
+		full.Latency.P50us, full.Latency.P95us, full.Deltas)
+	fmt.Printf("subs bench: speedup total=%.2fx p50=%.2fx p95=%.2fx, %d mismatches\n",
+		rep.SpeedupTotal, rep.SpeedupP50, rep.SpeedupP95, mismatches)
+
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "subs bench: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "subs bench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "subs bench: %v\n", err)
+		os.Exit(1)
+	}
+	if mismatches > 0 {
+		fmt.Fprintf(os.Stderr, "subs bench: %d mismatched subscriptions\n", mismatches)
+		os.Exit(1)
+	}
+	fmt.Printf("subs bench: wrote %s\n", path)
+}

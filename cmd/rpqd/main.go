@@ -8,6 +8,7 @@
 //	rpqd -data graph.nt [-shards K] [-addr :8080] [-workers N] [-queue N]
 //	     [-timeout D] [-limit N] [-expr-cache N]
 //	     [-result-cache N] [-result-cache-bytes N]
+//	     [-sub-queue N] [-sub-history N]
 //	rpqd -index graph.ring ...
 //
 // With -shards K the index is partitioned into K sub-rings built in
@@ -26,6 +27,11 @@
 //	POST /update  {"add":[{"s":"a","p":"knows","o":"b"}],"del":[...]}
 //	              or bulk NDJSON (Content-Type: application/x-ndjson,
 //	              one {"op":"add"|"del","s":..,"p":..,"o":..} per line)
+//	GET  /subscribe   standing query: ?expr= or ?pattern= registers a
+//	                  subscription and streams incremental result deltas
+//	                  as Server-Sent Events (&mode=poll long-polls
+//	                  instead; &id=N&from=V resumes after a disconnect)
+//	DELETE /subscribe ?id=N unsubscribes
 //	GET  /stats   service and index statistics
 //	GET  /healthz liveness probe
 //
@@ -48,6 +54,15 @@
 // once the overlay grows past the threshold. New node names are fine;
 // new predicate names are rejected (the completed predicate id space
 // is fixed at build time).
+//
+// /subscribe turns a query into a standing one: every applied update
+// batch is diffed against the subscription incrementally and the
+// additions/retractions stream to the client in data-version order
+// (see the README's "Standing queries" section). -sub-queue bounds the
+// per-subscriber pending delta queue (a slower consumer is marked
+// lagged and must resume from its last seen version); -sub-history
+// bounds the retained per-subscription delta history that serves those
+// resumes.
 package main
 
 import (
@@ -66,19 +81,21 @@ import (
 
 func main() {
 	var (
-		data     = flag.String("data", "", "triple file to load")
-		index    = flag.String("index", "", "serialised index to load (instead of -data)")
-		shards   = flag.Int("shards", 0, "partition a -data build into this many sub-rings (0/1 = single ring; ignored with -index, whose file fixes the layout)")
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		queue    = flag.Int("queue", 0, "request queue depth (0 = 4×workers)")
-		timeout  = flag.Duration("timeout", 30*time.Second, "default per-query timeout (0 = none)")
-		limit    = flag.Int("limit", 100000, "default per-query solution cap (0 = unlimited)")
-		exprC    = flag.Int("expr-cache", 0, "compiled-expression cache entries (0 = default, negative = off)")
-		resC     = flag.Int("result-cache", 0, "result cache entries (0 = default, negative = off)")
-		resBytes = flag.Int64("result-cache-bytes", 0, "result cache byte bound (0 = default, negative = off)")
-		maxBatch = flag.Int("max-batch", 1024, "maximum queries per /batch call")
-		compact  = flag.Int("compact-threshold", 0, "overlay size triggering background compaction (0 = auto: N/4, negative = disabled)")
+		data       = flag.String("data", "", "triple file to load")
+		index      = flag.String("index", "", "serialised index to load (instead of -data)")
+		shards     = flag.Int("shards", 0, "partition a -data build into this many sub-rings (0/1 = single ring; ignored with -index, whose file fixes the layout)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "request queue depth (0 = 4×workers)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "default per-query timeout (0 = none)")
+		limit      = flag.Int("limit", 100000, "default per-query solution cap (0 = unlimited)")
+		exprC      = flag.Int("expr-cache", 0, "compiled-expression cache entries (0 = default, negative = off)")
+		resC       = flag.Int("result-cache", 0, "result cache entries (0 = default, negative = off)")
+		resBytes   = flag.Int64("result-cache-bytes", 0, "result cache byte bound (0 = default, negative = off)")
+		maxBatch   = flag.Int("max-batch", 1024, "maximum queries per /batch call")
+		compact    = flag.Int("compact-threshold", 0, "overlay size triggering background compaction (0 = auto: N/4, negative = disabled)")
+		subQueue   = flag.Int("sub-queue", 0, "per-subscription pending delta queue depth (0 = default 64)")
+		subHistory = flag.Int("sub-history", 0, "per-subscription delta history retained for resume (0 = default 256)")
 	)
 	flag.Parse()
 	if *data == "" && *index == "" {
@@ -92,6 +109,12 @@ func main() {
 	}
 	if *compact != 0 {
 		db.SetCompactionThreshold(*compact)
+	}
+	if *subQueue > 0 || *subHistory > 0 {
+		db.SetStandingConfig(ringrpq.StandingConfig{
+			QueueDepth: *subQueue,
+			History:    *subHistory,
+		})
 	}
 	fmt.Fprintf(os.Stderr, "rpqd: serving %s\n", db)
 
@@ -129,6 +152,9 @@ func main() {
 		fatal(err)
 	case <-ctx.Done():
 		fmt.Fprintln(os.Stderr, "rpqd: shutting down")
+		// Standing-query streams never go idle on their own; end them
+		// first so Shutdown can drain the remaining connections.
+		svc.CloseSubscriptions()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := server.Shutdown(shutdownCtx); err != nil {

@@ -132,6 +132,9 @@ type UpdateResultJSON struct {
 //	POST /query   evaluate one 2RPQ         (QueryJSON → ResultJSON)
 //	POST /select  evaluate a graph pattern  (SelectJSON → SelectResultJSON)
 //	POST /batch   evaluate many queries     (BatchJSON → {"results": [...]})
+//	GET  /subscribe  standing-query deltas  (SSE or long-poll; see
+//	                 DecodeSubscribeRequest)
+//	DELETE /subscribe?id=N  terminate a subscription
 //	GET  /stats   service + index counters
 //	GET  /healthz liveness probe
 func NewHandler(s *Service, cfg HandlerConfig) http.Handler {
@@ -147,6 +150,8 @@ func NewHandler(s *Service, cfg HandlerConfig) http.Handler {
 	mux.HandleFunc("POST /select", h.selectPattern)
 	mux.HandleFunc("POST /batch", h.batch)
 	mux.HandleFunc("POST /update", h.update)
+	mux.HandleFunc("GET /subscribe", h.subscribe)
+	mux.HandleFunc("DELETE /subscribe", h.unsubscribe)
 	mux.HandleFunc("GET /stats", h.stats)
 	mux.HandleFunc("GET /healthz", h.healthz)
 	return mux

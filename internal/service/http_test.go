@@ -79,14 +79,14 @@ func TestHTTPQueryErrors(t *testing.T) {
 		want int
 	}{
 		{`not json`, http.StatusBadRequest},
-		{`{}`, http.StatusBadRequest},                                   // missing expr
-		{`{"expr":"((("}`, http.StatusBadRequest},                       // parse error
-		{`{"expr":"a","timeout":"soon"}`, http.StatusBadRequest},        // bad duration
-		{`{"queries":[{"expr":"a"},{}]}`, http.StatusBadRequest},   // batch item invalid
-		{`{"queries":[]}`, http.StatusBadRequest},                  // empty batch
-		{`{"expr":"a","limit":-1}`, http.StatusBadRequest},         // negative limit
-		{`{"expr":"a","timeout":"-5s"}`, http.StatusBadRequest},    // negative timeout
-		{`{"expr":"a","timeout":"0s"}`, http.StatusBadRequest},     // zero timeout
+		{`{}`, http.StatusBadRequest},                                    // missing expr
+		{`{"expr":"((("}`, http.StatusBadRequest},                        // parse error
+		{`{"expr":"a","timeout":"soon"}`, http.StatusBadRequest},         // bad duration
+		{`{"queries":[{"expr":"a"},{}]}`, http.StatusBadRequest},         // batch item invalid
+		{`{"queries":[]}`, http.StatusBadRequest},                        // empty batch
+		{`{"expr":"a","limit":-1}`, http.StatusBadRequest},               // negative limit
+		{`{"expr":"a","timeout":"-5s"}`, http.StatusBadRequest},          // negative timeout
+		{`{"expr":"a","timeout":"0s"}`, http.StatusBadRequest},           // zero timeout
 		{`{"expr":"` + bigExpr + `"}`, http.StatusRequestEntityTooLarge}, // oversized body
 	} {
 		url := srv.URL + "/query"

@@ -30,6 +30,7 @@ import (
 	"ringrpq/internal/core"
 	"ringrpq/internal/pathexpr"
 	"ringrpq/internal/query"
+	"ringrpq/internal/standing"
 )
 
 // Solution is one result mapping of a query (mirrored by the public
@@ -232,6 +233,9 @@ type Stats struct {
 	ResultEntries   int
 	ResultBytes     int64
 	ResultEvictions int64
+	// Standing describes the standing-query subsystem (zero when the
+	// backend has no subscription support).
+	Standing StandingStats
 }
 
 // Service is the concurrent query front-end over an immutable index.
@@ -251,6 +255,12 @@ type Service struct {
 
 	exprs    *canonCache[pathexpr.Node]
 	patterns *canonCache[*query.Query]
+
+	// subs tracks standing-query subscriptions registered through this
+	// service, so Close terminates them (see subscribe.go).
+	subsMu     sync.Mutex
+	subs       map[uint64]*standing.Sub
+	subsClosed bool
 
 	resMu   sync.Mutex
 	results *lruCache
@@ -735,27 +745,33 @@ func (s *Service) Stats() Stats {
 		ResultEntries:   rEntries,
 		ResultBytes:     rBytes,
 		ResultEvictions: rEvict,
+		Standing:        s.standingStats(),
 	}
 }
 
 // String renders a brief stats summary.
 func (st Stats) String() string {
-	return fmt.Sprintf("service{workers=%d queue=%d/%d req=%d hits=%d misses=%d timeouts=%d errors=%d inflight=%d}",
-		st.Workers, st.QueueLen, st.QueueCap, st.Requests, st.Hits, st.Misses, st.Timeouts, st.Errors, st.Inflight)
+	return fmt.Sprintf("service{workers=%d queue=%d/%d req=%d hits=%d misses=%d timeouts=%d errors=%d inflight=%d subs=%d(lagged=%d) deltas=%d replay=%d}",
+		st.Workers, st.QueueLen, st.QueueCap, st.Requests, st.Hits, st.Misses, st.Timeouts, st.Errors, st.Inflight,
+		st.Standing.Active, st.Standing.Lagged, st.Standing.Deltas, st.Standing.ReplayLogBatches)
 }
 
 // Close stops accepting requests, drains the queue (queued jobs still
-// run to completion) and waits for the workers to exit. Close is
+// run to completion), waits for the workers to exit and terminates
+// every tracked standing-query subscription — blocked SSE/long-poll
+// consumers unblock with a terminal error rather than leak. Close is
 // idempotent.
 func (s *Service) Close() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.closeSubscriptions()
 		return nil
 	}
 	s.closed = true
 	close(s.queue)
 	s.mu.Unlock()
 	s.wg.Wait()
+	s.closeSubscriptions()
 	return nil
 }

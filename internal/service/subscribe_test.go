@@ -1,0 +1,131 @@
+package service
+
+import (
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDecodeSubscribeRequest(t *testing.T) {
+	cases := []struct {
+		name  string
+		query string
+		ok    bool
+		check func(t *testing.T, q SubscribeQuery)
+	}{
+		{"expr defaults", "expr=p%2B", true, func(t *testing.T, q SubscribeQuery) {
+			if q.Mode != "sse" || q.Resume || q.Req.Expr != "p+" || q.Wait != defaultPollWait {
+				t.Fatalf("q = %+v", q)
+			}
+		}},
+		{"full rpq", "expr=p/q&subject=a&object=%3Fo&snapshot=true&queue=8&mode=poll&wait=5s", true, func(t *testing.T, q SubscribeQuery) {
+			if q.Req.Subject != "a" || q.Req.Object != "?o" || !q.Req.Snapshot || q.Req.QueueDepth != 8 || q.Wait != 5*time.Second {
+				t.Fatalf("q = %+v", q)
+			}
+		}},
+		{"pattern", "pattern=%3Fx+p+%3Fy&mode=poll", true, func(t *testing.T, q SubscribeQuery) {
+			if q.Req.Pattern != "?x p ?y" || q.Mode != "poll" {
+				t.Fatalf("q = %+v", q)
+			}
+		}},
+		{"resume", "id=7&from=42", true, func(t *testing.T, q SubscribeQuery) {
+			if !q.Resume || q.ID != 7 || q.From != 42 {
+				t.Fatalf("q = %+v", q)
+			}
+		}},
+		{"wait capped", "expr=p&mode=poll&wait=1h", true, func(t *testing.T, q SubscribeQuery) {
+			if q.Wait != maxPollWait {
+				t.Fatalf("wait = %v", q.Wait)
+			}
+		}},
+		{"missing both", "", false, nil},
+		{"both expr and pattern", "expr=p&pattern=%3Fx+p+%3Fy", false, nil},
+		{"pattern with subject", "pattern=%3Fx+p+%3Fy&subject=a", false, nil},
+		{"resume without from", "id=7", false, nil},
+		{"from without id", "expr=p&from=3", false, nil},
+		{"resume with expr", "id=7&from=1&expr=p", false, nil},
+		{"bad mode", "expr=p&mode=websocket", false, nil},
+		{"bad id", "id=x&from=1", false, nil},
+		{"bad from", "id=1&from=x", false, nil},
+		{"bad snapshot", "expr=p&snapshot=maybe", false, nil},
+		{"bad queue", "expr=p&queue=-1", false, nil},
+		{"zero queue", "expr=p&queue=0", false, nil},
+		{"bad wait", "expr=p&wait=fast", false, nil},
+		{"negative wait", "expr=p&wait=-1s", false, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			vals, err := url.ParseQuery(tc.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q, err := DecodeSubscribeRequest(vals)
+			if tc.ok && err != nil {
+				t.Fatalf("DecodeSubscribeRequest(%q): %v", tc.query, err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("DecodeSubscribeRequest(%q) = %+v, want error", tc.query, q)
+			}
+			if tc.check != nil && err == nil {
+				tc.check(t, q)
+			}
+		})
+	}
+}
+
+// FuzzDecodeSubscribeRequest hardens the subscribe-payload decoder: no
+// panic on arbitrary query strings, and every accepted request
+// satisfies the decoder's invariants.
+func FuzzDecodeSubscribeRequest(f *testing.F) {
+	seeds := []string{
+		"expr=p%2B",
+		"expr=p/q&subject=a&object=%3Fo&snapshot=true&queue=8&mode=poll&wait=5s",
+		"pattern=%3Fx+p+%3Fy",
+		"id=7&from=42&mode=poll",
+		"expr=p&pattern=q",
+		"id=&from=",
+		"mode=sse&wait=0s",
+		"expr=%00%ff&queue=99999999999999999999",
+		"snapshot=TRUE&expr=p",
+		"from=1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		vals, err := url.ParseQuery(raw)
+		if err != nil {
+			return
+		}
+		q, err := DecodeSubscribeRequest(vals)
+		if err != nil {
+			if msg := err.Error(); strings.Contains(msg, "\x00") {
+				// Error strings flow into HTTP bodies; keep them sane.
+				t.Skip()
+			}
+			return
+		}
+		if q.Mode != "sse" && q.Mode != "poll" {
+			t.Fatalf("accepted mode %q", q.Mode)
+		}
+		if q.Wait <= 0 || q.Wait > maxPollWait {
+			t.Fatalf("accepted wait %v", q.Wait)
+		}
+		if q.Resume {
+			if q.Req.Expr != "" || q.Req.Pattern != "" {
+				t.Fatalf("resume with a registration: %+v", q)
+			}
+		} else {
+			if (q.Req.Expr == "") == (q.Req.Pattern == "") {
+				t.Fatalf("accepted request without exactly one of expr/pattern: %+v", q)
+			}
+			if q.Req.Pattern != "" && (q.Req.Subject != "" || q.Req.Object != "") {
+				t.Fatalf("accepted pattern with endpoints: %+v", q)
+			}
+			if q.Req.QueueDepth < 0 {
+				t.Fatalf("accepted negative queue depth: %+v", q)
+			}
+		}
+	})
+}

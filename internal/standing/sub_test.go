@@ -1,0 +1,134 @@
+package standing
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func newTestSub(r *Registry, depth int) *Sub {
+	return &Sub{
+		id: 1, reg: r, depth: depth,
+		wake:      make(chan struct{}, 1),
+		activated: make(chan struct{}),
+	}
+}
+
+func delta(v uint64) Delta {
+	return Delta{Version: v, Added: []Pair{{Subject: "a", Object: "b"}}}
+}
+
+func TestSubPushOverflowAndHistory(t *testing.T) {
+	r := New(nil, Config{QueueDepth: 2, History: 3})
+	s := newTestSub(r, 2)
+
+	for v := uint64(1); v <= 4; v++ {
+		s.push(r, delta(v), false)
+	}
+	// Queue of two: versions 1 and 2 pend, 3 and 4 overflow (lagged).
+	if got := r.overflows.Load(); got != 2 {
+		t.Fatalf("overflows = %d", got)
+	}
+	for want := uint64(1); want <= 2; want++ {
+		d, ok, err := s.TryNext()
+		if !ok || err != nil || d.Version != want {
+			t.Fatalf("TryNext = (%v, %v, %v), want version %d", d, ok, err, want)
+		}
+	}
+	if _, _, err := s.TryNext(); !errors.Is(err, ErrLagged) {
+		t.Fatalf("after overflow: %v, want ErrLagged", err)
+	}
+
+	// History of three holds versions 2..4 (1 evicted, floor = 1).
+	if err := s.resume(0, 4); !errors.Is(err, ErrTooOld) {
+		t.Fatalf("resume(0): %v, want ErrTooOld", err)
+	}
+	if err := s.resume(5, 4); !errors.Is(err, ErrFutureVersion) {
+		t.Fatalf("resume(5): %v, want ErrFutureVersion", err)
+	}
+	if err := s.resume(2, 4); err != nil {
+		t.Fatalf("resume(2): %v", err)
+	}
+	for want := uint64(3); want <= 4; want++ {
+		d, ok, err := s.TryNext()
+		if !ok || err != nil || d.Version != want {
+			t.Fatalf("replay TryNext = (%v, %v, %v), want version %d", d, ok, err, want)
+		}
+	}
+	if _, ok, err := s.TryNext(); ok || err != nil {
+		t.Fatalf("after replay: ok=%v err=%v (lag must be cleared)", ok, err)
+	}
+}
+
+func TestSubInitialDeltaSkipsHistory(t *testing.T) {
+	r := New(nil, Config{})
+	s := newTestSub(r, 4)
+	s.push(r, delta(7), true) // snapshot baseline
+	s.push(r, delta(8), false)
+	if len(s.history) != 1 || s.history[0].Version != 8 {
+		t.Fatalf("history = %v (baseline must not be recorded)", s.history)
+	}
+	// A resume from the start version replays only the change stream.
+	if err := s.resume(7, 8); err != nil {
+		t.Fatal(err)
+	}
+	d, ok, err := s.TryNext()
+	if !ok || err != nil || d.Version != 8 {
+		t.Fatalf("TryNext = (%v, %v, %v)", d, ok, err)
+	}
+}
+
+func TestSubTerminateDrainsThenFails(t *testing.T) {
+	r := New(nil, Config{})
+	s := newTestSub(r, 4)
+	s.push(r, delta(1), false)
+	s.terminate(ErrClosed)
+	d, ok, err := s.TryNext()
+	if !ok || err != nil || d.Version != 1 {
+		t.Fatalf("queued delta must drain first: (%v, %v, %v)", d, ok, err)
+	}
+	if _, _, err := s.TryNext(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("after drain: %v, want ErrClosed", err)
+	}
+	s.push(r, delta(2), false) // ignored after termination
+	if _, _, err := s.TryNext(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("push after terminate leaked: %v", err)
+	}
+	if err := s.resume(1, 2); !errors.Is(err, ErrClosed) {
+		t.Fatalf("resume after terminate: %v", err)
+	}
+}
+
+func TestSubNextContext(t *testing.T) {
+	r := New(nil, Config{})
+	s := newTestSub(r, 4)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := s.Next(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Next on empty sub: %v", err)
+	}
+
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		s.push(r, delta(3), false)
+	}()
+	d, err := s.Next(context.Background())
+	if err != nil || d.Version != 3 {
+		t.Fatalf("Next = (%v, %v)", d, err)
+	}
+}
+
+func TestRegistryCloseResolvesPending(t *testing.T) {
+	r := New(nil, Config{})
+	s := newTestSub(r, 4)
+	r.subs[s.id] = s
+	r.Close()
+	if _, err := s.Next(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Next after registry close: %v", err)
+	}
+	if _, err := r.Subscribe(Request{Expr: "p"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Subscribe after close: %v", err)
+	}
+	r.Close() // idempotent
+}

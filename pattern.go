@@ -96,6 +96,13 @@ func (db *DB) QueryPatternFunc(q string, emit func(Binding) bool, opts ...QueryO
 func (db *DB) queryPattern(node *query.Query, o core.Options, emit func(Binding) bool) error {
 	snap := db.h.acquire()
 	defer db.h.release(snap)
+	return db.queryPatternOn(snap, node, o, emit)
+}
+
+// queryPatternOn evaluates a pre-parsed pattern against an
+// already-pinned snapshot (the standing-query host evaluates on a
+// batch's two snapshots rather than whatever is current).
+func (db *DB) queryPatternOn(snap *snapshot, node *query.Query, o core.Options, emit func(Binding) bool) error {
 	return db.patternFor(snap).Run(node, query.Options{Limit: o.Limit, Timeout: o.Timeout}, emit)
 }
 
@@ -128,6 +135,13 @@ func (db *DB) Select(q string, opts ...QueryOption) (vars []string, rows [][]str
 // stops once enough rows materialise; projection can identify
 // distinct bindings, hence the dedup here.
 func (db *DB) selectFunc(node *query.Query, o core.Options, emit func([]string) bool) error {
+	snap := db.h.acquire()
+	defer db.h.release(snap)
+	return db.selectFuncOn(snap, node, o, emit)
+}
+
+// selectFuncOn is selectFunc against an already-pinned snapshot.
+func (db *DB) selectFuncOn(snap *snapshot, node *query.Query, o core.Options, emit func([]string) bool) error {
 	vars := node.OutVars()
 	inner := o
 	inner.Limit = 0
@@ -139,7 +153,7 @@ func (db *DB) selectFunc(node *query.Query, o core.Options, emit func([]string) 
 		seen = map[string]bool{}
 	}
 	emitted := 0
-	return db.queryPattern(node, inner, func(b Binding) bool {
+	return db.queryPatternOn(snap, node, inner, func(b Binding) bool {
 		row := make([]string, len(vars))
 		for i, v := range vars {
 			row[i] = b[v]

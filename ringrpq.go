@@ -73,6 +73,7 @@ import (
 	"ringrpq/internal/query"
 	"ringrpq/internal/ring"
 	"ringrpq/internal/service"
+	"ringrpq/internal/standing"
 	"ringrpq/internal/triples"
 )
 
@@ -481,6 +482,37 @@ func (b dbBackend) ApplyUpdates(adds, dels []service.UpdateTriple) (service.Upda
 // and compaction swaps invalidate them in O(1).
 func (b dbBackend) DataVersion() uint64 { return b.db.DataVersion() }
 
+// Subscribe, ResumeSubscription, Unsubscribe and StandingStats
+// implement service.StandingBackend: Services over a DB serve standing
+// queries (Service.Subscribe, GET /subscribe). All four go to the
+// shared registry, never through the worker pool.
+func (b dbBackend) Subscribe(req standing.Request) (*standing.Sub, error) {
+	return b.db.Subscribe(req)
+}
+
+func (b dbBackend) ResumeSubscription(id, from uint64) (*standing.Sub, error) {
+	return b.db.ResumeSubscription(id, from)
+}
+
+func (b dbBackend) Unsubscribe(id uint64) bool { return b.db.Unsubscribe(id) }
+
+func (b dbBackend) StandingStats() service.StandingStats {
+	st := b.db.StandingStats()
+	return service.StandingStats{
+		Active:           st.Active,
+		Detached:         st.Detached,
+		Lagged:           st.Lagged,
+		ReplayLogBatches: b.db.UpdateStats().ReplayBatches,
+		Version:          st.Version,
+		Batches:          st.Batches,
+		Incremental:      st.Incremental,
+		FullReevals:      st.FullReevals,
+		Skipped:          st.Skipped,
+		Deltas:           st.Deltas,
+		Overflows:        st.Overflows,
+	}
+}
+
 // request converts one public call into a service Request, folding
 // WithLimit/WithTimeout options into the request parameters.
 func request(subject, expr, object string, opts []QueryOption) Request {
@@ -549,6 +581,24 @@ func (s *Service) Update(ctx context.Context, adds, dels []Triple) (UpdateStats,
 	return s.db.UpdateStats(), err
 }
 
+// Subscribe registers a standing query through the service (see
+// DB.Subscribe); Service.Close terminates it along with every other
+// subscription registered this way, deterministically unblocking
+// consumers.
+func (s *Service) Subscribe(req SubscribeRequest) (*Subscription, error) {
+	return s.s.Subscribe(req)
+}
+
+// ResumeSubscription reattaches to a subscription after a disconnect,
+// replaying retained deltas newer than from (see
+// DB.ResumeSubscription).
+func (s *Service) ResumeSubscription(id, from uint64) (*Subscription, error) {
+	return s.s.ResumeSubscription(id, from)
+}
+
+// Unsubscribe removes and terminates a subscription by id.
+func (s *Service) Unsubscribe(id uint64) bool { return s.s.Unsubscribe(id) }
+
 // Stats snapshots the service counters.
 func (s *Service) Stats() ServiceStats { return s.s.Stats() }
 
@@ -565,3 +615,12 @@ func (s *Service) Handler(cfg HandlerConfig) http.Handler {
 // Close stops accepting requests, lets queued and running queries
 // finish, and releases the workers. Close is idempotent.
 func (s *Service) Close() error { return s.s.Close() }
+
+// CloseSubscriptions terminates every standing-query subscription
+// registered through this service — blocked consumers and streaming
+// /subscribe handlers unblock with a terminal error — without
+// stopping the worker pool. Call it at the start of a graceful HTTP
+// shutdown, before http.Server.Shutdown: the long-lived subscription
+// streams never go idle on their own, so they must end before the
+// server can drain its connections. Idempotent; Close runs it too.
+func (s *Service) CloseSubscriptions() { s.s.CloseSubscriptions() }

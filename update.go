@@ -17,6 +17,7 @@ import (
 
 	"ringrpq/internal/overlay"
 	"ringrpq/internal/ring"
+	"ringrpq/internal/standing"
 	"ringrpq/internal/triples"
 )
 
@@ -52,6 +53,9 @@ type UpdateStats struct {
 	// PinnedSnapshots counts snapshots still referenced by in-flight
 	// queries (including the current one).
 	PinnedSnapshots int
+	// ReplayBatches is the depth of the overlay's replay log: update
+	// batches retained for compaction replay.
+	ReplayBatches int
 }
 
 // snapshot is one immutable (static index, overlay) pair.
@@ -128,6 +132,14 @@ type holder struct {
 	// PinnedSnapshots stat; entries are pruned once unpinned.
 	liveMu sync.Mutex
 	live   []*snapshot
+
+	// standing is the registry of standing-query subscriptions, created
+	// lazily on the first Subscribe and shared by every clone. Apply and
+	// the compaction swap notify it under h.mu, so notices arrive in
+	// publication order with the batch's snapshots pinned.
+	standingMu  sync.Mutex
+	standing    atomic.Pointer[standing.Registry]
+	standingCfg standing.Config
 }
 
 // newHolder publishes the initial snapshot.
@@ -222,6 +234,7 @@ func (db *DB) UpdateStats() UpdateStats {
 		LastCompaction:  time.Duration(db.h.lastRebuildNS.Load()),
 		LastSwapPause:   time.Duration(db.h.lastSwapNS.Load()),
 		PinnedSnapshots: db.h.pinned(),
+		ReplayBatches:   s.ov.BatchCount(),
 	}
 }
 
@@ -320,6 +333,17 @@ func (db *DB) Apply(adds, dels []Triple) (UpdateStats, error) {
 		numNodes: db.g.NumNodes(),
 	}
 	h.publish(next)
+	// Standing queries see every batch in publication order: pin both
+	// sides of the transition for the registry worker (released there).
+	if reg := h.standing.Load(); reg != nil && reg.Active() {
+		cur.refs.Add(1)
+		next.refs.Add(1)
+		reg.Notify(standing.Batch{
+			Version: next.version,
+			Adds:    addEdges, Dels: delEdges,
+			Old: cur, New: next,
+		})
+	}
 	h.mu.Unlock()
 
 	if t := h.effectiveThreshold(next.indexN()); t > 0 && ov.Weight() >= t {
@@ -422,6 +446,11 @@ func (db *DB) compactNow() {
 		numNodes: numNodes,
 	}
 	h.publish(next)
+	// A swap changes no data, but subscriptions must observe the version
+	// advance (resume cursors line up with DataVersion).
+	if reg := h.standing.Load(); reg != nil && reg.Active() {
+		reg.Notify(standing.Batch{Version: next.version})
+	}
 	h.mu.Unlock()
 	h.lastSwapNS.Store(time.Since(t1).Nanoseconds())
 	h.compactions.Add(1)
