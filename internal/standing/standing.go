@@ -330,6 +330,17 @@ func (r *Registry) Resume(id, from uint64) (*Sub, error) {
 	if s == nil {
 		return nil, ErrUnknownSubscription
 	}
+	// r.version lags applied batches still in the notice queue, so a
+	// client resuming from a delta version it legitimately received
+	// mid-batch could be rejected as "future"; bound the check with the
+	// host's current data version, which every delivered delta is ≤.
+	if r.host != nil {
+		snap, hv := r.host.Acquire()
+		r.host.Release(snap)
+		if hv > cur {
+			cur = hv
+		}
+	}
 	if err := s.resume(from, cur); err != nil {
 		return nil, err
 	}
@@ -518,6 +529,8 @@ func (r *Registry) activate(s *Sub) {
 		return
 	}
 	s.since = ver
+	s.startVer = ver
+	s.ready = true
 	r.mu.Lock()
 	if ver > r.version {
 		r.version = ver
@@ -539,7 +552,12 @@ func (r *Registry) activate(s *Sub) {
 // evaluation terminates the subscription (a silent skip would deliver
 // wrong deltas forever after).
 func (r *Registry) processSub(s *Sub, b *Batch) {
-	if s.isTerminated() || b.Version <= s.since {
+	// A subscription whose activation notice is still queued behind
+	// this batch has no materialised state yet (cols/rows are nil);
+	// skip it — its activation snapshot, pinned later, already
+	// includes this batch, and b.Version <= s.since then keeps any
+	// re-delivery out.
+	if !s.ready || s.isTerminated() || b.Version <= s.since {
 		return
 	}
 	s.since = b.Version

@@ -44,7 +44,14 @@ type Sub struct {
 	wantSnapshot bool
 	depth        int
 
+	// startVer is the data version the initial result was materialised
+	// against. The worker writes it once in activate() before resolving
+	// the activation channel, so it is immutable by the time Subscribe
+	// returns and safe to read from consumer goroutines.
+	startVer uint64
+
 	// Maintenance state, owned by the registry worker.
+	ready    bool // activation processed; batch notices may apply
 	since    uint64
 	numNodes int
 	cols     map[uint32]map[uint32]bool // eval object → set of eval subjects
@@ -75,7 +82,7 @@ func (s *Sub) ID() uint64 { return s.id }
 
 // StartVersion is the data version the initial result was materialised
 // against; deltas describe changes after it.
-func (s *Sub) StartVersion() uint64 { return s.since }
+func (s *Sub) StartVersion() uint64 { return s.startVer }
 
 // Vars lists a pattern subscription's projected variable names (the
 // column order of Delta.AddedRows/RemovedRows); nil for 2RPQs.
@@ -144,8 +151,9 @@ func (s *Sub) Detach() {
 	s.mu.Unlock()
 }
 
-// resume reattaches at version from (see Registry.Resume); cur is the
-// registry's processed version, bounding the future check.
+// resume reattaches at version from (see Registry.Resume); cur bounds
+// the future check — the registry's processed version or the host's
+// current data version, whichever is newer.
 func (s *Sub) resume(from, cur uint64) error {
 	s.mu.Lock()
 	if s.err != nil {
@@ -175,10 +183,13 @@ func (s *Sub) resume(from, cur uint64) error {
 
 // push appends a delta to the history and, queue permitting, the
 // pending queue; a full queue marks the subscriber lagged instead of
-// blocking the worker (the delta stays resumable from history).
-// initial deltas (the Snapshot baseline) are not recorded in history —
-// they precede StartVersion's cut, and a resume replays changes, not
-// the baseline.
+// blocking the worker. Once lagged, every later delta is dropped too
+// until a resume clears the flag: letting newer deltas re-enter the
+// queue past a dropped one would hand the consumer a stream with a
+// silent gap it could never detect (the dropped deltas stay resumable
+// from history). initial deltas (the Snapshot baseline) are not
+// recorded in history — they precede StartVersion's cut, and a resume
+// replays changes, not the baseline.
 func (s *Sub) push(r *Registry, d Delta, initial bool) {
 	r.deltas.Add(1)
 	s.mu.Lock()
@@ -195,7 +206,7 @@ func (s *Sub) push(r *Registry, d Delta, initial bool) {
 			s.history = s.history[:len(s.history)-1]
 		}
 	}
-	if len(s.pending) >= s.depth {
+	if s.lagged || len(s.pending) >= s.depth {
 		s.lagged = true
 		r.overflows.Add(1)
 	} else {

@@ -61,6 +61,66 @@ func TestSubPushOverflowAndHistory(t *testing.T) {
 	}
 }
 
+// TestSubPushLaggedDropsUntilResume: once the pending queue overflows,
+// later deltas must not re-enter it past the dropped one — the consumer
+// would see a stream with a silent gap (v2 then v4) and could never
+// recover v3 by resuming from its last delivered version. Dropping
+// everything until resume keeps the delivered prefix gapless.
+func TestSubPushLaggedDropsUntilResume(t *testing.T) {
+	r := New(nil, Config{QueueDepth: 2, History: 8})
+	s := newTestSub(r, 2)
+
+	s.push(r, delta(1), false)
+	s.push(r, delta(2), false)
+	s.push(r, delta(3), false) // overflows: lagged
+	// Drain one slot, then push another delta: it must NOT slip into
+	// the freed slot behind the dropped version 3.
+	if d, ok, err := s.TryNext(); !ok || err != nil || d.Version != 1 {
+		t.Fatalf("TryNext = (%v, %v, %v)", d, ok, err)
+	}
+	s.push(r, delta(4), false)
+	if got := r.overflows.Load(); got != 2 {
+		t.Fatalf("overflows = %d, want 2 (v4 must drop while lagged)", got)
+	}
+	if d, ok, err := s.TryNext(); !ok || err != nil || d.Version != 2 {
+		t.Fatalf("TryNext = (%v, %v, %v)", d, ok, err)
+	}
+	if _, _, err := s.TryNext(); !errors.Is(err, ErrLagged) {
+		t.Fatalf("after gap: %v, want ErrLagged (not version 4)", err)
+	}
+
+	// Resuming from the last delivered version replays 3 and 4 in
+	// order: nothing was lost, only deferred to history.
+	if err := s.resume(2, 4); err != nil {
+		t.Fatal(err)
+	}
+	for want := uint64(3); want <= 4; want++ {
+		d, ok, err := s.TryNext()
+		if !ok || err != nil || d.Version != want {
+			t.Fatalf("replay TryNext = (%v, %v, %v), want version %d", d, ok, err, want)
+		}
+	}
+}
+
+// TestProcessSubSkipsUnactivated: a batch notice can sit in the queue
+// ahead of a new subscription's activation notice (Subscribe registers
+// the sub and enqueues its activation atomically, but batches enqueued
+// earlier are processed first, against the full table). processSub must
+// skip the unmaterialised sub — its cols map is nil and the registry's
+// host calls would dereference nil snapshots — and leave its cursor
+// untouched so activation, whose snapshot already includes the batch,
+// sets the baseline.
+func TestProcessSubSkipsUnactivated(t *testing.T) {
+	r := New(nil, Config{})
+	s := newTestSub(r, 4)
+	s.alphabet = map[uint32]bool{1: true}
+	b := &Batch{Version: 3, Adds: []Edge{{S: 0, P: 1, O: 2}}, New: struct{}{}}
+	r.processSub(s, b) // must not touch the sub (nil host would panic)
+	if s.since != 0 || len(s.pending) != 0 {
+		t.Fatalf("unactivated sub advanced: since=%d pending=%v", s.since, s.pending)
+	}
+}
+
 func TestSubInitialDeltaSkipsHistory(t *testing.T) {
 	r := New(nil, Config{})
 	s := newTestSub(r, 4)

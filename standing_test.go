@@ -96,6 +96,66 @@ func buildLineDB(t *testing.T, n int) *DB {
 	return db
 }
 
+// TestSubscribeStartVersionStable: StartVersion is the activation cut
+// and must not drift as the worker's batch cursor advances — the HTTP
+// subscribe handler hands it out as the initial resume cursor, and a
+// cursor that jumps ahead with processed batches would skip the queued
+// deltas on reconnect.
+func TestSubscribeStartVersionStable(t *testing.T) {
+	db := buildLineDB(t, 3)
+	sub, err := db.Subscribe(SubscribeRequest{Expr: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	start := sub.StartVersion()
+
+	for i := 0; i < 3; i++ {
+		if _, err := db.Apply([]Triple{{fmt.Sprintf("s%d", i), "p", "t"}}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.SyncStanding()
+	if got := sub.StartVersion(); got != start {
+		t.Fatalf("StartVersion drifted to %d, want %d", got, start)
+	}
+	for {
+		d, ok, err := sub.TryNext()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if d.Version <= start {
+			t.Fatalf("delta version %d <= StartVersion %d", d.Version, start)
+		}
+	}
+}
+
+// TestResumeAtDataVersionBeforeSync: a client that received a delta for
+// version N can reconnect before the registry worker has drained the
+// notice queue, so the future-version check must be bounded by the
+// host's current data version, not just the worker's processed version.
+func TestResumeAtDataVersionBeforeSync(t *testing.T) {
+	db := buildLineDB(t, 3)
+	sub, err := db.Subscribe(SubscribeRequest{Expr: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	for i := 0; i < 4; i++ {
+		if _, err := db.Apply([]Triple{{fmt.Sprintf("r%d", i), "p", "t"}}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Deliberately no SyncStanding: the registry may lag DataVersion.
+	if _, err := db.ResumeSubscription(sub.ID(), db.DataVersion()); err != nil {
+		t.Fatalf("resume at current data version: %v", err)
+	}
+}
+
 func TestSubscribeLagAndResume(t *testing.T) {
 	db := buildLineDB(t, 3)
 	db.SetStandingConfig(StandingConfig{History: 4})
@@ -233,6 +293,9 @@ func TestServiceSubscribeCloseStress(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for {
+				// StartVersion is read from consumer goroutines while
+				// the worker applies batches; it must be race-free.
+				_ = sub.StartVersion()
 				_, err := sub.Next(context.Background())
 				if err != nil {
 					if errors.Is(err, ErrSubscriberLagged) {
