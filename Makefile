@@ -27,7 +27,7 @@ test:
 # close-under-update stress and the standing differential harness).
 race:
 	$(GO) test -race ./internal/service/ ./internal/core/ ./internal/ltj/ ./internal/query/ ./internal/overlay/ ./internal/standing/ .
-	$(GO) test -race -run 'Stress|Clone|Sharded|Update|Subscribe|Standing' .
+	$(GO) test -race -run 'Stress|Clone|Sharded|Update|Subscribe|Standing|Group|Compiled' .
 
 # Short bounded fuzz runs over the expression parser, the graph-pattern
 # parser and the database loader (go native fuzzing; one target per
@@ -50,6 +50,7 @@ bench:
 bench-short:
 	$(GO) test -run NONE -bench 'SelectInWord|TraverseMany|BatchedBFS' -benchtime 1x \
 		./internal/bitvec/ ./internal/wavelet/ ./internal/core/
+	$(GO) test -run NONE -bench CompiledStepperSteadyState -benchtime 100x ./internal/core/
 
 # Machine-readable perf trajectory: the batched-vs-unbatched ablation
 # over the standard Table 1 workload (BENCH_PR3.json), the
@@ -58,7 +59,10 @@ bench-short:
 # workload — read latency vs overlay fill, interleaved read/write, and
 # the compaction swap pause (BENCH_PR5.json), and the standing-
 # subscription workload — incremental delta maintenance vs full
-# re-evaluation over the same update stream (BENCH_PR6.json).
+# re-evaluation over the same update stream (BENCH_PR6.json), and the
+# compilation-tier workload — compiled steppers vs the generic
+# interpreted fallback, plus the service pool with and without
+# cross-query traversal grouping (BENCH_PR7.json).
 bench-json:
 	$(GO) run ./cmd/rpqbench -json BENCH_PR3.json
 	$(GO) run ./cmd/rpqbench -nodes 8000 -edges 40000 -preds 40 -queries 120 \
@@ -67,6 +71,7 @@ bench-json:
 		-timeout 5s -limit 100000 -updates BENCH_PR5.json
 	$(GO) run ./cmd/rpqbench -nodes 4000 -edges 20000 -preds 30 -queries 200 \
 		-timeout 5s -limit 100000 -subs BENCH_PR6.json
+	$(GO) run ./cmd/rpqbench -compiled BENCH_PR7.json
 
 clean:
 	$(GO) clean ./...

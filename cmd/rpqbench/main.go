@@ -66,9 +66,10 @@ func main() {
 		patOut  = flag.String("patterns", "", "run the graph-pattern workload (BGP-only vs mixed BGP+RPQ) and write machine-readable results to this file (e.g. BENCH_PR4.json)")
 		updOut  = flag.String("updates", "", "run the live-update workload (read latency vs overlay fill, swap pause) and write machine-readable results to this file (e.g. BENCH_PR5.json)")
 		subsOut = flag.String("subs", "", "run the standing-subscription workload (incremental delta maintenance vs full re-evaluation) and write machine-readable results to this file (e.g. BENCH_PR6.json)")
+		cmpOut  = flag.String("compiled", "", "run the compiled-vs-interpreted stepper ablation plus the cross-query grouping comparison and write machine-readable results to this file (e.g. BENCH_PR7.json)")
 	)
 	flag.Parse()
-	all := !*table1 && !*table2 && !*fig8 && !*build && *jsonOut == "" && *patOut == "" && *updOut == "" && *subsOut == ""
+	all := !*table1 && !*table2 && !*fig8 && !*build && *jsonOut == "" && *patOut == "" && *updOut == "" && *subsOut == "" && *cmpOut == ""
 
 	fmt.Printf("generating graph: %d nodes, %d edge draws, %d predicates (seed %d)\n",
 		*nodes, *edges, *preds, *seed)
@@ -193,6 +194,18 @@ func main() {
 			Seed: *seed, Timeout: timeout.String(), Limit: *limit,
 		}
 		runSubsBench(g, qs, *timeout, *subsOut, cfg)
+	}
+
+	if *cmpOut != "" {
+		cfg := benchConfig{
+			Nodes: *nodes, Edges: *edges, Preds: *preds, Queries: *queries,
+			Seed: *seed, Timeout: timeout.String(), Limit: *limit,
+		}
+		w := *workers
+		if w <= 0 {
+			w = 4
+		}
+		runCompiledComparison(g, qs, *timeout, *limit, w, *cmpOut, cfg)
 	}
 }
 

@@ -96,6 +96,8 @@ func main() {
 		compact    = flag.Int("compact-threshold", 0, "overlay size triggering background compaction (0 = auto: N/4, negative = disabled)")
 		subQueue   = flag.Int("sub-queue", 0, "per-subscription pending delta queue depth (0 = default 64)")
 		subHistory = flag.Int("sub-history", 0, "per-subscription delta history retained for resume (0 = default 256)")
+		group      = flag.Bool("group", false, "cross-query traversal grouping: workers drain queued 2RPQ jobs, dedup identical ones and share one wavelet descent per BFS level")
+		groupMax   = flag.Int("group-max", 0, "jobs one shared traversal serves at most (0 = default 8; with -group)")
 	)
 	flag.Parse()
 	if *data == "" && *index == "" {
@@ -125,6 +127,8 @@ func main() {
 		ExprCacheEntries:   *exprC,
 		ResultCacheEntries: *resC,
 		ResultCacheBytes:   *resBytes,
+		GroupTraversals:    *group,
+		GroupMax:           *groupMax,
 	})
 
 	server := &http.Server{

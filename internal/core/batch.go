@@ -96,6 +96,11 @@ type batchOwner struct {
 	bNode, dNode *lazy.MaskArray
 	stats        *Stats
 	noMarks      bool
+	// st steps the automaton (the compiled stepper when the expression
+	// is hot, else the interpreting engine); bArr, when non-nil, is the
+	// precomputed immutable B[v] array replacing bNode.
+	st   glushkov.Stepper
+	bArr []uint64
 	// check is the owner's deadline probe.
 	check func() error
 	// mark is the owner's markSubject (bottom-up D[v] maintenance).
@@ -121,6 +126,9 @@ func stepManyOn(o *batchOwner, eng *glushkov.Engine, items, lsItems []wavelet.Ra
 	if len(items) == 0 {
 		return lsItems, nil
 	}
+	if o.st == nil {
+		o.st = eng
+	}
 	negFwd, negInv := eng.NegClassBits()
 	half := o.r.NumPreds / 2
 	var failure error
@@ -133,7 +141,12 @@ func stepManyOn(o *batchOwner, eng *glushkov.Engine, items, lsItems []wavelet.Ra
 			// Part 1 pruning (Fact 1 via the aggregated B[v]), per item;
 			// negated property sets contribute per node direction exactly
 			// as on the unbatched path.
-			bmask := o.bNode.Get(int(node))
+			var bmask uint64
+			if o.bArr != nil {
+				bmask = o.bArr[node]
+			} else {
+				bmask = o.bNode.Get(int(node))
+			}
 			cb, haveCB := uint64(0), false
 			k := 0
 			for _, it := range its {
@@ -167,7 +180,7 @@ func stepManyOn(o *batchOwner, eng *glushkov.Engine, items, lsItems []wavelet.Ra
 		// Leaf work is per item, so the visit stat stays comparable with
 		// the per-item descent (one visit per frontier item per leaf).
 		o.stats.WaveletVisits += len(its) - 1
-		bp := eng.BFor(p)
+		bp := o.st.PredMask(p)
 		cp := o.r.Cp[p]
 		for _, it := range its {
 			d := it.Mask & bp
@@ -178,7 +191,7 @@ func stepManyOn(o *batchOwner, eng *glushkov.Engine, items, lsItems []wavelet.Ra
 			// The NFA transition is uniform across the item's range
 			// (Fact 1); the rank range plus C_p is the L_s source range
 			// (Eqs. 4–5).
-			d2 := eng.Trev(d)
+			d2 := o.st.StepBack(d)
 			if d2 == 0 {
 				continue
 			}
@@ -269,6 +282,8 @@ func (e *Engine) stepMany(eng *glushkov.Engine, items []wavelet.RangeMask, base 
 		dNode:   e.dNode,
 		stats:   &e.stats,
 		noMarks: e.noMarks,
+		st:      e.st,
+		bArr:    e.bArr,
 		check:   e.checkDeadline,
 		mark:    e.markSubject,
 		part2Leaf: func(s uint32, all, fresh uint64) error {
@@ -297,6 +312,10 @@ type LevelOwner struct {
 	R            *ring.Ring
 	BNode, DNode *lazy.MaskArray
 	Stats        *Stats
+	// St steps the automaton (nil = interpret with eng); BArr, when
+	// non-nil, is the precomputed immutable B[v] array replacing BNode.
+	St   glushkov.Stepper
+	BArr []uint64
 	// Check is the owner's deadline probe.
 	Check func() error
 	// Mark is the owner's markSubject; a nil Mark is allowed when the
@@ -319,6 +338,7 @@ func StepLevelMany(o *LevelOwner, eng *glushkov.Engine, items, lsItems []wavelet
 	}
 	bo := batchOwner{
 		r: o.R, bNode: o.BNode, dNode: o.DNode, stats: o.Stats,
+		st: o.St, bArr: o.BArr,
 		check: o.Check, mark: mark, part2Leaf: o.Leaf, leafMask: o.LeafMask,
 	}
 	return stepManyOn(&bo, eng, items, lsItems, base)

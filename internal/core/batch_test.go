@@ -188,3 +188,34 @@ func BenchmarkBatchedBFS(b *testing.B) {
 		})
 	}
 }
+
+// The stepper table generator must be allocation-free in steady state:
+// once an expression is hot, the Glushkov automaton, the specialized
+// stepper, and the per-(expr, ring) B[v] array are all memoised on the
+// engine, and the memo lookup itself renders the canonical key into a
+// reused buffer. allocs/op must be exactly zero — a regression here
+// means every evaluation of a hot expression pays generator costs
+// again. `make ci` asserts this via -benchtime with ReportAllocs.
+func BenchmarkCompiledStepperSteadyState(b *testing.B) {
+	g := enginetest.RandomGraph(42, 2000, 8, 8000)
+	e := newEngine(g, ring.WaveletMatrix)
+	e.eager = true
+	exprs := []pathexpr.Node{
+		pathexpr.MustParse("(pa|pb)+"),
+		pathexpr.MustParse("pa/pb*"),
+		pathexpr.MustParse("pa|pb|pc"),
+	}
+	for _, x := range exprs { // cold builds outside the timed loop
+		if ca := e.compile(x); ca.st == nil || ca.bArr == nil {
+			b.Fatal("warm-up did not compile a stepper")
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ca := e.compile(exprs[i%len(exprs)])
+		if ca.st == nil || ca.bArr == nil {
+			b.Fatal("memo lost the compiled stepper")
+		}
+	}
+}

@@ -64,6 +64,18 @@ type Options struct {
 	// frontier entry pays its own root-to-leaf wavelet descent (ablation;
 	// rpqbench reports both modes side by side).
 	DisableBatching bool
+	// CompileEager compiles the expression into a specialized stepper on
+	// first use instead of waiting for it to get hot (Subscribe and the
+	// benchmarks use this).
+	CompileEager bool
+	// DisableCompiled forces the generic interpreted simulation — the
+	// multiword fallback kept for wide (>64-state) expressions — even
+	// for expressions the compilation tier could specialize. It is the
+	// ablation baseline ("interpreted" in BENCH_PR7.json) and the
+	// differential oracle: the fallback interprets the automaton with
+	// per-step multiword masks and a visited hash map, with none of the
+	// flat B[v]/D[v] wavelet-node pruning arrays or compiled steppers.
+	DisableCompiled bool
 }
 
 // ErrTimeout reports that evaluation exceeded Options.Timeout.
@@ -111,8 +123,11 @@ type Engine struct {
 	// compiled memoises Glushkov compilations keyed by the canonical
 	// expression string, so a long-lived Engine (a service worker)
 	// re-evaluating the same expression skips automaton and
-	// transition-table construction.
-	compiled map[string]compiledAutomaton
+	// transition-table construction. Entries are pointers and the key is
+	// rendered through keyW, keeping the steady-state lookup (and the
+	// uses-counter bump) allocation-free.
+	compiled map[string]*compiledAutomaton
+	keyW     pathexpr.KeyWriter
 
 	queue []queueItem
 
@@ -126,15 +141,30 @@ type Engine struct {
 	pairs pairSet
 
 	// per-evaluation state
-	stats    Stats
-	deadline time.Time
-	steps    int
-	emit     EmitFunc
-	limit    int
-	noMarks  bool
-	dfs      bool
-	batch    bool
-	failure  error
+	stats     Stats
+	deadline  time.Time
+	steps     int
+	emit      EmitFunc
+	limit     int
+	noMarks   bool
+	dfs       bool
+	batch     bool
+	eager     bool
+	noCompile bool
+	failure   error
+
+	// st is the active stepper for the current evaluation: the compiled
+	// specialization when the expression is hot, otherwise the
+	// interpreting glushkov.Engine itself. bArr is the compiled
+	// counterpart of bNode — an immutable per-(expression, ring) B[v]
+	// array built once at stepper-compile time, replacing the lazy
+	// per-eval seeding and its per-visit epoch check; nil when
+	// interpreting.
+	st   glushkov.Stepper
+	bArr []uint64
+
+	// groupD pools the per-member visited-mask arrays of EvalGroup.
+	groupD []*lazy.MaskArray
 }
 
 type queueItem struct {
@@ -172,6 +202,8 @@ func (e *Engine) Eval(q Query, opts Options, emit EmitFunc) (Stats, error) {
 	e.noMarks = opts.DisableNodeMarks
 	e.dfs = opts.DFS
 	e.batch = !opts.DisableBatching && !opts.DFS
+	e.eager = opts.CompileEager
+	e.noCompile = opts.DisableCompiled
 	if opts.Timeout > 0 {
 		e.deadline = time.Now().Add(opts.Timeout)
 	} else {
@@ -216,10 +248,19 @@ func (e *Engine) dispatch(q Query, opts Options) error {
 
 // compiledAutomaton is one memoised Glushkov compilation; eng is nil
 // when the expression exceeds the 64-state bit-parallel engine and the
-// Wide fallback must be used.
+// Wide fallback must be used. st and bArr are the compilation tier:
+// they stay nil until the expression's use count crosses
+// compileThreshold (or an eager evaluation forces them), after which
+// every later evaluation runs the specialized stepper against the
+// precomputed B[v] array with zero per-eval setup.
 type compiledAutomaton struct {
-	a   *glushkov.Automaton
-	eng *glushkov.Engine
+	a    *glushkov.Automaton
+	eng  *glushkov.Engine
+	uses int
+	st   glushkov.Stepper
+	bArr []uint64
+	// bArrs is the sharded engine's per-shard counterpart of bArr.
+	bArrs [][]uint64
 }
 
 // maxCompiled bounds the per-engine compilation memo; on overflow the
@@ -227,37 +268,75 @@ type compiledAutomaton struct {
 // than tracking recency).
 const maxCompiled = 128
 
+// compileThreshold is the use count past which an expression is
+// compiled into a specialized stepper. The service's canonicalizing
+// expr cache aligns the memo keys, so per-worker use counts mirror the
+// service-level hit counters.
+const compileThreshold = 2
+
 // compile returns the memoised Glushkov compilation of expr, keyed by
 // its canonical string (so structurally equal expressions share one
 // entry regardless of how their ASTs were obtained). The memo is
 // per-Engine by design: each worker clone pays its own cold build,
 // in exchange for lock-free access on the evaluation hot path.
-func (e *Engine) compile(expr pathexpr.Node) compiledAutomaton {
-	key := pathexpr.String(expr)
-	if c, ok := e.compiled[key]; ok {
-		return c
+func (e *Engine) compile(expr pathexpr.Node) *compiledAutomaton {
+	kb := e.keyW.Key(expr)
+	c, ok := e.compiled[string(kb)] // no-copy lookup
+	if !ok {
+		a := glushkov.Build(expr, e.ids)
+		eng, err := glushkov.NewEngineFor(a, e.r.NumPreds)
+		if err != nil {
+			eng = nil // fall back to the Wide path
+		}
+		c = &compiledAutomaton{a: a, eng: eng}
+		if e.compiled == nil || len(e.compiled) >= maxCompiled {
+			e.compiled = make(map[string]*compiledAutomaton, 16)
+		}
+		e.compiled[string(kb)] = c
 	}
-	a := glushkov.Build(expr, e.ids)
-	eng, err := glushkov.NewEngineFor(a, e.r.NumPreds)
-	if err != nil {
-		eng = nil // fall back to the Wide path
+	c.uses++
+	if c.eng != nil && c.st == nil && !e.noCompile && (e.eager || c.uses > compileThreshold) {
+		c.st = glushkov.Compile(c.eng, e.r.NumPreds)
+		c.bArr = BuildBArr(e.r.Lp, c.eng)
 	}
-	c := compiledAutomaton{a: a, eng: eng}
-	if e.compiled == nil || len(e.compiled) >= maxCompiled {
-		e.compiled = make(map[string]compiledAutomaton, 16)
-	}
-	e.compiled[key] = c
 	return c
 }
 
-// prepare builds the bit-parallel engine for expr and seeds the B[v]
-// masks on the wavelet nodes of L_p; the returned cleanup unwinds them.
-// A nil engine with nil error signals the multiword fallback is needed.
+// BuildBArr precomputes the B[v] masks over the wavelet nodes of lp for
+// a compiled expression: the immutable equivalent of prepare's lazy
+// bNode seeding, built once per (expression, ring) and shared by every
+// later evaluation (the overlay union engine builds one per sub-ring).
+func BuildBArr(lp wavelet.Seq, eng *glushkov.Engine) []uint64 {
+	arr := make([]uint64, lp.NumNodes())
+	for c, mask := range eng.B {
+		for id := lp.LeafID(c); id >= 1; id = id.Parent() {
+			arr[id] |= mask
+		}
+	}
+	return arr
+}
+
+// prepare builds the bit-parallel engine for expr and installs the
+// per-evaluation stepper: the compiled stepper and precomputed B[v]
+// array when the expression is hot, otherwise the interpreter with the
+// B[v] masks seeded onto the lazy bNode array. A nil engine with nil
+// error signals the multiword fallback is needed.
 func (e *Engine) prepare(expr pathexpr.Node) (*glushkov.Engine, error) {
-	eng := e.compile(expr).eng
+	if e.noCompile {
+		// Ablation / oracle mode: evaluate on the generic multiword
+		// fallback, exactly as a too-wide expression would.
+		return nil, nil
+	}
+	ca := e.compile(expr)
+	eng := ca.eng
 	if eng == nil {
 		return nil, nil
 	}
+	if ca.st != nil {
+		e.st, e.bArr = ca.st, ca.bArr
+		return eng, nil
+	}
+	e.st, e.bArr = eng, nil
 	for c, mask := range eng.B {
 		for id := e.r.Lp.LeafID(c); id >= 1; id = id.Parent() {
 			e.bNode.Or(int(id), mask)
@@ -272,6 +351,8 @@ func (e *Engine) release() {
 	e.dNode.Reset()
 	e.queue = e.queue[:0]
 	e.pairs.reset()
+	e.st = nil
+	e.bArr = nil
 }
 
 // markPads pre-marks the padding subtrees of L_s as "visited with every
@@ -543,7 +624,13 @@ func (e *Engine) step(eng *glushkov.Engine, b, end int, d, base uint64, emit Emi
 		if !leaf {
 			// Part 1 pruning: descend only towards predicates that lead
 			// to an active state (Fact 1 via the aggregated B[v]).
-			if d&e.bNode.Get(int(node)) != 0 {
+			var bm uint64
+			if e.bArr != nil {
+				bm = e.bArr[node]
+			} else {
+				bm = e.bNode.Get(int(node))
+			}
+			if d&bm != 0 {
 				return true
 			}
 			if negFwd|negInv == 0 {
@@ -559,13 +646,20 @@ func (e *Engine) step(eng *glushkov.Engine, b, end int, d, base uint64, emit Emi
 			}
 			return d&cb != 0
 		}
-		bp := eng.BFor(p)
+		// A single frontier level can cover an unbounded number of
+		// predicate leaves, so the deadline is probed per expansion here
+		// too, not only per step (checkDeadline amortizes the clock read).
+		if err := e.checkDeadline(); err != nil {
+			failure = err
+			return false
+		}
+		bp := e.st.PredMask(p)
 		if d&bp == 0 {
 			return true
 		}
 		e.stats.ProductEdges++
 		// The NFA transition is the same for every subject below (Fact 1).
-		d2 := eng.Trev(d & bp)
+		d2 := e.st.StepBack(d & bp)
 		if d2 == 0 {
 			return true
 		}
@@ -600,6 +694,13 @@ func (e *Engine) part2(eng *glushkov.Engine, b, end int, d2, base uint64, emit E
 			// Prune subtrees all of whose subjects were already visited
 			// with every state in d2.
 			return d2&^visited != 0
+		}
+		// Dense objects make one part-2 call cover many subject leaves;
+		// probe the deadline per leaf so a single huge level cannot run
+		// far past it.
+		if err := e.checkDeadline(); err != nil {
+			failure = err
+			return false
 		}
 		newStates := d2 &^ visited
 		if newStates == 0 {

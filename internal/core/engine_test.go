@@ -45,14 +45,38 @@ func mustID(t *testing.T, g *triples.Graph, name string) int64 {
 func checkAgainstOracle(t *testing.T, g *triples.Graph, e *Engine, s int64, expr string, o int64, opts Options) {
 	t.Helper()
 	node := pathexpr.MustParse(expr)
-	got := enginetest.SortPairs(collect(t, e, Query{Subject: s, Expr: node, Object: o}, opts))
 	want := enginetest.SortPairs(enginetest.Oracle(g, s, node, o))
-	if len(got) == 0 && len(want) == 0 {
-		return
+	// Every case runs three ways — the hotness default, the compiled
+	// stepper forced on, and the interpreter forced on — so the
+	// compilation tier is differentially checked against the oracle on
+	// the whole random-query corpus.
+	variants := [...]struct {
+		name string
+		opts Options
+	}{
+		{"default", opts},
+		{"compiled", withCompiled(opts)},
+		{"interpreted", withInterpreted(opts)},
 	}
-	if !reflect.DeepEqual(got, want) {
-		t.Fatalf("(%d, %s, %d): got %v, want %v", s, expr, o, got, want)
+	for _, v := range variants {
+		got := enginetest.SortPairs(collect(t, e, Query{Subject: s, Expr: node, Object: o}, v.opts))
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("(%d, %s, %d) %s: got %v, want %v", s, expr, o, v.name, got, want)
+		}
 	}
+}
+
+func withCompiled(opts Options) Options {
+	opts.CompileEager, opts.DisableCompiled = true, false
+	return opts
+}
+
+func withInterpreted(opts Options) Options {
+	opts.CompileEager, opts.DisableCompiled = false, true
+	return opts
 }
 
 // The paper's running example (§4, Figs. 5–6): the backward traversal of
@@ -249,6 +273,59 @@ func TestTimeout(t *testing.T) {
 	_, err := e.Eval(q, Options{Timeout: 1}, func(s, o uint32) bool { return true })
 	if err != ErrTimeout {
 		t.Fatalf("err=%v, want ErrTimeout", err)
+	}
+}
+
+// On a dense graph a single BFS level covers thousands of leaf
+// expansions, so the deadline must be probed inside the part-1/part-2
+// inner loops — per leaf, not only per frontier entry — in every
+// traversal mode and stepping tier. A 1ns budget must come back in
+// bounded time with ErrTimeout, never run a huge level to completion.
+func TestTimeoutProbedInInnerLoops(t *testing.T) {
+	g := enginetest.RandomGraph(9, 400, 2, 12000)
+	// Non-nullable closure: the traversal reaches the leaf loops instead
+	// of timing out in the nullable self-pair prefix; fast paths off so
+	// the generic product-graph machinery runs.
+	q := Query{Subject: Variable, Expr: pathexpr.MustParse("(pa|pb)+"), Object: Variable}
+	modes := []struct {
+		name string
+		opts Options
+	}{
+		{"batched", Options{Timeout: time.Nanosecond, DisableFastPaths: true}},
+		{"unbatched", Options{Timeout: time.Nanosecond, DisableFastPaths: true, DisableBatching: true}},
+		{"dfs", Options{Timeout: time.Nanosecond, DisableFastPaths: true, DFS: true}},
+		{"compiled", Options{Timeout: time.Nanosecond, DisableFastPaths: true, CompileEager: true}},
+		{"interpreted", Options{Timeout: time.Nanosecond, DisableFastPaths: true, DisableCompiled: true}},
+	}
+	e := newEngine(g, ring.WaveletMatrix)
+	set := ring.NewShardSet(g, 3, nil, ring.WaveletMatrix)
+	sharded := NewShardedEngine(set, func(s pathexpr.Sym) (uint32, bool) {
+		return g.PredID(s.Name, s.Inverse)
+	})
+	for _, m := range modes {
+		for _, run := range []struct {
+			name string
+			eval func() error
+		}{
+			{"engine/" + m.name, func() error {
+				_, err := e.Eval(q, m.opts, func(s, o uint32) bool { return true })
+				return err
+			}},
+			{"sharded/" + m.name, func() error {
+				_, err := sharded.Eval(q, m.opts, func(s, o uint32) bool { return true })
+				return err
+			}},
+		} {
+			start := time.Now()
+			err := run.eval()
+			elapsed := time.Since(start)
+			if err != ErrTimeout {
+				t.Fatalf("%s: err=%v, want ErrTimeout", run.name, err)
+			}
+			if elapsed > 5*time.Second {
+				t.Fatalf("%s: 1ns deadline took %v", run.name, elapsed)
+			}
+		}
 	}
 }
 

@@ -65,7 +65,8 @@ type ShardedEngine struct {
 	// source of truth the per-shard D[v] marks approximate.
 	d *lazy.MaskArray
 
-	compiled map[string]compiledAutomaton
+	compiled map[string]*compiledAutomaton
+	keyW     pathexpr.KeyWriter
 
 	// parallel enables the per-level shard fan-out goroutines.
 	parallel bool
@@ -73,13 +74,15 @@ type ShardedEngine struct {
 	frontier, next []queueItem
 
 	// per-evaluation state (mirrors Engine)
-	stats    Stats
-	deadline time.Time
-	steps    int
-	emit     EmitFunc
-	limit    int
-	noMarks  bool
-	batch    bool
+	stats     Stats
+	deadline  time.Time
+	steps     int
+	emit      EmitFunc
+	limit     int
+	noMarks   bool
+	batch     bool
+	eager     bool
+	noCompile bool
 }
 
 var _ Evaluator = (*ShardedEngine)(nil)
@@ -126,6 +129,8 @@ func (e *ShardedEngine) Eval(q Query, opts Options, emit EmitFunc) (Stats, error
 	e.limit = opts.Limit
 	e.noMarks = opts.DisableNodeMarks
 	e.batch = !opts.DisableBatching
+	e.eager = opts.CompileEager
+	e.noCompile = opts.DisableCompiled
 	if opts.Timeout > 0 {
 		e.deadline = time.Now().Add(opts.Timeout)
 	} else {
@@ -207,35 +212,54 @@ func (e *ShardedEngine) coopDispatch(q Query) error {
 	}
 }
 
-// compile memoises Glushkov compilations exactly like Engine.compile.
-func (e *ShardedEngine) compile(expr pathexpr.Node) compiledAutomaton {
-	key := pathexpr.String(expr)
-	if c, ok := e.compiled[key]; ok {
-		return c
+// compile memoises Glushkov compilations exactly like Engine.compile,
+// including the hotness-triggered stepper tier; the precomputed B[v]
+// arrays are per shard (each sub-ring has its own L_p tree).
+func (e *ShardedEngine) compile(expr pathexpr.Node) *compiledAutomaton {
+	kb := e.keyW.Key(expr)
+	c, ok := e.compiled[string(kb)] // no-copy lookup
+	if !ok {
+		a := glushkov.Build(expr, e.ids)
+		eng, err := glushkov.NewEngineFor(a, e.set.NumPreds)
+		if err != nil {
+			eng = nil // fall back to the multiword path
+		}
+		c = &compiledAutomaton{a: a, eng: eng}
+		if e.compiled == nil || len(e.compiled) >= maxCompiled {
+			e.compiled = make(map[string]*compiledAutomaton, 16)
+		}
+		e.compiled[string(kb)] = c
 	}
-	a := glushkov.Build(expr, e.ids)
-	eng, err := glushkov.NewEngineFor(a, e.set.NumPreds)
-	if err != nil {
-		eng = nil // fall back to the multiword path
+	c.uses++
+	if c.eng != nil && c.st == nil && !e.noCompile && (e.eager || c.uses > compileThreshold) {
+		c.st = glushkov.Compile(c.eng, e.set.NumPreds)
+		c.bArrs = make([][]uint64, len(e.workers))
+		for i, w := range e.workers {
+			c.bArrs[i] = BuildBArr(w.r.Lp, c.eng)
+		}
 	}
-	c := compiledAutomaton{a: a, eng: eng}
-	if e.compiled == nil || len(e.compiled) >= maxCompiled {
-		e.compiled = make(map[string]compiledAutomaton, 16)
-	}
-	e.compiled[key] = c
 	return c
 }
 
 // prepareNarrow compiles expr and readies every shard worker (B[v]
 // seeding, mark resets). A nil return selects the multiword fallback.
 func (e *ShardedEngine) prepareNarrow(expr pathexpr.Node) *glushkov.Engine {
+	if e.noCompile {
+		// Ablation / oracle mode: route to the multiword fallback.
+		return nil
+	}
 	c := e.compile(expr)
 	if c.eng == nil {
 		return nil
 	}
 	e.d.Reset()
-	for _, w := range e.workers {
-		w.prepare(c.eng, e.deadline, e.noMarks, e.batch)
+	st := c.st
+	for i, w := range e.workers {
+		var bArr []uint64
+		if st != nil {
+			bArr = c.bArrs[i]
+		}
+		w.prepare(c.eng, st, bArr, e.deadline, e.noMarks, e.batch)
 	}
 	return c.eng
 }
@@ -554,6 +578,12 @@ type shardWorker struct {
 	noMarks  bool
 	batch    bool
 	err      error
+
+	// st steps the automaton for the current query (compiled stepper or
+	// the interpreting engine); bArr, when non-nil, is the shard's
+	// precomputed immutable B[v] array replacing bNode.
+	st   glushkov.Stepper
+	bArr []uint64
 }
 
 func newShardWorker(r *ring.Ring) *shardWorker {
@@ -566,8 +596,10 @@ func newShardWorker(r *ring.Ring) *shardWorker {
 }
 
 // prepare readies the worker for one query: reset masks and counters,
-// seed the B[v] masks for eng, and pre-mark padding subtrees.
-func (w *shardWorker) prepare(eng *glushkov.Engine, deadline time.Time, noMarks, batch bool) {
+// install the stepper, and pre-mark padding subtrees. A nil st selects
+// the interpreter, seeding the lazy B[v] masks for eng; a non-nil st
+// comes with the shard's precomputed bArr, so no seeding is needed.
+func (w *shardWorker) prepare(eng *glushkov.Engine, st glushkov.Stepper, bArr []uint64, deadline time.Time, noMarks, batch bool) {
 	w.bNode.Reset()
 	w.dNode.Reset()
 	w.found = w.found[:0]
@@ -577,9 +609,13 @@ func (w *shardWorker) prepare(eng *glushkov.Engine, deadline time.Time, noMarks,
 	w.noMarks = noMarks
 	w.batch = batch
 	w.err = nil
-	for c, mask := range eng.B {
-		for id := w.r.Lp.LeafID(c); id >= 1; id = id.Parent() {
-			w.bNode.Or(int(id), mask)
+	w.st, w.bArr = st, bArr
+	if st == nil {
+		w.st = eng
+		for c, mask := range eng.B {
+			for id := w.r.Lp.LeafID(c); id >= 1; id = id.Parent() {
+				w.bNode.Or(int(id), mask)
+			}
 		}
 	}
 	w.markPads()
@@ -690,6 +726,8 @@ func (w *shardWorker) stepMany(eng *glushkov.Engine, items []wavelet.RangeMask, 
 		dNode:   w.dNode,
 		stats:   &w.stats,
 		noMarks: w.noMarks,
+		st:      w.st,
+		bArr:    w.bArr,
 		check:   w.checkDeadline,
 		mark:    w.markSubject,
 		part2Leaf: func(s uint32, all, fresh uint64) error {
@@ -712,10 +750,20 @@ func (w *shardWorker) step(eng *glushkov.Engine, b, end int, d, base uint64) err
 	}
 	negFwd, negInv := eng.NegClassBits()
 	half := w.r.NumPreds / 2
+	var failure error
 	w.r.Lp.Traverse(b, end, func(node wavelet.NodeID, leaf bool, p uint32, rb, re int, full bool) bool {
+		if failure != nil {
+			return false
+		}
 		w.stats.WaveletVisits++
 		if !leaf {
-			if d&w.bNode.Get(int(node)) != 0 {
+			var bm uint64
+			if w.bArr != nil {
+				bm = w.bArr[node]
+			} else {
+				bm = w.bNode.Get(int(node))
+			}
+			if d&bm != 0 {
 				return true
 			}
 			if negFwd|negInv == 0 {
@@ -731,26 +779,39 @@ func (w *shardWorker) step(eng *glushkov.Engine, b, end int, d, base uint64) err
 			}
 			return d&cb != 0
 		}
-		bp := eng.BFor(p)
+		// Per-expansion deadline probe: a single level can cover many
+		// predicate leaves, so the per-step probe alone is not enough.
+		if err := w.checkDeadline(); err != nil {
+			failure = err
+			return false
+		}
+		bp := w.st.PredMask(p)
 		if d&bp == 0 {
 			return true
 		}
 		w.stats.ProductEdges++
-		d2 := eng.Trev(d & bp)
+		d2 := w.st.StepBack(d & bp)
 		if d2 == 0 {
 			return true
 		}
-		w.part2(eng, w.r.Cp[p]+rb, w.r.Cp[p]+re, d2, base)
+		if err := w.part2(w.r.Cp[p]+rb, w.r.Cp[p]+re, d2, base); err != nil {
+			failure = err
+			return false
+		}
 		return true
 	})
-	return nil
+	return failure
 }
 
 // part2 mirrors Engine.part2: enumerate the subjects of L_s[b, end)
 // that still have locally-unvisited states, mark them, and record the
 // discovery for the merge.
-func (w *shardWorker) part2(eng *glushkov.Engine, b, end int, d2, base uint64) {
+func (w *shardWorker) part2(b, end int, d2, base uint64) error {
+	var failure error
 	w.r.Ls.Traverse(b, end, func(node wavelet.NodeID, leaf bool, s uint32, rb, re int, full bool) bool {
+		if failure != nil {
+			return false
+		}
 		w.stats.WaveletVisits++
 		visited := w.dNode.Get(int(node)) | base
 		if !leaf {
@@ -759,6 +820,11 @@ func (w *shardWorker) part2(eng *glushkov.Engine, b, end int, d2, base uint64) {
 			}
 			return d2&^visited != 0
 		}
+		// Per-leaf deadline probe (dense objects cover many subjects).
+		if err := w.checkDeadline(); err != nil {
+			failure = err
+			return false
+		}
 		if d2&^visited == 0 {
 			return true
 		}
@@ -766,6 +832,7 @@ func (w *shardWorker) part2(eng *glushkov.Engine, b, end int, d2, base uint64) {
 		w.found = append(w.found, queueItem{s, d2})
 		return true
 	})
+	return failure
 }
 
 func (w *shardWorker) checkDeadline() error {

@@ -1,0 +1,102 @@
+package glushkov
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ringrpq/internal/pathexpr"
+)
+
+func mustEngineFor(t *testing.T, expr string, numCompleted uint32) *Engine {
+	t.Helper()
+	a := Build(pathexpr.MustParse(expr), testIDs)
+	e, err := NewEngineFor(a, numCompleted)
+	if err != nil {
+		t.Fatalf("NewEngineFor(%q): %v", expr, err)
+	}
+	return e
+}
+
+// Compile must recognize the follow-structure shapes and pick the
+// matching specialization.
+func TestCompileKinds(t *testing.T) {
+	// 9 two-way alternations concatenated: 19 states, beyond the single
+	// full-table threshold, forcing the chunked reverse table.
+	wide := strings.TrimSuffix(strings.Repeat("(a|b)/", 9), "/")
+	cases := []struct {
+		expr string
+		kind string
+	}{
+		{"a", "single"},
+		{"^a", "single"},
+		{"a/b/c", "chain"},
+		{"a/^b/c/d", "chain"},
+		{"a|b", "alt"},
+		{"a|b|c|^d", "alt"},
+		{"a/b*/b", "table"},
+		{"(a|b)+", "table"},
+		{"a?", "single"}, // nullability lives in F, not the follow sets
+		{wide, "table-chunked"},
+	}
+	for _, tc := range cases {
+		e := mustEngine(t, tc.expr)
+		st := Compile(e, 16)
+		if st.Kind() != tc.kind {
+			t.Errorf("Compile(%q).Kind() = %q, want %q", tc.expr, st.Kind(), tc.kind)
+		}
+	}
+
+	// Symbol classes put conservative bits in B; the unrolled shapes
+	// (chain/alt) must not claim automata with class positions.
+	for _, expr := range []string{"!(a)", "!(a)/b", "!a|b"} {
+		e := mustEngineFor(t, expr, 16)
+		st := Compile(e, 16)
+		if k := st.Kind(); k == "single" || k == "chain" || k == "alt" {
+			t.Errorf("Compile(%q).Kind() = %q; class automata must use table forms", expr, k)
+		}
+	}
+
+	// An absurd alphabet overflows the dense table budget: Compile
+	// declines and hands back the interpreter.
+	e := mustEngine(t, "a/b")
+	if st := Compile(e, maxDenseAlphabet+1); st.Kind() != "interp" {
+		t.Errorf("oversized alphabet: Kind() = %q, want interp", st.Kind())
+	}
+}
+
+// Every compiled stepper must agree with the interpreter on PredMask
+// and StepBack over the whole state space (exhaustively for small
+// automata, sampled for the chunked one).
+func TestCompiledStepperMatchesInterpreter(t *testing.T) {
+	wide := strings.TrimSuffix(strings.Repeat("(a|b)/", 9), "/")
+	exprs := []string{
+		"a", "^a", "a/b/c", "a|b|c", "a/b*/b", "(a|b)+", "(a|b*)/c?",
+		"a?", "(a/b)*|c", "!(a)", "!(a|b)/c", "!^a|b", "!(a)*", wide,
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, expr := range exprs {
+		e := mustEngineFor(t, expr, 16)
+		st := Compile(e, 16)
+		for c := uint32(0); c < 20; c++ {
+			if got, want := st.PredMask(c), e.BFor(c); got != want {
+				t.Errorf("%q (%s): PredMask(%d) = %b, want %b", expr, st.Kind(), c, got, want)
+			}
+		}
+		nbits := uint(e.A.M + 1)
+		if nbits <= 16 {
+			for x := uint64(0); x < 1<<nbits; x++ {
+				if got, want := st.StepBack(x), e.Trev(x); got != want {
+					t.Fatalf("%q (%s): StepBack(%b) = %b, want %b", expr, st.Kind(), x, got, want)
+				}
+			}
+		} else {
+			for i := 0; i < 4096; i++ {
+				x := rng.Uint64() & (1<<nbits - 1)
+				if got, want := st.StepBack(x), e.Trev(x); got != want {
+					t.Fatalf("%q (%s): StepBack(%b) = %b, want %b", expr, st.Kind(), x, got, want)
+				}
+			}
+		}
+	}
+}

@@ -180,6 +180,7 @@ func (e *Engine) bfsBatched(eng *glushkov.Engine, emit core.EmitFunc) error {
 			}
 			lo := core.LevelOwner{
 				R: w.r, BNode: w.bNode, DNode: w.dNode, Stats: &e.stats,
+				St: e.st, BArr: w.bArr,
 				Check:    e.checkDeadline,
 				LeafMask: e.leafMaskFor(w),
 				Leaf: func(s uint32, all, fresh uint64) error {
@@ -211,12 +212,16 @@ func (e *Engine) overlayLevel(eng *glushkov.Engine, level []item, emit core.Emit
 			i++
 		}
 		for j := i; j < len(adds) && adds[j].O == it.node; j++ {
-			bp := eng.BFor(adds[j].P)
+			// Per-edge deadline probe: one level can touch many adds.
+			if err := e.checkDeadline(); err != nil {
+				return err
+			}
+			bp := e.st.PredMask(adds[j].P)
 			if it.d&bp == 0 {
 				continue
 			}
 			e.stats.ProductEdges++
-			d2 := eng.Trev(it.d & bp)
+			d2 := e.st.StepBack(it.d & bp)
 			if d2 == 0 {
 				continue
 			}

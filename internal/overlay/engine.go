@@ -53,18 +53,26 @@ type Engine struct {
 	level    []item
 	lpItems  []wavelet.RangeMask
 	lsItems  []wavelet.RangeMask
-	compiled map[string]compiledExpr
+	compiled map[string]*compiledExpr
+	keyW     pathexpr.KeyWriter
 
 	// per-evaluation state
-	stats    core.Stats
-	deadline time.Time
-	steps    int
-	limit    int
-	results  int
-	base     uint64
-	batch    bool
-	failure  error
-	fastErr  error
+	stats     core.Stats
+	deadline  time.Time
+	steps     int
+	limit     int
+	results   int
+	base      uint64
+	batch     bool
+	eager     bool
+	noCompile bool
+	failure   error
+	fastErr   error
+
+	// st is the active stepper (compiled specialization when the
+	// expression is hot, the interpreting engine otherwise); installed
+	// by prepare alongside the per-ring bArr arrays.
+	st glushkov.Stepper
 }
 
 type item struct {
@@ -81,6 +89,11 @@ type ringWork struct {
 	dNode  *lazy.MaskArray
 	lsPads []wavelet.NodeID
 
+	// bArr, when non-nil, is the compiled expression's precomputed
+	// immutable B[v] array for this ring, replacing bNode for the
+	// current evaluation.
+	bArr []uint64
+
 	// delRanks caches, per overlay version, the tombstones' leaf ranks
 	// under their subjects: the batched part 2 drops fully-tombstoned
 	// leaf items through the LeafMask hook (see batch.go).
@@ -93,6 +106,12 @@ type compiledExpr struct {
 	a    *glushkov.Automaton
 	eng  *glushkov.Engine // nil beyond 64 states
 	wide *glushkov.Wide   // built lazily for the >64-state fallback
+
+	// Compilation tier (mirrors core.compiledAutomaton): built when the
+	// expression's use count crosses the threshold, bArrs per sub-ring.
+	uses  int
+	st    glushkov.Stepper
+	bArrs [][]uint64
 }
 
 var _ core.Evaluator = (*Engine)(nil)
@@ -100,12 +119,16 @@ var _ core.Evaluator = (*Engine)(nil)
 // errLimit mirrors core's internal limit sentinel.
 var errLimit = errors.New("overlay: result limit")
 
+// compileThreshold mirrors core's: the use count past which an
+// expression gets a compiled stepper.
+const compileThreshold = 2
+
 // NewEngine builds a union evaluator. static is the snapshot's ordinary
 // evaluator (single-ring or sharded engine) used for whole-query
 // delegation; rings are its sub-rings over global id spaces; numPreds
 // is the completed predicate count. Call SetSnapshot before Eval.
 func NewEngine(static core.Evaluator, rings []*ring.Ring, ids glushkov.SymbolIDs, numPreds uint32) *Engine {
-	e := &Engine{static: static, rings: rings, ids: ids, numPreds: numPreds, compiled: map[string]compiledExpr{}}
+	e := &Engine{static: static, rings: rings, ids: ids, numPreds: numPreds, compiled: map[string]*compiledExpr{}}
 	for _, r := range rings {
 		e.work = append(e.work, &ringWork{
 			r:      r,
@@ -145,28 +168,35 @@ func (e *Engine) staticNumNodes() int {
 // compile memoises the Glushkov compilation of expr (narrow engine
 // when it fits in 64 states, wide fallback otherwise), mirroring
 // core.Engine.compile.
-func (e *Engine) compile(expr pathexpr.Node) compiledExpr {
-	key := pathexpr.String(expr)
-	if c, ok := e.compiled[key]; ok {
-		return c
+func (e *Engine) compile(expr pathexpr.Node) *compiledExpr {
+	kb := e.keyW.Key(expr)
+	c, ok := e.compiled[string(kb)] // no-copy lookup
+	if !ok {
+		a := glushkov.Build(expr, e.ids)
+		eng, err := glushkov.NewEngineFor(a, e.numPreds)
+		if err != nil {
+			eng = nil
+		}
+		c = &compiledExpr{a: a, eng: eng}
+		if len(e.compiled) >= 128 {
+			e.compiled = make(map[string]*compiledExpr, 16)
+		}
+		e.compiled[string(kb)] = c
 	}
-	a := glushkov.Build(expr, e.ids)
-	eng, err := glushkov.NewEngineFor(a, e.numPreds)
-	if err != nil {
-		eng = nil
+	c.uses++
+	if c.eng != nil && c.st == nil && !e.noCompile && (e.eager || c.uses > compileThreshold) {
+		c.st = glushkov.Compile(c.eng, e.numPreds)
+		c.bArrs = make([][]uint64, len(e.work))
+		for i, w := range e.work {
+			c.bArrs[i] = core.BuildBArr(w.r.Lp, c.eng)
+		}
 	}
-	c := compiledExpr{a: a, eng: eng}
-	if len(e.compiled) >= 128 {
-		e.compiled = make(map[string]compiledExpr, 16)
-	}
-	e.compiled[key] = c
 	return c
 }
 
-func (e *Engine) wideFor(key string, c compiledExpr) *glushkov.Wide {
+func (e *Engine) wideFor(c *compiledExpr) *glushkov.Wide {
 	if c.wide == nil {
 		c.wide = glushkov.NewWideFor(c.a, e.numPreds)
-		e.compiled[key] = c
 	}
 	return c.wide
 }
@@ -202,6 +232,8 @@ func (e *Engine) Eval(q core.Query, opts core.Options, emit core.EmitFunc) (core
 	if e.ov == nil || e.ov.Empty() {
 		return e.static.Eval(q, opts, emit)
 	}
+	e.eager = opts.CompileEager
+	e.noCompile = opts.DisableCompiled
 	if c := e.compile(q.Expr); e.canDelegate(c.a) {
 		return e.static.Eval(q, opts, emit)
 	}
@@ -253,18 +285,33 @@ func (e *Engine) release() {
 	for _, w := range e.work {
 		w.bNode.Reset()
 		w.dNode.Reset()
+		w.bArr = nil
 	}
 	e.queue = e.queue[:0]
 	e.level = e.level[:0]
+	e.st = nil
 }
 
-// prepare seeds the per-ring B[v] masks for eng and pre-marks padding
-// subtrees, like core.Engine.prepare + markPads.
-func (e *Engine) prepare(eng *glushkov.Engine) {
-	for _, w := range e.work {
-		for c, mask := range eng.B {
-			for id := w.r.Lp.LeafID(c); id >= 1; id = id.Parent() {
-				w.bNode.Or(int(id), mask)
+// prepare installs the per-evaluation stepper and B[v] masks for c,
+// like core.Engine.prepare + markPads: the compiled stepper and
+// precomputed per-ring B[v] arrays when the expression is hot, else the
+// interpreter with lazy seeding.
+func (e *Engine) prepare(c *compiledExpr) {
+	compiled := c.st != nil
+	if compiled {
+		e.st = c.st
+	} else {
+		e.st = c.eng
+	}
+	for i, w := range e.work {
+		if compiled {
+			w.bArr = c.bArrs[i]
+		} else {
+			w.bArr = nil
+			for sym, mask := range c.eng.B {
+				for id := w.r.Lp.LeafID(sym); id >= 1; id = id.Parent() {
+					w.bNode.Or(int(id), mask)
+				}
 			}
 		}
 		for _, id := range w.lsPads {
@@ -385,12 +432,17 @@ func (e *Engine) expand(eng *glushkov.Engine, o uint32, d uint64, emit core.Emit
 // overlayStep expands the overlay adds entering o.
 func (e *Engine) overlayStep(eng *glushkov.Engine, o uint32, d uint64, emit core.EmitFunc) error {
 	e.ov.InEdges(o, func(p, s uint32) bool {
-		bp := eng.BFor(p)
+		// Per-edge deadline probe: one object may have many overlay adds.
+		if err := e.checkDeadline(); err != nil {
+			e.failure = err
+			return false
+		}
+		bp := e.st.PredMask(p)
 		if d&bp == 0 {
 			return true
 		}
 		e.stats.ProductEdges++
-		d2 := eng.Trev(d & bp)
+		d2 := e.st.StepBack(d & bp)
 		if d2 == 0 {
 			return true
 		}
@@ -413,7 +465,13 @@ func (e *Engine) ringStep(eng *glushkov.Engine, w *ringWork, o int64, b, end int
 		}
 		e.stats.WaveletVisits++
 		if !leaf {
-			if d&w.bNode.Get(int(node)) != 0 {
+			var bm uint64
+			if w.bArr != nil {
+				bm = w.bArr[node]
+			} else {
+				bm = w.bNode.Get(int(node))
+			}
+			if d&bm != 0 {
 				return true
 			}
 			if negFwd|negInv == 0 {
@@ -429,12 +487,18 @@ func (e *Engine) ringStep(eng *glushkov.Engine, w *ringWork, o int64, b, end int
 			}
 			return d&cb != 0
 		}
-		bp := eng.BFor(p)
+		// Per-expansion deadline probe (a single step can cover many
+		// predicate leaves).
+		if err := e.checkDeadline(); err != nil {
+			failure = err
+			return false
+		}
+		bp := e.st.PredMask(p)
 		if d&bp == 0 {
 			return true
 		}
 		e.stats.ProductEdges++
-		d2 := eng.Trev(d & bp)
+		d2 := e.st.StepBack(d & bp)
 		if d2 == 0 {
 			return true
 		}
@@ -468,6 +532,11 @@ func (e *Engine) part2(eng *glushkov.Engine, w *ringWork, o int64, p uint32, b, 
 			// under-approximate the global mask).
 			return d2&^(w.dNode.Get(int(node))|e.base) != 0
 		}
+		// Per-leaf deadline probe (dense objects cover many subjects).
+		if err := e.checkDeadline(); err != nil {
+			failure = err
+			return false
+		}
 		if checkDels {
 			if o >= 0 {
 				if e.ov.Deleted(Edge{S: s, P: p, O: uint32(o)}) {
@@ -496,7 +565,7 @@ func (e *Engine) evalToConst(expr pathexpr.Node, o uint32, swap bool, emit core.
 		return emit(r, o)
 	}
 	c := e.compile(expr)
-	if c.eng == nil {
+	if c.eng == nil || e.noCompile {
 		return e.wideEvalToConst(expr, o, swap, emit)
 	}
 	if int(o) >= e.numNodes {
@@ -508,7 +577,7 @@ func (e *Engine) evalToConst(expr pathexpr.Node, o uint32, swap bool, emit core.
 		}
 	}
 	defer e.release()
-	e.prepare(c.eng)
+	e.prepare(c)
 	e.markNode(o, c.eng.F)
 	e.queue = append(e.queue, item{o, c.eng.F})
 	return e.bfs(c.eng, pair)
@@ -517,7 +586,7 @@ func (e *Engine) evalToConst(expr pathexpr.Node, o uint32, swap bool, emit core.
 // evalBothConst evaluates (s, E, o), stopping at the first match.
 func (e *Engine) evalBothConst(expr pathexpr.Node, s, o uint32, emit core.EmitFunc) error {
 	c := e.compile(expr)
-	if c.eng == nil {
+	if c.eng == nil || e.noCompile {
 		return e.wideEvalBothConst(expr, s, o, emit)
 	}
 	if int(o) >= e.numNodes || int(s) >= e.numNodes {
@@ -537,7 +606,7 @@ func (e *Engine) evalBothConst(expr pathexpr.Node, s, o uint32, emit core.EmitFu
 		return true
 	}
 	defer e.release()
-	e.prepare(c.eng)
+	e.prepare(c)
 	e.markNode(o, c.eng.F)
 	e.queue = append(e.queue, item{o, c.eng.F})
 	err := e.bfs(c.eng, probe)
@@ -555,7 +624,7 @@ func (e *Engine) evalBothConst(expr pathexpr.Node, s, o uint32, emit core.EmitFu
 // fewer triples (§5), counting overlay adds alongside the rings.
 func (e *Engine) evalBothVar(expr pathexpr.Node, emit core.EmitFunc) error {
 	c := e.compile(expr)
-	if c.eng == nil {
+	if c.eng == nil || e.noCompile {
 		return e.wideEvalBothVar(expr, emit)
 	}
 	nullable := c.a.Nullable
@@ -588,7 +657,7 @@ func (e *Engine) evalBothVar(expr pathexpr.Node, emit core.EmitFunc) error {
 	if eng == nil {
 		return e.wideEvalBothVar(expr, emit)
 	}
-	e.prepare(eng)
+	e.prepare(c1)
 	e.base = eng.F &^ eng.Init
 	err := func() error {
 		for _, w := range e.work {
@@ -638,7 +707,7 @@ func (e *Engine) evalBothVar(expr pathexpr.Node, emit core.EmitFunc) error {
 		return e.wideEvalBothVar(expr, emit)
 	}
 	defer e.release()
-	e.prepare(eng2)
+	e.prepare(c2)
 	for _, s := range starts {
 		e.resetMarks()
 		e.markNode(s, eng2.F)
@@ -678,12 +747,17 @@ func (e *Engine) startFromObjects(a *glushkov.Automaton) bool {
 func (e *Engine) overlayFullRange(eng *glushkov.Engine, emit core.EmitFunc) error {
 	d := eng.F
 	e.ov.EachAdd(func(ed Edge) bool {
-		bp := eng.BFor(ed.P)
+		// Per-edge deadline probe: this pass scans every overlay add.
+		if err := e.checkDeadline(); err != nil {
+			e.failure = err
+			return false
+		}
+		bp := e.st.PredMask(ed.P)
 		if d&bp == 0 {
 			return true
 		}
 		e.stats.ProductEdges++
-		d2 := eng.Trev(d & bp)
+		d2 := e.st.StepBack(d & bp)
 		if d2 == 0 {
 			return true
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"ringrpq/internal/core"
 	"ringrpq/internal/enginetest"
@@ -178,9 +179,14 @@ func buildScenario(t *testing.T, seed int64, nv, np, ne, extraNodes int, shards 
 func runCase(t *testing.T, sc *scenario, eng *Engine, subject int64, expr pathexpr.Node, object int64) {
 	t.Helper()
 	want := enginetest.SortPairs(enginetest.Oracle(sc.gMerged, subject, expr, object))
-	// Both traversal modes (frontier-batched and item-at-a-time) must
-	// match the oracle.
-	for _, opts := range []core.Options{{}, {DisableBatching: true}} {
+	// Both traversal modes (frontier-batched and item-at-a-time) and
+	// both stepping tiers (compiled stepper, interpreter) must match
+	// the oracle.
+	for _, opts := range []core.Options{
+		{}, {DisableBatching: true},
+		{CompileEager: true}, {DisableCompiled: true},
+		{CompileEager: true, DisableBatching: true},
+	} {
 		var got []enginetest.Pair
 		_, err := eng.Eval(core.Query{Subject: subject, Expr: expr, Object: object}, opts, func(s, o uint32) bool {
 			got = append(got, enginetest.Pair{S: s, O: o})
@@ -309,4 +315,29 @@ func TestUnionEngineLimitTimeout(t *testing.T) {
 		t.Fatalf("limit run: n=%d err=%v, want 5 results", n, err)
 	}
 	_ = sc
+}
+
+// A 1ns deadline on a dense overlaid graph must interrupt the union
+// traversal inside its per-edge/per-leaf loops — ring descents and
+// overlay merges alike — in every mode and stepping tier.
+func TestUnionEngineTimeoutProbedInInnerLoops(t *testing.T) {
+	_, eng := buildScenario(t, 21, 150, 2, 1800, 100, 1, ring.WaveletMatrix)
+	expr := pathexpr.MustParse("(pa|pb)+")
+	q := core.Query{Subject: core.Variable, Expr: expr, Object: core.Variable}
+	for _, opts := range []core.Options{
+		{Timeout: time.Nanosecond},
+		{Timeout: time.Nanosecond, DisableBatching: true},
+		{Timeout: time.Nanosecond, CompileEager: true},
+		{Timeout: time.Nanosecond, DisableCompiled: true},
+	} {
+		start := time.Now()
+		_, err := eng.Eval(q, opts, func(s, o uint32) bool { return true })
+		elapsed := time.Since(start)
+		if err != core.ErrTimeout {
+			t.Fatalf("opts=%+v: err=%v, want ErrTimeout", opts, err)
+		}
+		if elapsed > 5*time.Second {
+			t.Fatalf("opts=%+v: 1ns deadline took %v", opts, elapsed)
+		}
+	}
 }

@@ -149,8 +149,7 @@ func (r *wideRun) drain() error {
 
 // wideEvalToConst mirrors evalToConst beyond 64 states.
 func (e *Engine) wideEvalToConst(expr pathexpr.Node, o uint32, swap bool, emit core.EmitFunc) error {
-	key := pathexpr.String(expr)
-	wd := e.wideFor(key, e.compile(expr))
+	wd := e.wideFor(e.compile(expr))
 	if int(o) >= e.numNodes {
 		return nil
 	}
@@ -172,8 +171,7 @@ func (e *Engine) wideEvalToConst(expr pathexpr.Node, o uint32, swap bool, emit c
 
 // wideEvalBothConst mirrors evalBothConst beyond 64 states.
 func (e *Engine) wideEvalBothConst(expr pathexpr.Node, s, o uint32, emit core.EmitFunc) error {
-	key := pathexpr.String(expr)
-	wd := e.wideFor(key, e.compile(expr))
+	wd := e.wideFor(e.compile(expr))
 	if int(o) >= e.numNodes || int(s) >= e.numNodes {
 		return nil
 	}
@@ -202,8 +200,7 @@ func (e *Engine) wideEvalBothConst(expr pathexpr.Node, s, o uint32, emit core.Em
 // self-pairs, a multi-seeded phase collecting sources, then one
 // constrained traversal of the inverse expression per source.
 func (e *Engine) wideEvalBothVar(expr pathexpr.Node, emit core.EmitFunc) error {
-	key := pathexpr.String(expr)
-	wd := e.wideFor(key, e.compile(expr))
+	wd := e.wideFor(e.compile(expr))
 	nullable := wd.A.Nullable
 	if nullable {
 		for v := 0; v < e.numNodes; v++ {
@@ -239,8 +236,7 @@ func (e *Engine) wideEvalBothVar(expr pathexpr.Node, emit core.EmitFunc) error {
 
 	// Phase 2: enumerate objects per source via the inverse expression.
 	inv := pathexpr.InverseOf(expr)
-	ikey := pathexpr.String(inv)
-	iwd := e.wideFor(ikey, e.compile(inv))
+	iwd := e.wideFor(e.compile(inv))
 	for _, s := range starts {
 		s := s
 		run2 := e.newWideRun(iwd, func(o uint32) bool {

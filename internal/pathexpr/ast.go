@@ -11,12 +11,19 @@ import (
 	"strings"
 )
 
+// exprWriter is the sink canonical rendering writes into; satisfied by
+// *strings.Builder (String) and *KeyWriter (reusable buffers).
+type exprWriter interface {
+	WriteByte(byte) error
+	WriteString(string) (int, error)
+}
+
 // Node is an expression-tree node. Implementations: Sym, Eps, Concat,
 // Alt, Star, Plus, Opt.
 type Node interface {
 	// writeTo appends the canonical textual form, parenthesised according
 	// to prec, the binding power of the context.
-	writeTo(sb *strings.Builder, prec int)
+	writeTo(sb exprWriter, prec int)
 	// pattern appends the operator-skeleton form used by the Table 1
 	// classifier (predicates erased, operators kept).
 	pattern(sb *strings.Builder)
@@ -53,7 +60,7 @@ const (
 	precPostfix
 )
 
-func (s Sym) writeTo(sb *strings.Builder, prec int) {
+func (s Sym) writeTo(sb exprWriter, prec int) {
 	if s.Inverse {
 		sb.WriteByte('^')
 	}
@@ -79,9 +86,9 @@ func identLike(name string) bool {
 	return true
 }
 
-func (Eps) writeTo(sb *strings.Builder, prec int) { sb.WriteString("()") }
+func (Eps) writeTo(sb exprWriter, prec int) { sb.WriteString("()") }
 
-func (c Concat) writeTo(sb *strings.Builder, prec int) {
+func (c Concat) writeTo(sb exprWriter, prec int) {
 	if prec > precConcat {
 		sb.WriteByte('(')
 	}
@@ -95,7 +102,7 @@ func (c Concat) writeTo(sb *strings.Builder, prec int) {
 	}
 }
 
-func (a Alt) writeTo(sb *strings.Builder, prec int) {
+func (a Alt) writeTo(sb exprWriter, prec int) {
 	if prec > precAlt {
 		sb.WriteByte('(')
 	}
@@ -107,17 +114,17 @@ func (a Alt) writeTo(sb *strings.Builder, prec int) {
 	}
 }
 
-func (s Star) writeTo(sb *strings.Builder, prec int) {
+func (s Star) writeTo(sb exprWriter, prec int) {
 	s.X.writeTo(sb, precPostfix+1)
 	sb.WriteByte('*')
 }
 
-func (p Plus) writeTo(sb *strings.Builder, prec int) {
+func (p Plus) writeTo(sb exprWriter, prec int) {
 	p.X.writeTo(sb, precPostfix+1)
 	sb.WriteByte('+')
 }
 
-func (o Opt) writeTo(sb *strings.Builder, prec int) {
+func (o Opt) writeTo(sb exprWriter, prec int) {
 	o.X.writeTo(sb, precPostfix+1)
 	sb.WriteByte('?')
 }
@@ -127,6 +134,33 @@ func String(n Node) string {
 	var sb strings.Builder
 	n.writeTo(&sb, precAlt)
 	return sb.String()
+}
+
+// KeyWriter renders canonical expression strings into a buffer it
+// reuses across calls. Hot paths that memoise per-expression state key
+// their maps by canonical form; looking up with string(w.Key(n)) does
+// not copy, so a long-lived KeyWriter makes repeat lookups
+// allocation-free where String would allocate every call.
+type KeyWriter struct{ buf []byte }
+
+// WriteByte implements exprWriter.
+func (w *KeyWriter) WriteByte(c byte) error {
+	w.buf = append(w.buf, c)
+	return nil
+}
+
+// WriteString implements exprWriter.
+func (w *KeyWriter) WriteString(s string) (int, error) {
+	w.buf = append(w.buf, s...)
+	return len(s), nil
+}
+
+// Key returns n's canonical form in w's buffer; the slice is only
+// valid until the next Key call.
+func (w *KeyWriter) Key(n Node) []byte {
+	w.buf = w.buf[:0]
+	n.writeTo(w, precAlt)
+	return w.buf
 }
 
 // InverseOf returns Ê, matching exactly the reverses of the paths matched

@@ -34,7 +34,7 @@ func (n NegSet) MatchesSym(s Sym) bool {
 	return s.Inverse == n.Inverse && !n.Excludes(s.Name)
 }
 
-func (n NegSet) writeTo(sb *strings.Builder, prec int) {
+func (n NegSet) writeTo(sb exprWriter, prec int) {
 	sb.WriteByte('!')
 	if len(n.Names) == 1 {
 		if n.Inverse {
@@ -56,7 +56,7 @@ func (n NegSet) writeTo(sb *strings.Builder, prec int) {
 	sb.WriteByte(')')
 }
 
-func writeName(sb *strings.Builder, name string) {
+func writeName(sb exprWriter, name string) {
 	if identLike(name) {
 		sb.WriteString(name)
 	} else {

@@ -49,13 +49,15 @@ func (c *canonCache[T]) Compile(src string) (string, T, error) {
 		e := v.(canonEntry[T])
 		return e.canon, e.val, nil
 	}
-	c.misses++
 	c.mu.Unlock()
 
 	// Parse outside the lock; a racing request for the same source
 	// parses redundantly but harmlessly.
 	canon, val, err := c.parse(src)
 	if err != nil {
+		c.mu.Lock()
+		c.misses++
+		c.mu.Unlock()
 		var zero T
 		return "", zero, err
 	}
@@ -64,11 +66,17 @@ func (c *canonCache[T]) Compile(src string) (string, T, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	// If the canonical form is already cached, adopt its value so
-	// syntactic variants share one parsed representation.
+	// syntactic variants share one parsed representation. Adoption is a
+	// hit: the compiled value was already resident, only the raw
+	// spelling was new. (Hotness consumers key off hits, so counting
+	// adoptions as misses would undercount genuinely hot expressions
+	// reached through syntactic variants or racing first requests.)
 	if v, ok := c.lru.Get(e.canon); ok {
 		e = v.(canonEntry[T])
+		c.hits++
 	} else {
 		c.lru.Add(e.canon, e, exprCost)
+		c.misses++
 	}
 	if src != e.canon {
 		c.lru.Add(src, e, exprCost)

@@ -1,0 +1,171 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ringrpq/internal/pathexpr"
+)
+
+// groupFake wraps fake with a GroupBackend implementation that records
+// batch sizes and evaluates members sequentially on the inner fake.
+type groupFake struct {
+	f      *fake
+	shared *groupShared
+}
+
+type groupShared struct {
+	mu      sync.Mutex
+	batches []int
+}
+
+func (g *groupFake) Clone() Backend {
+	return &groupFake{f: g.f.Clone().(*fake), shared: g.shared}
+}
+
+func (g *groupFake) Eval(subject string, expr pathexpr.Node, object string, limit int, timeout time.Duration, emit func(Solution) bool) error {
+	return g.f.Eval(subject, expr, object, limit, timeout, emit)
+}
+
+func (g *groupFake) EvalGroup(reqs []GroupRequest) []error {
+	g.shared.mu.Lock()
+	g.shared.batches = append(g.shared.batches, len(reqs))
+	g.shared.mu.Unlock()
+	errs := make([]error, len(reqs))
+	for i, r := range reqs {
+		errs[i] = g.f.Eval(r.Subject, r.Expr, r.Object, r.Limit, r.Timeout, r.Emit)
+	}
+	return errs
+}
+
+// With GroupTraversals on and jobs backed up behind a busy worker, the
+// queued 2RPQ jobs must be drained into one EvalGroup call and every
+// client must still get its own correct result.
+func TestServiceGroupsQueuedJobs(t *testing.T) {
+	gate := make(chan struct{})
+	inner := newFake(3)
+	inner.shared.gate = gate
+	gf := &groupFake{f: inner, shared: &groupShared{}}
+	s := newTestService(t, gf, Config{
+		Workers: 1, QueueDepth: 16,
+		GroupTraversals:    true,
+		ResultCacheEntries: -1,
+	})
+
+	var wg sync.WaitGroup
+	results := make([]Result, 5)
+	// First job occupies the lone worker (blocked on the gate)...
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results[0] = s.Count(context.Background(), Request{Subject: "s0", Expr: "p", Object: "?o"})
+	}()
+	waitUntil(t, func() bool { return s.Stats().Inflight == 1 })
+	// ...while four more back up in the queue.
+	for i := 1; i < 5; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = s.Count(context.Background(), Request{
+				Subject: fmt.Sprintf("s%d", i), Expr: "p", Object: "?o",
+			})
+		}()
+	}
+	waitUntil(t, func() bool { return s.Stats().QueueLen == 4 })
+	close(gate)
+	wg.Wait()
+
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("job %d: %v", i, res.Err)
+		}
+		if res.N != 3 {
+			t.Fatalf("job %d: count=%d, want 3", i, res.N)
+		}
+	}
+	st := s.Stats()
+	if st.Grouped != 4 {
+		t.Fatalf("Stats.Grouped=%d, want 4 (batches: %v)", st.Grouped, gf.shared.batches)
+	}
+	gf.shared.mu.Lock()
+	defer gf.shared.mu.Unlock()
+	if len(gf.shared.batches) != 1 || gf.shared.batches[0] != 4 {
+		t.Fatalf("EvalGroup batches = %v, want [4]", gf.shared.batches)
+	}
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Identical queued jobs must coalesce onto one evaluation: the grouping
+// worker runs the query once and fans its Result out to every waiter.
+func TestServiceGroupDedupsIdenticalJobs(t *testing.T) {
+	gate := make(chan struct{})
+	inner := newFake(3)
+	inner.shared.gate = gate
+	gf := &groupFake{f: inner, shared: &groupShared{}}
+	s := newTestService(t, gf, Config{
+		Workers: 1, QueueDepth: 16,
+		GroupTraversals:    true,
+		ResultCacheEntries: -1,
+	})
+
+	var wg sync.WaitGroup
+	results := make([]Result, 6)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results[0] = s.Count(context.Background(), Request{Subject: "s0", Expr: "p", Object: "?o"})
+	}()
+	waitUntil(t, func() bool { return s.Stats().Inflight == 1 })
+	// Four identical jobs and one distinct job back up behind the gate.
+	for i := 1; i < 6; i++ {
+		i := i
+		subject := "dup"
+		if i == 5 {
+			subject = "other"
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = s.Count(context.Background(), Request{Subject: subject, Expr: "p", Object: "?o"})
+		}()
+	}
+	waitUntil(t, func() bool { return s.Stats().QueueLen == 5 })
+	close(gate)
+	wg.Wait()
+
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("job %d: %v", i, res.Err)
+		}
+		if res.N != 3 {
+			t.Fatalf("job %d: count=%d, want 3", i, res.N)
+		}
+	}
+	st := s.Stats()
+	if st.Deduped != 3 {
+		t.Fatalf("Stats.Deduped=%d, want 3", st.Deduped)
+	}
+	if st.Grouped != 5 {
+		t.Fatalf("Stats.Grouped=%d, want 5", st.Grouped)
+	}
+	gf.shared.mu.Lock()
+	defer gf.shared.mu.Unlock()
+	// The drained batch held 5 jobs but only 2 distinct evaluations.
+	if len(gf.shared.batches) != 1 || gf.shared.batches[0] != 2 {
+		t.Fatalf("EvalGroup batches = %v, want [2]", gf.shared.batches)
+	}
+}

@@ -86,19 +86,33 @@ func TestExprCacheSharing(t *testing.T) {
 	if aNode != bNode {
 		t.Fatal("syntactic variants should share one AST")
 	}
+	// Adopting the canonical entry for a new spelling IS a cache hit —
+	// the parse was cheap, the shared AST (and everything downstream
+	// keyed to it) was reused.
 	hits, misses := c.Counters()
-	if hits != 0 || misses != 2 {
-		t.Fatalf("hits=%d misses=%d", hits, misses)
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1 (canonical adoption counts as a hit)", hits, misses)
 	}
 	// The raw text is now a key too.
 	if _, _, err := c.Compile("a/b*"); err != nil {
 		t.Fatal(err)
 	}
-	if hits, _ := c.Counters(); hits != 1 {
-		t.Fatalf("hits=%d, want 1", hits)
+	if hits, _ := c.Counters(); hits != 2 {
+		t.Fatalf("hits=%d, want 2", hits)
 	}
+	// A third spelling of the same expression: hit again, still one miss.
+	if _, _, err := c.Compile("((a))/((b)*)"); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := c.Counters(); hits != 3 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 3/1", hits, misses)
+	}
+	// Parse failures count as misses.
 	if _, _, err := c.Compile("(("); err == nil {
 		t.Fatal("want parse error")
+	}
+	if _, misses := c.Counters(); misses != 2 {
+		t.Fatalf("misses=%d, want 2", misses)
 	}
 }
 

@@ -125,6 +125,14 @@ type Config struct {
 	// ResultCacheBytes bounds the result cache by approximate bytes.
 	// Default 64 MiB; negative disables.
 	ResultCacheBytes int64
+	// GroupTraversals lets workers batch queued 2RPQ jobs into shared
+	// traversals when the backend implements GroupBackend (see
+	// group.go). Off by default.
+	GroupTraversals bool
+	// GroupMax caps the jobs one shared traversal serves (the state
+	// masks of up to GroupMax queries ride one wavelet descent).
+	// Default 8.
+	GroupMax int
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +150,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ResultCacheBytes == 0 {
 		c.ResultCacheBytes = 64 << 20
+	}
+	if c.GroupMax <= 0 {
+		c.GroupMax = 8
 	}
 	return c
 }
@@ -206,6 +217,14 @@ type Stats struct {
 	// Completed counts requests that finished evaluation (hits are not
 	// evaluated and counted under Hits instead).
 	Completed int64
+	// Grouped counts requests evaluated through shared traversals
+	// (groups of ≥2; solo evaluations are not counted).
+	Grouped int64
+	// Deduped counts requests that shared another identical in-flight
+	// request's evaluation instead of running their own (the grouping
+	// worker coalesces identical queued jobs; each coalesced set runs
+	// once, and Deduped counts the set members beyond the first).
+	Deduped int64
 	// Hits and Misses count result-cache outcomes of cacheable
 	// requests.
 	Hits, Misses int64
@@ -271,6 +290,8 @@ type Service struct {
 	batches   atomic.Int64
 	inflight  atomic.Int64
 	completed atomic.Int64
+	grouped   atomic.Int64
+	deduped   atomic.Int64
 	hits      atomic.Int64
 	misses    atomic.Int64
 	timeouts  atomic.Int64
@@ -285,6 +306,7 @@ type job struct {
 	node    pathexpr.Node // 2RPQ requests
 	pattern *query.Query  // pattern requests
 	key     string        // result-cache key; "" = uncacheable
+	canon   string        // canonicalised expression (dedup identity)
 	version uint64        // data version observed at submission
 	// deadline is the request's evaluation deadline, anchored at
 	// submission: queue wait counts against the budget, so a request
@@ -456,7 +478,7 @@ func (s *Service) submit(ctx context.Context, req Request, stream func(Solution)
 		}
 	}
 
-	j := &job{ctx: ctx, req: req, node: node, pattern: pat, key: key, version: version, stream: stream, done: make(chan Result, 1)}
+	j := &job{ctx: ctx, req: req, node: node, pattern: pat, key: key, canon: canon, version: version, stream: stream, done: make(chan Result, 1)}
 	// Anchor the evaluation deadline now: time spent queued counts
 	// against the request's budget (the context-deadline clamp is kept).
 	t := req.Timeout
@@ -515,8 +537,23 @@ func cacheKey(req Request, canon string) string {
 }
 
 // worker owns one Backend clone and drains the queue until Close.
+// With GroupTraversals on and a grouping-capable backend, each pickup
+// drains the compatible jobs already queued behind it into one shared
+// traversal (group.go).
 func (s *Service) worker(b Backend) {
 	defer s.wg.Done()
+	gb, grouping := b.(GroupBackend)
+	if grouping && s.cfg.GroupTraversals {
+		for j := range s.queue {
+			batch := s.drainBatch(j)
+			if len(batch) == 1 {
+				j.done <- s.run(b, j)
+				continue
+			}
+			s.runGrouped(gb, b, batch)
+		}
+		return
+	}
 	for j := range s.queue {
 		j.done <- s.run(b, j)
 	}
@@ -728,6 +765,8 @@ func (s *Service) Stats() Stats {
 		Batches:         s.batches.Load(),
 		Inflight:        s.inflight.Load(),
 		Completed:       s.completed.Load(),
+		Grouped:         s.grouped.Load(),
+		Deduped:         s.deduped.Load(),
 		Hits:            s.hits.Load(),
 		Misses:          s.misses.Load(),
 		Timeouts:        s.timeouts.Load(),

@@ -432,18 +432,31 @@ func (h *handler) pollSubscription(w http.ResponseWriter, r *http.Request, sub *
 // Quiet periods are bridged with comment heartbeats so dead
 // connections are detected.
 func (h *handler) sseSubscription(w http.ResponseWriter, r *http.Request, sub *standing.Sub, cursor uint64) {
-	fl, ok := w.(http.Flusher)
-	if !ok {
+	if _, ok := w.(http.Flusher); !ok {
 		sub.Detach()
 		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
 		return
 	}
+	rc := http.NewResponseController(w)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
+	// send writes one SSE frame and flushes it, reporting failure: an
+	// aborted client surfaces as a write (or flush) error long before
+	// the request context fires, and a heartbeat-quiet stream with a
+	// dead peer would otherwise buffer events forever. Callers must
+	// stop streaming on failure.
+	send := func(format string, args ...any) bool {
+		if _, err := fmt.Fprintf(w, format, args...); err != nil {
+			return false
+		}
+		return rc.Flush() == nil
+	}
 	ready, _ := json.Marshal(SubscribeResultJSON{ID: sub.ID(), Version: cursor, Vars: sub.Vars()})
-	fmt.Fprintf(w, "event: ready\ndata: %s\n\n", ready)
-	fl.Flush()
+	if !send("event: ready\ndata: %s\n\n", ready) {
+		sub.Detach()
+		return
+	}
 	for {
 		hb, cancel := context.WithTimeout(r.Context(), sseHeartbeat)
 		d, err := sub.Next(hb)
@@ -451,26 +464,30 @@ func (h *handler) sseSubscription(w http.ResponseWriter, r *http.Request, sub *s
 		switch {
 		case err == nil:
 			data, _ := json.Marshal(toDeltaJSON(d))
-			fmt.Fprintf(w, "id: %d\nevent: delta\ndata: %s\n\n", d.Version, data)
-			fl.Flush()
+			if !send("id: %d\nevent: delta\ndata: %s\n\n", d.Version, data) {
+				// Broken pipe: tear down promptly, resumable via id/from.
+				sub.Detach()
+				return
+			}
 		case r.Context().Err() != nil:
 			// Client gone: keep the subscription resumable.
 			sub.Detach()
 			return
 		case errors.Is(err, context.DeadlineExceeded):
-			fmt.Fprint(w, ": keep-alive\n\n")
-			fl.Flush()
+			if !send(": keep-alive\n\n") {
+				sub.Detach()
+				return
+			}
 		case errors.Is(err, standing.ErrLagged):
 			// The client should reconnect with from=<last event id> to
-			// replay the dropped deltas from history.
-			fmt.Fprint(w, "event: lagged\ndata: {\"resume\":true}\n\n")
-			fl.Flush()
+			// replay the dropped deltas from history. Best-effort write:
+			// the subscription detaches either way.
+			send("event: lagged\ndata: {\"resume\":true}\n\n")
 			sub.Detach()
 			return
 		default:
 			msg, _ := json.Marshal(SubscribeResultJSON{ID: sub.ID(), Closed: true, Error: err.Error()})
-			fmt.Fprintf(w, "event: closed\ndata: %s\n\n", msg)
-			fl.Flush()
+			send("event: closed\ndata: %s\n\n", msg)
 			h.s.untrack(sub.ID())
 			return
 		}

@@ -249,8 +249,9 @@ func (m *Matrix) TraverseMany(items []RangeMask, visit VisitMany) {
 	if len(live) == 0 {
 		return
 	}
-	arena := make([]RangeMask, 0, 2*len(live)+16)
-	m.traverseMany(0, 0, live, &arena, visit)
+	arena := getArena(2*len(live) + 16)
+	m.traverseMany(0, 0, live, arena, visit)
+	putArena(arena)
 }
 
 func (m *Matrix) traverseMany(level int, prefix uint32, items []RangeMask, arena *[]RangeMask, visit VisitMany) {

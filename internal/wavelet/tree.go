@@ -254,8 +254,9 @@ func (t *Tree) TraverseMany(items []RangeMask, visit VisitMany) {
 	if len(live) == 0 {
 		return
 	}
-	arena := make([]RangeMask, 0, 2*len(live)+16)
-	t.traverseMany(1, 0, t.sigma, live, &arena, visit)
+	arena := getArena(2*len(live) + 16)
+	t.traverseMany(1, 0, t.sigma, live, arena, visit)
+	putArena(arena)
 }
 
 func (t *Tree) traverseMany(id int, lo, hi uint32, items []RangeMask, arena *[]RangeMask, visit VisitMany) {

@@ -16,7 +16,11 @@
 // matrices, and the ablation benchmarks compare the two.
 package wavelet
 
-import "ringrpq/internal/bitvec"
+import (
+	"sync"
+
+	"ringrpq/internal/bitvec"
+)
 
 // NodeID identifies a wavelet-tree node in heap order: the root is 1 and
 // the children of v are 2v and 2v+1. Leaf ids can be obtained via LeafID.
@@ -47,10 +51,15 @@ type IntersectFunc func(c uint32, b1, e1, b2, e2 int)
 
 // RangeMask is one item of a multi-range traversal: the half-open
 // position range [B, E) carrying a caller-defined 64-bit mask (the RPQ
-// engine stores active-state sets in it).
+// engine stores active-state sets in it) and an opaque Tag. The Tag
+// rides along unchanged and keeps items from coalescing across tags —
+// the cross-query traversal grouping stores the owning query's index in
+// it so one descent can serve many queries' frontiers. Single-query
+// traversals leave it zero and behave exactly as before.
 type RangeMask struct {
 	B, E int
 	Mask uint64
+	Tag  uint32
 }
 
 // VisitMany is the callback of TraverseMany. At an internal node it
@@ -70,12 +79,34 @@ func pushRangeMask(arena *[]RangeMask, floor int, it RangeMask) {
 		return
 	}
 	a := *arena
-	if n := len(a); n > floor && a[n-1].E == it.B && a[n-1].Mask == it.Mask {
+	if n := len(a); n > floor && a[n-1].E == it.B && a[n-1].Mask == it.Mask && a[n-1].Tag == it.Tag {
 		a[n-1].E = it.E
 		return
 	}
 	*arena = append(a, it)
 }
+
+// arenaPool recycles the left-child scratch arenas of TraverseMany
+// descents. A batched BFS issues one multi-range descent per frontier
+// level, and the per-call arena dominated its allocation profile; the
+// pool cannot live on Matrix/Tree because those are immutable and
+// shared across goroutines.
+var arenaPool = sync.Pool{New: func() any {
+	a := make([]RangeMask, 0, 64)
+	return &a
+}}
+
+// getArena returns an empty arena with capacity for at least n items.
+func getArena(n int) *[]RangeMask {
+	ap := arenaPool.Get().(*[]RangeMask)
+	if cap(*ap) < n {
+		*ap = make([]RangeMask, 0, n)
+	}
+	*ap = (*ap)[:0]
+	return ap
+}
+
+func putArena(ap *[]RangeMask) { arenaPool.Put(ap) }
 
 // clampRangeMasks clamps every item to [0, n) and merges adjacent
 // same-mask items in place, returning the normalised prefix (the shared
@@ -114,16 +145,16 @@ func splitRangeMasks(bv *bitvec.Vector, z int, items []RangeMask, arena *[]Range
 		}
 		le := bv.Rank0(it.E)
 		prevPos, prevRank = it.E, le
-		pushRangeMask(arena, base, RangeMask{B: lb, E: le, Mask: it.Mask})
+		pushRangeMask(arena, base, RangeMask{B: lb, E: le, Mask: it.Mask, Tag: it.Tag})
 		rb, re := z+(it.B-lb), z+(it.E-le)
 		if rb >= re {
 			continue
 		}
-		if w > 0 && items[w-1].E == rb && items[w-1].Mask == it.Mask {
+		if w > 0 && items[w-1].E == rb && items[w-1].Mask == it.Mask && items[w-1].Tag == it.Tag {
 			items[w-1].E = re
 			continue
 		}
-		items[w] = RangeMask{B: rb, E: re, Mask: it.Mask}
+		items[w] = RangeMask{B: rb, E: re, Mask: it.Mask, Tag: it.Tag}
 		w++
 	}
 	return items[:w]

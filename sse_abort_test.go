@@ -1,0 +1,86 @@
+package ringrpq
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// abortingWriter simulates a client that vanishes mid-stream without
+// firing the request context (a dead NAT peer, a buffering proxy whose
+// downstream hung up): the first failAfter frames succeed, then every
+// write — or, with failFlush, every flush — errors like a broken pipe.
+type abortingWriter struct {
+	mu        sync.Mutex
+	header    http.Header
+	writes    int
+	failAfter int
+	failFlush bool
+}
+
+func (w *abortingWriter) Header() http.Header { return w.header }
+func (w *abortingWriter) WriteHeader(int)     {}
+
+func (w *abortingWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.writes++
+	if !w.failFlush && w.writes > w.failAfter {
+		return 0, errors.New("write: broken pipe")
+	}
+	return len(p), nil
+}
+
+func (w *abortingWriter) Flush() {}
+
+func (w *abortingWriter) FlushError() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failFlush && w.writes > w.failAfter {
+		return errors.New("flush: broken pipe")
+	}
+	return nil
+}
+
+// An SSE subscriber whose connection dies without cancelling the
+// request context must be torn down promptly via the write (or flush)
+// error — not left looping on silently-failing heartbeats — and the
+// subscription must stay resumable.
+func TestSubscribeSSEAbortedClient(t *testing.T) {
+	for _, failFlush := range []bool{false, true} {
+		name := "write-error"
+		if failFlush {
+			name = "flush-error"
+		}
+		t.Run(name, func(t *testing.T) {
+			db := buildLineDB(t, 3)
+			svc := NewService(db, ServiceConfig{Workers: 2})
+			defer svc.Close()
+			h := svc.Handler(HandlerConfig{})
+
+			// Frame 1 (ready) succeeds; frame 2 (the snapshot baseline
+			// delta) hits the broken pipe.
+			w := &abortingWriter{header: http.Header{}, failAfter: 1, failFlush: failFlush}
+			req := httptest.NewRequest(http.MethodGet, "/subscribe?expr=p&snapshot=true", nil)
+			done := make(chan struct{})
+			go func() {
+				h.ServeHTTP(w, req)
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatal("SSE handler did not return after the client aborted")
+			}
+
+			// Detached, not destroyed: the client can resume via id/from.
+			st := svc.Stats()
+			if st.Standing.Active != 1 || st.Standing.Detached != 1 {
+				t.Fatalf("standing stats after abort: %+v", st.Standing)
+			}
+		})
+	}
+}
