@@ -3,11 +3,11 @@
 GO ?= go
 FUZZTIME ?= 20s
 
-.PHONY: all ci build vet test race bench bench-short bench-json fuzz clean
+.PHONY: all ci build vet test race crash bench bench-short bench-json fuzz clean
 
 all: ci
 
-ci: build vet test bench-short
+ci: build vet test crash bench-short
 
 build:
 	$(GO) build ./...
@@ -26,8 +26,16 @@ test:
 # the root-package stress tests (including the subscription
 # close-under-update stress and the standing differential harness).
 race:
-	$(GO) test -race ./internal/service/ ./internal/core/ ./internal/ltj/ ./internal/query/ ./internal/overlay/ ./internal/standing/ .
-	$(GO) test -race -run 'Stress|Clone|Sharded|Update|Subscribe|Standing|Group|Compiled' .
+	$(GO) test -race ./internal/service/ ./internal/core/ ./internal/ltj/ ./internal/query/ ./internal/overlay/ ./internal/standing/ ./internal/wal/ .
+	$(GO) test -race -run 'Stress|Clone|Sharded|Update|Subscribe|Standing|Group|Compiled|Durable|Panic|WAL' .
+
+# Crash-recovery property pass: the fault-injection harness kills the
+# process (write-budget exhaustion + random crash-point tears of every
+# unsynced tail) at 100+ points across the update/compaction workload
+# and verifies zero acked-update loss and oracle equality, plus the
+# torn-tail, compaction-stage and kill+reboot end-to-end tests.
+crash:
+	$(GO) test -count=1 -run 'Durable|WAL' ./internal/wal/ .
 
 # Short bounded fuzz runs over the expression parser, the graph-pattern
 # parser and the database loader (go native fuzzing; one target per
@@ -39,6 +47,7 @@ fuzz:
 	$(GO) test -run NONE -fuzz FuzzDecodeNDJSONUpdates -fuzztime $(FUZZTIME) ./internal/service
 	$(GO) test -run NONE -fuzz FuzzDecodeSubscribeRequest -fuzztime $(FUZZTIME) ./internal/service
 	$(GO) test -run NONE -fuzz FuzzLoadDB -fuzztime $(FUZZTIME) .
+	$(GO) test -run NONE -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) ./internal/wal
 
 # Service throughput scaling and cache-hit benchmarks.
 bench:

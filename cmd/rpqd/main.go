@@ -10,12 +10,21 @@
 //	     [-result-cache N] [-result-cache-bytes N]
 //	     [-sub-queue N] [-sub-history N]
 //	rpqd -index graph.ring ...
+//	rpqd -wal-dir ./state [-data graph.nt] [-fsync always|interval|never]
 //
 // With -shards K the index is partitioned into K sub-rings built in
 // parallel; queries whose expressions span shards are evaluated with
 // intra-query shard parallelism, composing with the worker pool. A
 // serialised index loaded with -index keeps whatever layout (rdb1
 // single ring or rdbs1 sharded) it was saved with.
+//
+// With -wal-dir every applied update is written to a write-ahead log
+// before it is acknowledged (under the default -fsync always, after an
+// fsync), compactions checkpoint the rebuilt index into the same
+// directory, and a restart — clean or after a crash — recovers the
+// exact acknowledged state, including standing-query subscriptions and
+// their resume cursors. -data/-index are only consulted when the
+// directory holds no state yet.
 //
 // Endpoints:
 //
@@ -98,25 +107,55 @@ func main() {
 		subHistory = flag.Int("sub-history", 0, "per-subscription delta history retained for resume (0 = default 256)")
 		group      = flag.Bool("group", false, "cross-query traversal grouping: workers drain queued 2RPQ jobs, dedup identical ones and share one wavelet descent per BFS level")
 		groupMax   = flag.Int("group-max", 0, "jobs one shared traversal serves at most (0 = default 8; with -group)")
+		walDir     = flag.String("wal-dir", "", "durability directory (write-ahead log + checkpoints): updates survive restarts and crashes; after the first run -data/-index are only needed if the directory is empty")
+		fsyncPol   = flag.String("fsync", "always", "WAL fsync policy: always (ack after fsync), interval, never (with -wal-dir)")
+		fsyncIvl   = flag.Duration("fsync-interval", 0, "fsync period for -fsync=interval (0 = default 100ms)")
 	)
 	flag.Parse()
-	if *data == "" && *index == "" {
-		fmt.Fprintln(os.Stderr, "rpqd: one of -data or -index is required")
+	if *data == "" && *index == "" && *walDir == "" {
+		fmt.Fprintln(os.Stderr, "rpqd: one of -data, -index or -wal-dir is required")
 		os.Exit(2)
 	}
 
-	db, err := loadDB(*data, *index, *shards)
+	standingCfg := ringrpq.StandingConfig{}
+	if *subQueue > 0 || *subHistory > 0 {
+		standingCfg = ringrpq.StandingConfig{
+			QueueDepth: *subQueue,
+			History:    *subHistory,
+		}
+	}
+
+	var db *ringrpq.DB
+	var err error
+	if *walDir != "" {
+		start := time.Now()
+		db, err = ringrpq.OpenDurable(ringrpq.WALConfig{
+			Dir:           *walDir,
+			Fsync:         *fsyncPol,
+			FsyncInterval: *fsyncIvl,
+			Standing:      standingCfg,
+		}, func() (*ringrpq.DB, error) {
+			if *data == "" && *index == "" {
+				return nil, errors.New("rpqd: empty -wal-dir needs -data or -index for the initial build")
+			}
+			return loadDB(*data, *index, *shards)
+		})
+		if err == nil {
+			ws := db.WALStats()
+			fmt.Fprintf(os.Stderr, "rpqd: durable on %s (fsync=%s): recovered %d record(s), truncated %d torn byte(s), checkpoint v%d, in %v\n",
+				*walDir, ws.FsyncPolicy, ws.Replayed, ws.TornBytes, ws.LastCheckpointVersion, time.Since(start))
+		}
+	} else {
+		db, err = loadDB(*data, *index, *shards)
+	}
 	if err != nil {
 		fatal(err)
 	}
 	if *compact != 0 {
 		db.SetCompactionThreshold(*compact)
 	}
-	if *subQueue > 0 || *subHistory > 0 {
-		db.SetStandingConfig(ringrpq.StandingConfig{
-			QueueDepth: *subQueue,
-			History:    *subHistory,
-		})
+	if *walDir == "" && standingCfg != (ringrpq.StandingConfig{}) {
+		db.SetStandingConfig(standingCfg)
 	}
 	fmt.Fprintf(os.Stderr, "rpqd: serving %s\n", db)
 
@@ -137,10 +176,22 @@ func main() {
 			DefaultLimit: *limit,
 			MaxBatch:     *maxBatch,
 			Info: func() any {
-				return map[string]any{"index": db.Stats(), "updates": db.UpdateStats()}
+				info := map[string]any{"index": db.Stats(), "updates": db.UpdateStats()}
+				if ws := db.WALStats(); ws.Enabled {
+					info["durability"] = ws
+				}
+				return info
 			},
 		}),
+		// Slowloris and stuck-client protection. The write timeout would
+		// kill long-lived SSE streams and long-poll rounds, so the
+		// /subscribe handlers extend their own deadlines per response
+		// (http.ResponseController); everything else answers in bounded
+		// time.
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
 	}
 
 	// Graceful shutdown: stop accepting connections, let in-flight
@@ -166,6 +217,11 @@ func main() {
 		}
 		if err := svc.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "rpqd: close: %v\n", err)
+		}
+		// Last: every acknowledged update is already fsynced (or tick-
+		// flushed); this flushes any unsynced tail and closes the log.
+		if err := db.CloseWAL(); err != nil {
+			fmt.Fprintf(os.Stderr, "rpqd: wal close: %v\n", err)
 		}
 	}
 }

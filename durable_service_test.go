@@ -1,0 +1,117 @@
+package ringrpq
+
+// End-to-end kill+reboot durability over the HTTP service: a poll
+// subscriber's resume cursor, acknowledged via /update responses under
+// fsync=always, must survive the server process dying without any
+// shutdown at all.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+type subPollJSON struct {
+	ID      uint64 `json:"id"`
+	Version uint64 `json:"version"`
+	Deltas  []struct {
+		Version uint64 `json:"version"`
+		Added   []struct {
+			Subject string `json:"subject"`
+			Object  string `json:"object"`
+		} `json:"added"`
+	} `json:"deltas"`
+	Closed bool   `json:"closed"`
+	Error  string `json:"error"`
+}
+
+func pollSubscribe(t *testing.T, url string) subPollJSON {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	var out subPollJSON
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	if out.Error != "" || out.Closed {
+		t.Fatalf("subscribe %s: %+v", url, out)
+	}
+	return out
+}
+
+func TestDurableServiceKillRebootResume(t *testing.T) {
+	dir := t.TempDir()
+	cfg := WALConfig{Dir: dir, Fsync: "always"}
+	db, err := OpenDurable(cfg, buildCrashSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetCompactionThreshold(-1)
+	svc := NewService(db, ServiceConfig{})
+	ts := httptest.NewServer(svc.Handler(HandlerConfig{}))
+
+	// Register a standing query; the first poll round returns its id and
+	// resume cursor.
+	sub := pollSubscribe(t, ts.URL+"/subscribe?expr=p0&mode=poll&wait=50ms")
+	cursor := sub.Version
+
+	// Two updates, acknowledged over HTTP: under fsync=always a 200
+	// means the batch is on disk.
+	for i := 0; i < 2; i++ {
+		body, _ := json.Marshal(map[string]any{
+			"add": []map[string]string{{"s": fmt.Sprintf("u%d", i), "p": "p0", "o": fmt.Sprintf("v%d", i)}},
+		})
+		resp, err := http.Post(ts.URL+"/update", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("update %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	// Kill: the server vanishes with no service drain and no WAL close.
+	ts.Close()
+
+	// Reboot on the same directory and resume from the pre-crash cursor.
+	db2, err := OpenDurable(cfg, buildCrashSeed)
+	if err != nil {
+		t.Fatalf("reboot: %v", err)
+	}
+	db2.SetCompactionThreshold(-1)
+	svc2 := NewService(db2, ServiceConfig{})
+	ts2 := httptest.NewServer(svc2.Handler(HandlerConfig{}))
+	defer func() {
+		ts2.Close()
+		svc2.Close()
+		db2.CloseWAL()
+		svc.Close()
+		db.CloseWAL() //nolint:errcheck // the "killed" log shares the dir
+	}()
+
+	got := pollSubscribe(t, fmt.Sprintf("%s/subscribe?id=%d&from=%d&mode=poll&wait=2s", ts2.URL, sub.ID, cursor))
+	if got.ID != sub.ID {
+		t.Fatalf("resumed id = %d, want %d", got.ID, sub.ID)
+	}
+	if len(got.Deltas) != 2 {
+		t.Fatalf("resumed deltas = %+v, want both pre-crash updates", got)
+	}
+	for i, d := range got.Deltas {
+		if d.Version != cursor+uint64(i)+1 || len(d.Added) != 1 || d.Added[0].Subject != fmt.Sprintf("u%d", i) {
+			t.Fatalf("delta %d = %+v", i, d)
+		}
+	}
+	if got.Version != cursor+2 {
+		t.Fatalf("resumed cursor = %d, want %d", got.Version, cursor+2)
+	}
+}

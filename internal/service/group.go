@@ -171,8 +171,12 @@ func (s *Service) runGrouped(gb GroupBackend, b Backend, batch []*job) {
 	} else {
 		s.grouped.Add(int64(1 + len(members[0].dups)))
 	}
-	errs := gb.EvalGroup(reqs)
-	s.inflight.Add(int64(-jobs))
+	errs := func() []error {
+		// Deferred so a panicking evaluation (recovered in
+		// runGroupedSafe) cannot leak the inflight count.
+		defer s.inflight.Add(int64(-jobs))
+		return gb.EvalGroup(reqs)
+	}()
 
 	for i, st := range members {
 		var err error

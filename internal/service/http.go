@@ -376,6 +376,8 @@ func failureStatus(err error) (int, bool) {
 	switch {
 	case err == nil, errors.Is(err, core.ErrTimeout):
 		return 0, false
+	case errors.Is(err, ErrInternal):
+		return http.StatusInternalServerError, true
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable, true
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):

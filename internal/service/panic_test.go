@@ -1,0 +1,172 @@
+package service
+
+// Worker panic isolation: a panicking evaluation must fail only its own
+// request (ErrInternal, HTTP 500), leave the pool serving, and be
+// visible in Stats.Panics.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ringrpq/internal/pathexpr"
+)
+
+// panicFake panics on subject "boom", blocks on the gate for subject
+// "block", and otherwise emits one solution.
+type panicFake struct {
+	shared  *fakeShared
+	entered chan struct{} // closed once a "block" evaluation has started
+}
+
+func (f *panicFake) Clone() Backend { return f }
+
+func (f *panicFake) Eval(subject string, expr pathexpr.Node, object string, limit int, timeout time.Duration, emit func(Solution) bool) error {
+	switch subject {
+	case "boom":
+		panic("kaboom: injected evaluation panic")
+	case "block":
+		select {
+		case <-f.entered:
+		default:
+			close(f.entered)
+		}
+		<-f.shared.gate
+	}
+	emit(Solution{Subject: subject, Object: "ok"})
+	return nil
+}
+
+func TestWorkerPanicIsolated(t *testing.T) {
+	f := &panicFake{shared: &fakeShared{}, entered: make(chan struct{})}
+	s := newTestService(t, f, Config{Workers: 1, ResultCacheEntries: -1})
+	ctx := context.Background()
+
+	res := s.Query(ctx, Request{Subject: "boom", Expr: "a", Object: "?y"})
+	if !errors.Is(res.Err, ErrInternal) {
+		t.Fatalf("panicking query err = %v, want ErrInternal", res.Err)
+	}
+	if !strings.Contains(res.Err.Error(), "kaboom") {
+		t.Fatalf("panic value lost from error: %v", res.Err)
+	}
+	if st := s.Stats(); st.Panics != 1 {
+		t.Fatalf("Panics = %d, want 1", st.Panics)
+	}
+
+	// The single worker must have survived (fresh clone) and keep
+	// serving.
+	res = s.Query(ctx, Request{Subject: "fine", Expr: "a", Object: "?y"})
+	if res.Err != nil || len(res.Solutions) != 1 {
+		t.Fatalf("query after panic = %+v", res)
+	}
+}
+
+// groupPanicFake routes everything through EvalGroup: a batch holding a
+// "boom" subject panics mid-drain, a "block" batch parks on the gate.
+type groupPanicFake struct {
+	panicFake
+}
+
+func (g *groupPanicFake) Clone() Backend { return g }
+
+func (g *groupPanicFake) EvalGroup(reqs []GroupRequest) []error {
+	for _, r := range reqs {
+		if r.Subject == "boom" {
+			panic("kaboom: injected group panic")
+		}
+	}
+	for _, r := range reqs {
+		if err := g.Eval(r.Subject, r.Expr, r.Object, r.Limit, r.Timeout, r.Emit); err != nil {
+			return make([]error, len(reqs))
+		}
+	}
+	return make([]error, len(reqs))
+}
+
+func TestGroupedPanicFailsWholeBatch(t *testing.T) {
+	f := &groupPanicFake{panicFake{
+		shared:  &fakeShared{gate: make(chan struct{})},
+		entered: make(chan struct{}),
+	}}
+	s := newTestService(t, f, Config{
+		Workers: 1, QueueDepth: 8,
+		GroupTraversals: true, ResultCacheEntries: -1,
+	})
+	ctx := context.Background()
+
+	// Park the lone worker so the next jobs pile up in the queue and
+	// drain as one batch.
+	blocked := make(chan Result, 1)
+	go func() { blocked <- s.Query(ctx, Request{Subject: "block", Expr: "a", Object: "?y"}) }()
+	<-f.entered
+
+	results := make(chan Result, 2)
+	go func() { results <- s.Query(ctx, Request{Subject: "boom", Expr: "a", Object: "?y"}) }()
+	go func() { results <- s.Query(ctx, Request{Subject: "boom2", Expr: "b", Object: "?y"}) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().QueueLen < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never filled: %+v", s.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(f.shared.gate)
+	if r := <-blocked; r.Err != nil {
+		t.Fatalf("blocked query err = %v", r.Err)
+	}
+	// Both queued jobs were drained into the panicking batch: each must
+	// fail with ErrInternal, none may hang.
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-results:
+			if !errors.Is(r.Err, ErrInternal) {
+				t.Fatalf("batched query err = %v, want ErrInternal", r.Err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("batched query never completed after group panic")
+		}
+	}
+	if st := s.Stats(); st.Panics != 1 {
+		t.Fatalf("Panics = %d, want 1", st.Panics)
+	}
+	// The worker is still alive.
+	if r := s.Query(ctx, Request{Subject: "fine", Expr: "a", Object: "?y"}); r.Err != nil {
+		t.Fatalf("query after group panic: %v", r.Err)
+	}
+}
+
+func TestPanicMapsToHTTP500(t *testing.T) {
+	f := &panicFake{shared: &fakeShared{}, entered: make(chan struct{})}
+	s := newTestService(t, f, Config{Workers: 1, ResultCacheEntries: -1})
+	h := NewHandler(s, HandlerConfig{})
+
+	body := `{"subject":"boom","expr":"a","object":"?y"}`
+	req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500 (body %s)", rec.Code, rec.Body)
+	}
+	var out struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || out.Error == "" {
+		t.Fatalf("error body = %q (%v)", rec.Body, err)
+	}
+
+	// And the service still answers.
+	req = httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(`{"subject":"fine","expr":"a","object":"?y"}`))
+	req.Header.Set("Content-Type", "application/json")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status after panic = %d (body %s)", rec.Code, rec.Body)
+	}
+}

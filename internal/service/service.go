@@ -204,6 +204,12 @@ type Result struct {
 // ErrClosed reports a submission to a Service after Close.
 var ErrClosed = errors.New("service: closed")
 
+// ErrInternal reports an evaluation that panicked on its worker. The
+// worker recovers — one bad query must not take down the pool — and
+// replaces its backend clone, whose private working state the panic
+// may have corrupted.
+var ErrInternal = errors.New("service: internal error")
+
 // Stats is a point-in-time snapshot of the service counters.
 type Stats struct {
 	// Workers and QueueCap echo the configuration; QueueLen is the
@@ -234,6 +240,10 @@ type Stats struct {
 	// expressions included); Rejected counts submissions whose context
 	// fired while the queue was full.
 	Timeouts, Cancelled, Errors, Rejected int64
+	// Panics counts evaluations that panicked on a worker (recovered;
+	// the request failed with ErrInternal and the worker re-cloned its
+	// backend).
+	Panics int64
 	// Updates counts applied update batches; QueueWaitNS accumulates
 	// the time evaluated requests spent queued — wait that counts
 	// against their deadlines, which are anchored at submission.
@@ -255,6 +265,33 @@ type Stats struct {
 	// Standing describes the standing-query subsystem (zero when the
 	// backend has no subscription support).
 	Standing StandingStats
+	// WAL describes the durability layer (Enabled false when the backend
+	// has no write-ahead log).
+	WAL WALStats
+}
+
+// WALStats mirrors the backend's durability counters for Stats (see
+// ringrpq.WALStats).
+type WALStats struct {
+	Enabled               bool
+	Dir                   string
+	FsyncPolicy           string
+	Appended              int64
+	AppendedBytes         int64
+	Fsyncs                int64
+	Replayed              int64
+	TornBytes             int64
+	Segments              int
+	SizeBytes             int64
+	Checkpoints           int64
+	CheckpointErrors      int64
+	LastCheckpointVersion uint64
+}
+
+// WALStatser is optionally implemented by backends with a write-ahead
+// log; must be safe for concurrent use.
+type WALStatser interface {
+	WALStats() WALStats
 }
 
 // Service is the concurrent query front-end over an immutable index.
@@ -298,6 +335,7 @@ type Service struct {
 	cancelled atomic.Int64
 	errs      atomic.Int64
 	rejected  atomic.Int64
+	panics    atomic.Int64
 }
 
 type job struct {
@@ -542,21 +580,65 @@ func cacheKey(req Request, canon string) string {
 // traversal (group.go).
 func (s *Service) worker(b Backend) {
 	defer s.wg.Done()
-	gb, grouping := b.(GroupBackend)
-	if grouping && s.cfg.GroupTraversals {
-		for j := range s.queue {
-			batch := s.drainBatch(j)
-			if len(batch) == 1 {
-				j.done <- s.run(b, j)
+	_, groupCapable := b.(GroupBackend)
+	grouping := groupCapable && s.cfg.GroupTraversals
+	for j := range s.queue {
+		if b == nil {
+			// The previous job panicked mid-evaluation; its clone's
+			// private working state is suspect, so start a fresh one.
+			b = s.src.Clone()
+		}
+		if grouping {
+			if batch := s.drainBatch(j); len(batch) > 1 {
+				if !s.runGroupedSafe(b.(GroupBackend), b, batch) {
+					b = nil
+				}
 				continue
 			}
-			s.runGrouped(gb, b, batch)
 		}
-		return
+		res, ok := s.runSafe(b, j)
+		if !ok {
+			b = nil
+		}
+		j.done <- res
 	}
-	for j := range s.queue {
-		j.done <- s.run(b, j)
-	}
+}
+
+// runSafe evaluates one job, converting a panic into an ErrInternal
+// result; ok is false when the worker's clone must be replaced.
+func (s *Service) runSafe(b Backend, j *job) (res Result, ok bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Add(1)
+			s.errs.Add(1)
+			res = Result{Err: fmt.Errorf("%w: %v", ErrInternal, p)}
+			ok = false
+		}
+	}()
+	return s.run(b, j), true
+}
+
+// runGroupedSafe is runGrouped behind a recover: on a panic every batch
+// member that has not been answered yet receives an ErrInternal result
+// (each done channel holds one buffered Result at most, so a member
+// answered before the panic is skipped by the non-blocking send).
+func (s *Service) runGroupedSafe(gb GroupBackend, b Backend, batch []*job) (ok bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Add(1)
+			res := Result{Err: fmt.Errorf("%w: %v", ErrInternal, p)}
+			for _, j := range batch {
+				select {
+				case j.done <- res:
+					s.errs.Add(1)
+				default:
+				}
+			}
+			ok = false
+		}
+	}()
+	s.runGrouped(gb, b, batch)
+	return true
 }
 
 // run evaluates one job on worker backend b.
@@ -773,6 +855,7 @@ func (s *Service) Stats() Stats {
 		Cancelled:       s.cancelled.Load(),
 		Errors:          s.errs.Load(),
 		Rejected:        s.rejected.Load(),
+		Panics:          s.panics.Load(),
 		Updates:         s.updates.Load(),
 		QueueWaitNS:     s.queueWait.Load(),
 		ExprHits:        exprHits,
@@ -785,7 +868,17 @@ func (s *Service) Stats() Stats {
 		ResultBytes:     rBytes,
 		ResultEvictions: rEvict,
 		Standing:        s.standingStats(),
+		WAL:             s.walStats(),
 	}
+}
+
+// walStats reads the backend's durability counters (zero when it has no
+// write-ahead log).
+func (s *Service) walStats() WALStats {
+	if ws, ok := s.src.(WALStatser); ok {
+		return ws.WALStats()
+	}
+	return WALStats{}
 }
 
 // String renders a brief stats summary.

@@ -392,6 +392,10 @@ func (h *handler) unsubscribe(w http.ResponseWriter, r *http.Request) {
 // bound for a delta, drain whatever else is ready, detach (the
 // subscription keeps accumulating for the next poll) and respond.
 func (h *handler) pollSubscription(w http.ResponseWriter, r *http.Request, sub *standing.Sub, cursor uint64, wait time.Duration) {
+	// A poll round may legitimately outwait the server's WriteTimeout;
+	// push the write deadline past this round's bound (best-effort —
+	// recorders and servers without deadline support just decline).
+	http.NewResponseController(w).SetWriteDeadline(time.Now().Add(wait + 30*time.Second)) //nolint:errcheck
 	out := SubscribeResultJSON{ID: sub.ID(), Version: cursor, Vars: sub.Vars()}
 	ctx, cancel := context.WithTimeout(r.Context(), wait)
 	d, err := sub.Next(ctx)
@@ -438,6 +442,9 @@ func (h *handler) sseSubscription(w http.ResponseWriter, r *http.Request, sub *s
 		return
 	}
 	rc := http.NewResponseController(w)
+	// The stream deliberately outlives any server-wide WriteTimeout;
+	// dead peers are detected per frame by send below instead.
+	rc.SetWriteDeadline(time.Time{}) //nolint:errcheck
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)

@@ -34,6 +34,7 @@ type (
 func (r *Registry) compile(req Request) (*Sub, error) {
 	s := &Sub{
 		reg:          r,
+		req:          req,
 		wantSnapshot: req.Snapshot,
 		depth:        req.QueueDepth,
 		wake:         make(chan struct{}, 1),

@@ -36,6 +36,7 @@ package standing
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -210,6 +211,9 @@ type Stats struct {
 	Deltas, Overflows int64
 	// EvalNS accumulates worker evaluation time.
 	EvalNS int64
+	// Panics counts recovered worker panics (each terminates the
+	// subscription it was evaluating; the worker keeps serving).
+	Panics int64
 }
 
 // notice is one queue entry: a batch to diff or a subscription to
@@ -219,11 +223,27 @@ type notice struct {
 	sub   *Sub
 }
 
+// SubRecord is one durable subscription registration — the original
+// request plus its assigned id — as a write-ahead log or checkpoint
+// records it.
+type SubRecord struct {
+	ID  uint64
+	Req Request
+}
+
 // Registry owns the subscriptions of one database and the worker that
 // maintains them. All methods are safe for concurrent use.
 type Registry struct {
 	host Host
 	cfg  Config
+
+	// OnEvict, when set, is called (outside registry locks) with the id
+	// of every subscription the registry drops on its own — TTL-expired
+	// detached subscriptions and subscriptions terminated by a failed or
+	// panicking evaluation — so a durability layer can record the
+	// eviction. Explicit Unsubscribe/Close are the caller's own actions
+	// and do not trigger it. Set it before the first Subscribe.
+	OnEvict func(id uint64)
 
 	mu         sync.Mutex
 	cond       *sync.Cond
@@ -242,6 +262,7 @@ type Registry struct {
 	deltas      atomic.Int64
 	overflows   atomic.Int64
 	evalNS      atomic.Int64
+	panics      atomic.Int64
 }
 
 // New builds a registry over host. The registry runs no goroutine
@@ -313,6 +334,75 @@ func (r *Registry) Subscribe(req Request) (*Sub, error) {
 		return nil, s.actErr
 	}
 	return s, nil
+}
+
+// SnapshotSubs lists the live subscriptions in id order as durable
+// records (Snapshot cleared: a recovered subscription must not replay
+// its baseline). Checkpoint writers call it.
+func (r *Registry) SnapshotSubs() []SubRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SubRecord, 0, len(r.subs))
+	for _, s := range r.subs {
+		rec := SubRecord{ID: s.id, Req: s.req}
+		rec.Req.Snapshot = false
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SubscribeRecovered re-registers a subscription under its original id
+// during crash recovery, leaving it detached (its consumer is gone; a
+// client resumes it by id). Registering an id the registry already
+// holds is a no-op, so a subscription present in both a checkpoint and
+// a surviving WAL record recovers once. It blocks until the
+// subscription has materialised against the current (recovered)
+// snapshot; batches replayed afterwards then rebuild its delta history,
+// which is what serves post-restart resumes.
+func (r *Registry) SubscribeRecovered(rec SubRecord) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	if _, ok := r.subs[rec.ID]; ok {
+		r.mu.Unlock()
+		return nil
+	}
+	r.mu.Unlock()
+	req := rec.Req
+	req.Snapshot = false
+	s, err := r.compile(req)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	if _, ok := r.subs[rec.ID]; ok {
+		r.mu.Unlock()
+		return nil
+	}
+	s.id = rec.ID
+	if rec.ID > r.nextID {
+		r.nextID = rec.ID
+	}
+	r.subs[s.id] = s
+	r.queue = append(r.queue, notice{sub: s})
+	r.ensureWorkerLocked()
+	r.cond.Broadcast()
+	r.mu.Unlock()
+
+	<-s.activated
+	if s.actErr != nil {
+		r.remove(s.id)
+		return s.actErr
+	}
+	s.Detach()
+	return nil
 }
 
 // Resume reattaches to subscription id, replaying every delta with a
@@ -440,6 +530,7 @@ func (r *Registry) Stats() Stats {
 	st.Deltas = r.deltas.Load()
 	st.Overflows = r.overflows.Load()
 	st.EvalNS = r.evalNS.Load()
+	st.Panics = r.panics.Load()
 	return st
 }
 
@@ -481,10 +572,20 @@ func (r *Registry) run() {
 	}
 }
 
-// process handles one notice outside the registry lock.
+// process handles one notice outside the registry lock. The recover is
+// a backstop for panics outside the per-subscription steps (which have
+// their own): the worker must survive any single notice.
 func (r *Registry) process(n notice) {
 	t0 := time.Now()
 	defer func() { r.evalNS.Add(time.Since(t0).Nanoseconds()) }()
+	defer func() {
+		if p := recover(); p != nil {
+			r.panics.Add(1)
+			if n.sub != nil {
+				n.sub.finishActivation(fmt.Errorf("standing: activation panicked: %v", p))
+			}
+		}
+	}()
 	if n.sub != nil {
 		r.activate(n.sub)
 		return
@@ -520,8 +621,17 @@ func (r *Registry) liveSubs() []*Sub {
 	return out
 }
 
-// activate materialises a new subscription's initial result.
+// activate materialises a new subscription's initial result. A panic
+// in the evaluation fails the Subscribe call instead of killing the
+// worker.
 func (r *Registry) activate(s *Sub) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.panics.Add(1)
+			r.remove(s.id)
+			s.finishActivation(fmt.Errorf("standing: activation panicked: %v", p))
+		}
+	}()
 	snap, ver := r.host.Acquire()
 	defer r.host.Release(snap)
 	if err := r.materialize(s, snap); err != nil {
@@ -548,10 +658,19 @@ func (r *Registry) activate(s *Sub) {
 	s.finishActivation(nil)
 }
 
-// processSub maintains one subscription across one batch; a failed
-// evaluation terminates the subscription (a silent skip would deliver
-// wrong deltas forever after).
+// processSub maintains one subscription across one batch; a failed or
+// panicking evaluation terminates the subscription (a silent skip
+// would deliver wrong deltas forever after), leaving the worker and
+// every other subscription serving.
 func (r *Registry) processSub(s *Sub, b *Batch) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.panics.Add(1)
+			r.remove(s.id)
+			s.terminate(fmt.Errorf("standing: subscription %d panicked at version %d: %v", s.id, b.Version, p))
+			r.evict(s.id)
+		}
+	}()
 	// A subscription whose activation notice is still queued behind
 	// this batch has no materialised state yet (cols/rows are nil);
 	// skip it — its activation snapshot, pinned later, already
@@ -576,6 +695,7 @@ func (r *Registry) processSub(s *Sub, b *Batch) {
 	if err != nil {
 		r.remove(s.id)
 		s.terminate(fmt.Errorf("standing: subscription %d failed at version %d: %w", s.id, b.Version, err))
+		r.evict(s.id)
 		return
 	}
 	if !d.Empty() {
@@ -617,5 +737,13 @@ func (r *Registry) pruneDetached() {
 	r.mu.Unlock()
 	for _, s := range expired {
 		s.terminate(ErrClosed)
+		r.evict(s.id)
+	}
+}
+
+// evict reports a registry-initiated drop to the durability hook.
+func (r *Registry) evict(id uint64) {
+	if fn := r.OnEvict; fn != nil {
+		fn(id)
 	}
 }

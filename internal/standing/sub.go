@@ -20,6 +20,10 @@ type Sub struct {
 	id  uint64
 	reg *Registry
 
+	// req is the original request, kept for durable re-registration
+	// (SnapshotSubs / SubscribeRecovered).
+	req Request
+
 	// Compiled query — immutable after compile().
 	isPattern bool
 	pat       *query.Query

@@ -1,0 +1,93 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS abstracts the filesystem the log (and the checkpoint writer above
+// it) goes through, so tests can substitute an in-memory implementation
+// with crash simulation (MemFS) or a fault-injecting wrapper (FaultFS).
+// The default is the real OS filesystem (OSFS).
+type FS interface {
+	// Create opens name for writing, truncating any existing file.
+	Create(name string) (File, error)
+	// Open opens name for reading.
+	Open(name string) (File, error)
+	Remove(name string) error
+	// Truncate cuts name down to size bytes (recovery drops torn tails
+	// in place so a later scan never re-reads them).
+	Truncate(name string, size int64) error
+	Rename(oldname, newname string) error
+	// ReadDir lists the base names of dir's entries, sorted.
+	ReadDir(dir string) ([]string, error)
+	Size(name string) (int64, error)
+	MkdirAll(dir string) error
+	// SyncDir fsyncs the directory so created/renamed/removed entries
+	// survive a crash.
+	SyncDir(dir string) error
+}
+
+// File is one open log file. Files opened with Create are written and
+// synced; files opened with Open are read. Write must return a non-nil
+// error whenever fewer than len(p) bytes were persisted.
+type File interface {
+	io.Writer
+	io.Reader
+	Sync() error
+	Close() error
+}
+
+// OSFS returns the real filesystem.
+func OSFS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) Size(name string) (int64, error) {
+	st, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

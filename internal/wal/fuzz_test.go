@@ -1,0 +1,86 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"testing"
+)
+
+// FuzzWALReplay feeds arbitrary bytes to the segment scanner and
+// replayer as a single segment file. Invariants: never panic, never
+// allocate from a corrupt length prefix beyond what the file holds,
+// and every record handed to Replay is CRC-intact with keys in
+// non-decreasing order.
+func FuzzWALReplay(f *testing.F) {
+	// Seed: a well-formed segment with three records, plus truncations
+	// and bit flips of it.
+	build := func() []byte {
+		var seg []byte
+		var hdr [headerSize]byte
+		copy(hdr[0:4], segMagic)
+		binary.LittleEndian.PutUint32(hdr[4:8], segFormat)
+		binary.LittleEndian.PutUint64(hdr[8:16], 1)
+		seg = append(seg, hdr[:]...)
+		for i := 1; i <= 3; i++ {
+			payload := []byte(fmt.Sprintf("payload-%d", i))
+			var fr [frameSize]byte
+			binary.LittleEndian.PutUint32(fr[0:4], uint32(len(payload)))
+			binary.LittleEndian.PutUint64(fr[8:16], uint64(i))
+			crc := checksum(fr[8:16], payload)
+			binary.LittleEndian.PutUint32(fr[4:8], crc)
+			seg = append(seg, fr[:]...)
+			seg = append(seg, payload...)
+		}
+		return seg
+	}
+	seg := build()
+	f.Add(seg)
+	for _, cut := range []int{0, 3, headerSize, headerSize + 7, len(seg) - 1, len(seg) - 9} {
+		if cut >= 0 && cut <= len(seg) {
+			f.Add(seg[:cut])
+		}
+	}
+	for _, pos := range []int{0, 5, headerSize, headerSize + 1, headerSize + 4, len(seg) - 2} {
+		flipped := append([]byte(nil), seg...)
+		flipped[pos] ^= 0x40
+		f.Add(flipped)
+	}
+	// A huge length prefix with a tiny file: must not over-allocate.
+	huge := append([]byte(nil), seg[:headerSize]...)
+	var fr [frameSize]byte
+	binary.LittleEndian.PutUint32(fr[0:4], 0xfffffff0)
+	huge = append(huge, fr[:]...)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fs := NewMemFS()
+		fs.WriteFile("wal/"+segName(0), data)
+		l, err := Open(Options{Dir: "wal", FS: fs, MaxRecord: 1 << 20})
+		if err != nil {
+			return
+		}
+		defer l.Close()
+		var last uint64
+		var n int64
+		err = l.Replay(func(key uint64, payload []byte) error {
+			if key < last {
+				t.Fatalf("keys decreased: %d after %d", key, last)
+			}
+			last = key
+			n++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Replay of scanned records failed: %v", err)
+		}
+		if st := l.Stats(); st.Replayed != n {
+			t.Fatalf("Stats.Replayed = %d, replayed %d", st.Replayed, n)
+		}
+	})
+}
+
+func checksum(key, payload []byte) uint32 {
+	crc := crc32.Checksum(key, castagnoli)
+	return crc32.Update(crc, castagnoli, payload)
+}

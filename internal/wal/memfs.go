@@ -1,0 +1,192 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemFS is an in-memory FS for crash-recovery tests. Every file tracks
+// a durable watermark — the length that was covered by the last Sync —
+// so Crash can simulate losing any suffix of the unsynced bytes.
+// Metadata operations (create, rename, remove) are modeled as
+// immediately durable; the byte-level tear is what the WAL's framing
+// has to survive.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memData
+}
+
+type memData struct {
+	data    []byte
+	durable int
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memData)}
+}
+
+// Crash returns a copy of the filesystem as a crash could leave it:
+// each file keeps its durable prefix plus a random (rng-chosen) prefix
+// of its unsynced suffix.
+func (m *MemFS) Crash(rng *rand.Rand) *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := NewMemFS()
+	for name, f := range m.files {
+		keep := f.durable
+		if extra := len(f.data) - f.durable; extra > 0 {
+			keep += rng.Intn(extra + 1)
+		}
+		out.files[name] = &memData{data: append([]byte(nil), f.data[:keep]...), durable: keep}
+	}
+	return out
+}
+
+// Bytes returns a copy of the file's current contents (for tests).
+func (m *MemFS) Bytes(name string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path.Clean(name)]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), f.data...), true
+}
+
+// WriteFile replaces the file's contents, fully durable (for seeding
+// corrupt inputs in tests).
+func (m *MemFS) WriteFile(name string, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[path.Clean(name)] = &memData{data: append([]byte(nil), data...), durable: len(data)}
+}
+
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := &memData{}
+	m.files[path.Clean(name)] = f
+	return &memFile{fs: m, d: f}, nil
+}
+
+func (m *MemFS) Open(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path.Clean(name)]
+	if !ok {
+		return nil, fmt.Errorf("open %s: %w", name, fs.ErrNotExist)
+	}
+	return &memFile{fs: m, d: f, reading: true}, nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = path.Clean(name)
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("remove %s: %w", name, fs.ErrNotExist)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path.Clean(name)]
+	if !ok {
+		return fmt.Errorf("truncate %s: %w", name, fs.ErrNotExist)
+	}
+	if size < int64(len(f.data)) {
+		f.data = f.data[:size]
+		if f.durable > int(size) {
+			f.durable = int(size)
+		}
+	}
+	return nil
+}
+
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oldname, newname = path.Clean(oldname), path.Clean(newname)
+	f, ok := m.files[oldname]
+	if !ok {
+		return fmt.Errorf("rename %s: %w", oldname, fs.ErrNotExist)
+	}
+	delete(m.files, oldname)
+	m.files[newname] = f
+	return nil
+}
+
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := path.Clean(dir) + "/"
+	var names []string
+	for name := range m.files {
+		if rest := strings.TrimPrefix(name, prefix); rest != name && !strings.Contains(rest, "/") {
+			names = append(names, rest)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) Size(name string) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path.Clean(name)]
+	if !ok {
+		return 0, fmt.Errorf("stat %s: %w", name, fs.ErrNotExist)
+	}
+	return int64(len(f.data)), nil
+}
+
+func (m *MemFS) MkdirAll(string) error { return nil }
+
+func (m *MemFS) SyncDir(string) error { return nil }
+
+type memFile struct {
+	fs      *MemFS
+	d       *memData
+	reading bool
+	off     int
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.reading {
+		return 0, fmt.Errorf("write on read-only file: %w", fs.ErrInvalid)
+	}
+	f.d.data = append(f.d.data, p...)
+	return len(p), nil
+}
+
+func (f *memFile) Read(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.off >= len(f.d.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.d.data[f.off:])
+	f.off += n
+	return n, nil
+}
+
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.d.durable = len(f.d.data)
+	return nil
+}
+
+func (f *memFile) Close() error { return nil }

@@ -1,0 +1,626 @@
+// Package wal implements a segmented append-only write-ahead log with
+// CRC32C-framed records, group commit under a configurable fsync
+// policy, and crash recovery that replays every intact record and
+// truncates a torn tail in place.
+//
+// A log is a directory of segment files named wal-<seq>.seg. Each
+// segment starts with a 16-byte header (magic "wseg", format version,
+// first record key) followed by frames:
+//
+//	u32 payload length | u32 crc32c(key ‖ payload) | u64 key | payload
+//
+// all little-endian. Keys are caller-supplied logical positions (the
+// database uses data versions); Append clamps them non-decreasing so a
+// segment's last key bounds everything in it and whole segments can be
+// dropped once a checkpoint covers their key range (TruncateBefore).
+//
+// Recovery never writes into an old segment: Open scans every segment,
+// truncates the first torn or corrupt frame and discards any later
+// segments (a tear in a non-final segment means everything after it is
+// from a lost write window), and the next Append starts a fresh
+// segment. Write and fsync errors wedge the log permanently — callers
+// see the first error on every subsequent Append/Sync and must treat
+// the stream as stopped.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	segMagic   = "wseg"
+	segFormat  = 1
+	headerSize = 16 // magic(4) + u32 format + u64 first key
+	frameSize  = 16 // u32 length + u32 crc + u64 key
+
+	defaultSegmentBytes = 16 << 20
+	defaultMaxRecord    = 16 << 20
+	defaultInterval     = 100 * time.Millisecond
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by Append and Sync after Close.
+var ErrClosed = errors.New("wal: log closed")
+
+// Policy selects when appended records reach stable storage.
+type Policy int
+
+const (
+	// SyncAlways fsyncs before Sync returns: an acknowledged record
+	// survives any crash.
+	SyncAlways Policy = iota
+	// SyncInterval fsyncs on a background ticker: a crash loses at most
+	// the last interval's records.
+	SyncInterval
+	// SyncNever leaves flushing to the OS: fastest, no durability bound.
+	SyncNever
+)
+
+// Options configures Open.
+type Options struct {
+	Dir          string
+	Policy       Policy
+	Interval     time.Duration // SyncInterval period (default 100ms)
+	SegmentBytes int64         // roll threshold (default 16 MiB)
+	MaxRecord    int           // per-record payload cap (default 16 MiB)
+	FS           FS            // default OSFS()
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Appended      int64 // records appended this process
+	AppendedBytes int64
+	Fsyncs        int64
+	Replayed      int64 // records recovered at Open
+	TornBytes     int64 // bytes truncated or discarded at Open
+	Segments      int
+	SizeBytes     int64
+}
+
+type segMeta struct {
+	name     string
+	firstKey uint64
+	lastKey  uint64
+	size     int64 // valid bytes (header + intact frames)
+	records  int64
+}
+
+// Log is a write-ahead log open on a directory. All methods are safe
+// for concurrent use.
+type Log struct {
+	opts Options
+	fs   FS
+
+	mu        sync.Mutex
+	segs      []*segMeta // oldest first; the last one is open iff cur != nil
+	cur       File
+	seq       uint64
+	lastKey   uint64
+	appendLSN uint64 // records appended this process
+	wedged    error
+	closed    bool
+
+	syncMu    sync.Mutex
+	syncCond  *sync.Cond
+	syncedLSN uint64
+	syncing   bool
+	syncErr   error
+
+	stop chan struct{}
+	done chan struct{}
+
+	appended      atomic.Int64
+	appendedBytes atomic.Int64
+	fsyncs        atomic.Int64
+	replayed      atomic.Int64
+	tornBytes     atomic.Int64
+}
+
+func segName(seq uint64) string { return fmt.Sprintf("wal-%016x.seg", seq) }
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg")
+	if len(hex) != 16 {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Open opens (creating if needed) the log in opts.Dir, validating every
+// existing segment and truncating torn tails. Recovered records are
+// readable through Replay until the first Append.
+func Open(opts Options) (*Log, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("wal: Options.Dir is required")
+	}
+	if opts.FS == nil {
+		opts.FS = OSFS()
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if opts.MaxRecord <= 0 {
+		opts.MaxRecord = defaultMaxRecord
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = defaultInterval
+	}
+	l := &Log{opts: opts, fs: opts.FS}
+	l.syncCond = sync.NewCond(&l.syncMu)
+	if err := l.fs.MkdirAll(opts.Dir); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := l.recover(); err != nil {
+		return nil, err
+	}
+	if opts.Policy == SyncInterval {
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.tick()
+	}
+	return l, nil
+}
+
+// recover scans the directory's segments in sequence order, keeping
+// every intact frame and cutting at the first torn one. A tear in a
+// non-final segment invalidates all later segments (rolling fsyncs the
+// old segment before the new one is created, so intact data never
+// follows a tear), and they are removed.
+func (l *Log) recover() error {
+	names, err := l.fs.ReadDir(l.opts.Dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	var segNames []string
+	var nextSeq uint64
+	for _, name := range names {
+		if seq, ok := parseSegName(name); ok {
+			segNames = append(segNames, name)
+			if seq+1 > nextSeq {
+				nextSeq = seq + 1
+			}
+		}
+	}
+	for i, name := range segNames {
+		meta, torn, err := l.scanSegment(name)
+		if err != nil {
+			return err
+		}
+		if meta != nil {
+			l.segs = append(l.segs, meta)
+			l.lastKey = meta.lastKey
+			l.replayed.Add(meta.records)
+		}
+		if torn {
+			for _, later := range segNames[i+1:] {
+				path := filepath.Join(l.opts.Dir, later)
+				if sz, err := l.fs.Size(path); err == nil {
+					l.tornBytes.Add(sz)
+				}
+				if err := l.fs.Remove(path); err != nil {
+					return fmt.Errorf("wal: removing segment after torn tail: %w", err)
+				}
+			}
+			break
+		}
+	}
+	l.seq = nextSeq
+	return nil
+}
+
+// scanSegment validates one segment. It returns the segment's metadata
+// (nil when the whole file is garbage and was removed), whether the
+// scan hit a torn tail, and any I/O error. Torn bytes are truncated
+// away in place so a later scan sees a clean segment.
+func (l *Log) scanSegment(name string) (*segMeta, bool, error) {
+	path := filepath.Join(l.opts.Dir, name)
+	size, err := l.fs.Size(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("wal: %w", err)
+	}
+	f, err := l.fs.Open(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+
+	var hdr [headerSize]byte
+	if size < headerSize || readFull(f, hdr[:]) != nil ||
+		string(hdr[0:4]) != segMagic ||
+		binary.LittleEndian.Uint32(hdr[4:8]) != segFormat {
+		// Torn segment creation: no intact header, so no intact records.
+		l.tornBytes.Add(size)
+		if err := l.fs.Remove(path); err != nil {
+			return nil, true, fmt.Errorf("wal: removing torn segment: %w", err)
+		}
+		return nil, true, nil
+	}
+	meta := &segMeta{
+		name:     name,
+		firstKey: binary.LittleEndian.Uint64(hdr[8:16]),
+		size:     headerSize,
+	}
+	meta.lastKey = meta.firstKey
+
+	var frame [frameSize]byte
+	payload := make([]byte, 0, 4096)
+	off := int64(headerSize)
+	torn := false
+	for {
+		if size-off < frameSize {
+			torn = size-off > 0
+			break
+		}
+		if err := readFull(f, frame[:]); err != nil {
+			return nil, false, fmt.Errorf("wal: reading %s: %w", name, err)
+		}
+		length := binary.LittleEndian.Uint32(frame[0:4])
+		crc := binary.LittleEndian.Uint32(frame[4:8])
+		key := binary.LittleEndian.Uint64(frame[8:16])
+		// Validate the length against what the file can actually hold
+		// before allocating anything: a corrupt prefix must not cause a
+		// huge allocation or a partial-frame parse.
+		if int64(length) > int64(l.opts.MaxRecord) || int64(length) > size-off-frameSize {
+			torn = true
+			break
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if err := readFull(f, payload); err != nil {
+			return nil, false, fmt.Errorf("wal: reading %s: %w", name, err)
+		}
+		got := crc32.Checksum(frame[8:16], castagnoli)
+		got = crc32.Update(got, castagnoli, payload)
+		if got != crc {
+			torn = true
+			break
+		}
+		off += frameSize + int64(length)
+		meta.records++
+		meta.lastKey = key
+	}
+	if torn {
+		l.tornBytes.Add(size - off)
+		if err := l.fs.Truncate(path, off); err != nil {
+			return nil, false, fmt.Errorf("wal: truncating torn tail of %s: %w", name, err)
+		}
+	}
+	meta.size = off
+	if meta.records == 0 && !torn && off == headerSize && size == headerSize {
+		// Header-only segment from a crash between roll and first
+		// append: harmless, keep it (its key range is empty).
+	}
+	return meta, torn, nil
+}
+
+func readFull(f File, p []byte) error {
+	for len(p) > 0 {
+		n, err := f.Read(p)
+		p = p[n:]
+		if err != nil {
+			if len(p) == 0 {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Replay streams every recovered record, in log order, to fn. It must
+// be called before the first Append. A non-nil error from fn stops the
+// replay and is returned.
+func (l *Log) Replay(fn func(key uint64, payload []byte) error) error {
+	l.mu.Lock()
+	if l.appendLSN != 0 {
+		l.mu.Unlock()
+		return errors.New("wal: Replay after Append")
+	}
+	segs := make([]*segMeta, len(l.segs))
+	copy(segs, l.segs)
+	l.mu.Unlock()
+
+	var frame [frameSize]byte
+	for _, meta := range segs {
+		path := filepath.Join(l.opts.Dir, meta.name)
+		f, err := l.fs.Open(path)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		err = func() error {
+			defer f.Close()
+			var hdr [headerSize]byte
+			if err := readFull(f, hdr[:]); err != nil {
+				return fmt.Errorf("wal: reading %s: %w", meta.name, err)
+			}
+			for i := int64(0); i < meta.records; i++ {
+				if err := readFull(f, frame[:]); err != nil {
+					return fmt.Errorf("wal: reading %s: %w", meta.name, err)
+				}
+				length := binary.LittleEndian.Uint32(frame[0:4])
+				key := binary.LittleEndian.Uint64(frame[8:16])
+				payload := make([]byte, length)
+				if err := readFull(f, payload); err != nil {
+					return fmt.Errorf("wal: reading %s: %w", meta.name, err)
+				}
+				if err := fn(key, payload); err != nil {
+					return err
+				}
+			}
+			return nil
+		}()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Append writes one record and returns its LSN (a process-local
+// sequence number for Sync). The key is clamped non-decreasing. The
+// record is buffered in the OS; durability is governed by the fsync
+// policy and Sync.
+func (l *Log) Append(key uint64, payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.wedged != nil {
+		return 0, l.wedged
+	}
+	if len(payload) > l.opts.MaxRecord {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds MaxRecord %d", len(payload), l.opts.MaxRecord)
+	}
+	if key < l.lastKey {
+		key = l.lastKey
+	}
+	if l.cur == nil || l.curMeta().size >= l.opts.SegmentBytes {
+		if err := l.roll(key); err != nil {
+			l.wedged = err
+			return 0, err
+		}
+	}
+	frame := make([]byte, frameSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(frame[8:16], key)
+	copy(frame[frameSize:], payload)
+	crc := crc32.Checksum(frame[8:16], castagnoli)
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(frame[4:8], crc)
+
+	meta := l.curMeta()
+	n, err := l.cur.Write(frame)
+	meta.size += int64(n)
+	if err == nil && n < len(frame) {
+		err = errors.New("short write")
+	}
+	if err != nil {
+		l.wedged = fmt.Errorf("wal: append: %w", err)
+		return 0, l.wedged
+	}
+	meta.records++
+	meta.lastKey = key
+	l.lastKey = key
+	l.appendLSN++
+	l.appended.Add(1)
+	l.appendedBytes.Add(int64(len(frame)))
+	return l.appendLSN, nil
+}
+
+func (l *Log) curMeta() *segMeta { return l.segs[len(l.segs)-1] }
+
+// roll closes the current segment (fsyncing it so recovery's
+// tear-invalidates-later-segments rule is sound) and opens a fresh one.
+// Called with l.mu held.
+func (l *Log) roll(firstKey uint64) error {
+	if l.cur != nil {
+		l.fsyncs.Add(1)
+		if err := l.cur.Sync(); err != nil {
+			return fmt.Errorf("wal: sync on roll: %w", err)
+		}
+		if err := l.cur.Close(); err != nil {
+			return fmt.Errorf("wal: close on roll: %w", err)
+		}
+		l.cur = nil
+	}
+	name := segName(l.seq)
+	f, err := l.fs.Create(filepath.Join(l.opts.Dir, name))
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	var hdr [headerSize]byte
+	copy(hdr[0:4], segMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], segFormat)
+	binary.LittleEndian.PutUint64(hdr[8:16], firstKey)
+	n, err := f.Write(hdr[:])
+	if err == nil && n < len(hdr) {
+		err = errors.New("short write")
+	}
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: writing segment header: %w", err)
+	}
+	if err := l.fs.SyncDir(l.opts.Dir); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: syncing dir: %w", err)
+	}
+	l.cur = f
+	l.seq++
+	l.segs = append(l.segs, &segMeta{name: name, firstKey: firstKey, lastKey: firstKey, size: headerSize})
+	return nil
+}
+
+// Sync blocks until every record appended at or before lsn is durable,
+// fsyncing if needed. Concurrent callers group-commit: one becomes the
+// leader and fsyncs up to the log's current tail on everyone's behalf.
+func (l *Log) Sync(lsn uint64) error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	for l.syncedLSN < lsn {
+		if l.syncErr != nil {
+			return l.syncErr
+		}
+		if l.syncing {
+			l.syncCond.Wait()
+			continue
+		}
+		l.syncing = true
+		l.syncMu.Unlock()
+		target, err := l.syncNow()
+		l.syncMu.Lock()
+		l.syncing = false
+		if err != nil {
+			if l.syncErr == nil {
+				l.syncErr = err
+			}
+		} else if target > l.syncedLSN {
+			l.syncedLSN = target
+		}
+		l.syncCond.Broadcast()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// syncNow fsyncs the open segment and reports the LSN it covers.
+func (l *Log) syncNow() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	target := l.appendLSN
+	if l.cur == nil {
+		return target, nil
+	}
+	l.fsyncs.Add(1)
+	if err := l.cur.Sync(); err != nil {
+		err = fmt.Errorf("wal: fsync: %w", err)
+		l.wedged = err
+		return 0, err
+	}
+	return target, nil
+}
+
+// LastLSN returns the LSN of the most recently appended record.
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLSN
+}
+
+func (l *Log) tick() {
+	defer close(l.done)
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			// Errors latch in syncErr/wedged; the next Append surfaces them.
+			l.Sync(l.LastLSN())
+		}
+	}
+}
+
+// TruncateBefore removes closed segments whose entire key range is
+// covered by a checkpoint at key (every record key ≤ key). The open
+// segment is never removed.
+func (l *Log) TruncateBefore(key uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	kept := l.segs[:0]
+	var firstErr error
+	for i, s := range l.segs {
+		open := l.cur != nil && i == len(l.segs)-1
+		if !open && s.lastKey <= key {
+			if err := l.fs.Remove(filepath.Join(l.opts.Dir, s.name)); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("wal: truncate: %w", err)
+				}
+				kept = append(kept, s)
+			}
+			continue
+		}
+		kept = append(kept, s)
+	}
+	removed := len(l.segs) != len(kept)
+	l.segs = kept
+	if removed {
+		if err := l.fs.SyncDir(l.opts.Dir); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("wal: truncate: %w", err)
+		}
+	}
+	return firstErr
+}
+
+// Stats returns a counter snapshot.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	segs := len(l.segs)
+	var size int64
+	for _, s := range l.segs {
+		size += s.size
+	}
+	l.mu.Unlock()
+	return Stats{
+		Appended:      l.appended.Load(),
+		AppendedBytes: l.appendedBytes.Load(),
+		Fsyncs:        l.fsyncs.Load(),
+		Replayed:      l.replayed.Load(),
+		TornBytes:     l.tornBytes.Load(),
+		Segments:      segs,
+		SizeBytes:     size,
+	}
+}
+
+// Close flushes, fsyncs and closes the log. Later Appends fail with
+// ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	stop := l.stop
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-l.done
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var err error
+	if l.cur != nil && l.wedged == nil {
+		l.fsyncs.Add(1)
+		err = l.cur.Sync()
+	}
+	if l.cur != nil {
+		if cerr := l.cur.Close(); err == nil {
+			err = cerr
+		}
+		l.cur = nil
+	}
+	return err
+}

@@ -1,0 +1,409 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func appendRecords(t *testing.T, l *Log, from, to int) {
+	t.Helper()
+	for i := from; i < to; i++ {
+		lsn, err := l.Append(uint64(i), []byte(fmt.Sprintf("record-%d", i)))
+		if err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+		if err := l.Sync(lsn); err != nil {
+			t.Fatalf("Sync(%d): %v", lsn, err)
+		}
+	}
+}
+
+func replayKeys(t *testing.T, l *Log) []uint64 {
+	t.Helper()
+	var keys []uint64
+	err := l.Replay(func(key uint64, payload []byte) error {
+		want := fmt.Sprintf("record-%d", key)
+		if string(payload) != want {
+			return fmt.Errorf("key %d: payload %q, want %q", key, payload, want)
+		}
+		keys = append(keys, key)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return keys
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open(Options{Dir: "wal", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRecords(t, l, 0, 100)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(Options{Dir: "wal", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	keys := replayKeys(t, l2)
+	if len(keys) != 100 {
+		t.Fatalf("replayed %d records, want 100", len(keys))
+	}
+	for i, k := range keys {
+		if k != uint64(i) {
+			t.Fatalf("keys[%d] = %d", i, k)
+		}
+	}
+	if st := l2.Stats(); st.Replayed != 100 || st.TornBytes != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWALSegmentRollAndTruncateBefore(t *testing.T) {
+	fs := NewMemFS()
+	// Tiny segments force rolls every couple of records.
+	l, err := Open(Options{Dir: "wal", FS: fs, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRecords(t, l, 0, 20)
+	st := l.Stats()
+	if st.Segments < 5 {
+		t.Fatalf("expected several segments, got %d", st.Segments)
+	}
+	if err := l.TruncateBefore(10); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().Segments; got >= st.Segments {
+		t.Fatalf("TruncateBefore removed nothing: %d -> %d segments", st.Segments, got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(Options{Dir: "wal", FS: fs, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	keys := replayKeys(t, l2)
+	if len(keys) == 0 || keys[len(keys)-1] != 19 {
+		t.Fatalf("replay after truncation lost the tail: %v", keys)
+	}
+	// Records > 10 must all survive (whole-segment truncation only
+	// removes fully-covered segments).
+	seen := map[uint64]bool{}
+	for _, k := range keys {
+		seen[k] = true
+	}
+	for k := uint64(11); k < 20; k++ {
+		if !seen[k] {
+			t.Fatalf("record %d lost by TruncateBefore(10)", k)
+		}
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open(Options{Dir: "wal", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRecords(t, l, 0, 10)
+	l.Close()
+
+	// Tear the tail mid-frame at every possible byte offset of the last
+	// record's frame.
+	name := filepath.Join("wal", segName(0))
+	full, ok := fs.Bytes(name)
+	if !ok {
+		t.Fatal("segment missing")
+	}
+	for cut := len(full) - 1; cut > len(full)-24; cut-- {
+		fs2 := NewMemFS()
+		fs2.WriteFile(name, full[:cut])
+		l2, err := Open(Options{Dir: "wal", FS: fs2})
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		keys := replayKeys(t, l2)
+		if len(keys) != 9 {
+			t.Fatalf("cut %d: replayed %d records, want 9", cut, len(keys))
+		}
+		if st := l2.Stats(); st.TornBytes == 0 {
+			t.Fatalf("cut %d: torn bytes not counted", cut)
+		}
+		l2.Close()
+	}
+}
+
+func TestWALBitFlipCutsAtCorruptRecord(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open(Options{Dir: "wal", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRecords(t, l, 0, 10)
+	l.Close()
+
+	name := filepath.Join("wal", segName(0))
+	full, _ := fs.Bytes(name)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		data := append([]byte(nil), full...)
+		pos := headerSize + rng.Intn(len(data)-headerSize)
+		data[pos] ^= 1 << rng.Intn(8)
+		fs2 := NewMemFS()
+		fs2.WriteFile(name, data)
+		l2, err := Open(Options{Dir: "wal", FS: fs2})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var keys []uint64
+		if err := l2.Replay(func(key uint64, _ []byte) error {
+			keys = append(keys, key)
+			return nil
+		}); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Everything before the corrupt record must survive, in order.
+		for i, k := range keys {
+			if k != uint64(i) {
+				t.Fatalf("trial %d: keys[%d] = %d", trial, i, k)
+			}
+		}
+		if len(keys) == 10 {
+			t.Fatalf("trial %d: corruption at byte %d went undetected", trial, pos)
+		}
+		l2.Close()
+	}
+}
+
+func TestWALTearInOldSegmentDropsLaterSegments(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open(Options{Dir: "wal", FS: fs, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRecords(t, l, 0, 10)
+	if l.Stats().Segments < 3 {
+		t.Fatal("need at least 3 segments")
+	}
+	l.Close()
+
+	// Corrupt the middle of segment 1: recovery must keep segment 0's
+	// records, cut segment 1 at the tear, and discard everything later.
+	name := filepath.Join("wal", segName(1))
+	data, ok := fs.Bytes(name)
+	if !ok {
+		t.Fatal("segment 1 missing")
+	}
+	data[headerSize+4] ^= 0xff
+	fs.WriteFile(name, data)
+
+	l2, err := Open(Options{Dir: "wal", FS: fs, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	keys := replayKeys(t, l2)
+	if len(keys) == 0 || len(keys) >= 10 {
+		t.Fatalf("replayed %d records", len(keys))
+	}
+	for i, k := range keys {
+		if k != uint64(i) {
+			t.Fatalf("keys[%d] = %d (gap after tear)", i, k)
+		}
+	}
+	// New appends go to a fresh segment and recover cleanly.
+	next := keys[len(keys)-1] + 1
+	appendRecords(t, l2, int(next), int(next)+5)
+	l2.Close()
+	l3, err := Open(Options{Dir: "wal", FS: fs, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	keys = replayKeys(t, l3)
+	for i, k := range keys {
+		if k != uint64(i) {
+			t.Fatalf("after reappend: keys[%d] = %d", i, k)
+		}
+	}
+	if keys[len(keys)-1] != next+4 {
+		t.Fatalf("lost reappended records: %v", keys)
+	}
+}
+
+func TestWALShortWriteWedgesLog(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem)
+	l, err := Open(Options{Dir: "wal", FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRecords(t, l, 0, 3)
+	ffs.FailNextWrite(5)
+	if _, err := l.Append(3, []byte("record-3")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Append after short write: %v", err)
+	}
+	// Wedged: the original error latches.
+	if _, err := l.Append(4, []byte("record-4")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("wedged Append: %v", err)
+	}
+	l.Close()
+	// The torn frame from the short write is truncated on recovery.
+	l2, err := Open(Options{Dir: "wal", FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if keys := replayKeys(t, l2); len(keys) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(keys))
+	}
+}
+
+func TestWALFsyncErrorFailsSyncAndWedges(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem)
+	l, err := Open(Options{Dir: "wal", FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l.Append(1, []byte("record-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.FailSyncs(true)
+	if err := l.Sync(lsn); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Sync: %v", err)
+	}
+	if _, err := l.Append(2, []byte("record-2")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Append after fsync failure: %v", err)
+	}
+	l.Close()
+}
+
+func TestWALConcurrentAppendSync(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open(Options{Dir: "wal", FS: fs, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, per = 8, 25
+	errc := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			for i := 0; i < per; i++ {
+				lsn, err := l.Append(uint64(i), []byte(fmt.Sprintf("w%d-%d", w, i)))
+				if err != nil {
+					errc <- err
+					return
+				}
+				if err := l.Sync(lsn); err != nil {
+					errc <- err
+					return
+				}
+			}
+			errc <- nil
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := l.Stats(); st.Appended != writers*per {
+		t.Fatalf("appended %d, want %d", st.Appended, writers*per)
+	}
+	l.Close()
+
+	l2, err := Open(Options{Dir: "wal", FS: fs, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	n := 0
+	if err := l2.Replay(func(uint64, []byte) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != writers*per {
+		t.Fatalf("recovered %d records, want %d", n, writers*per)
+	}
+}
+
+func TestWALKeysClampedNonDecreasing(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open(Options{Dir: "wal", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []uint64{5, 3, 9, 1} {
+		if _, err := l.Append(k, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	l2, err := Open(Options{Dir: "wal", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	var keys []uint64
+	l2.Replay(func(key uint64, _ []byte) error { keys = append(keys, key); return nil })
+	want := []uint64{5, 5, 9, 9}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestWALCrashLosesOnlyUnsyncedSuffix(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		mem := NewMemFS()
+		l, err := Open(Options{Dir: "wal", FS: mem, SegmentBytes: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		synced := -1
+		for i := 0; i < 30; i++ {
+			lsn, err := l.Append(uint64(i), []byte(fmt.Sprintf("record-%d", i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rng.Intn(3) == 0 {
+				if err := l.Sync(lsn); err != nil {
+					t.Fatal(err)
+				}
+				synced = i
+			}
+		}
+		// No Close: simulate the process dying with unsynced bytes.
+		crashed := mem.Crash(rng)
+		l2, err := Open(Options{Dir: "wal", FS: crashed})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		keys := replayKeys(t, l2)
+		for i, k := range keys {
+			if k != uint64(i) {
+				t.Fatalf("trial %d: keys[%d] = %d (gap)", trial, i, k)
+			}
+		}
+		if len(keys)-1 < synced {
+			t.Fatalf("trial %d: synced through %d but recovered only %d records", trial, synced, len(keys))
+		}
+		l2.Close()
+	}
+}

@@ -573,6 +573,27 @@ func (b dbBackend) StandingStats() service.StandingStats {
 	}
 }
 
+// WALStats implements service.WALStatser, so /stats reports the
+// durability layer of an OpenDurable'd database.
+func (b dbBackend) WALStats() service.WALStats {
+	st := b.db.WALStats()
+	return service.WALStats{
+		Enabled:               st.Enabled,
+		Dir:                   st.Dir,
+		FsyncPolicy:           st.FsyncPolicy,
+		Appended:              st.Appended,
+		AppendedBytes:         st.AppendedBytes,
+		Fsyncs:                st.Fsyncs,
+		Replayed:              st.Replayed,
+		TornBytes:             st.TornBytes,
+		Segments:              st.Segments,
+		SizeBytes:             st.SizeBytes,
+		Checkpoints:           st.Checkpoints,
+		CheckpointErrors:      st.CheckpointErrors,
+		LastCheckpointVersion: st.LastCheckpointVersion,
+	}
+}
+
 // request converts one public call into a service Request, folding
 // WithLimit/WithTimeout options into the request parameters.
 func request(subject, expr, object string, opts []QueryOption) Request {

@@ -10,6 +10,7 @@ package ringrpq
 // exact diff between consecutive snapshots.
 
 import (
+	"fmt"
 	"time"
 
 	"ringrpq/internal/core"
@@ -116,6 +117,14 @@ func (db *DB) registry() *standing.Registry {
 		return reg
 	}
 	reg := standing.New(standingHost{db: db.Clone()}, h.standingCfg)
+	// When the registry drops a subscription on its own (detach TTL,
+	// failed evaluation), record the eviction so recovery does not
+	// resurrect it. Set before Store publishes the registry.
+	reg.OnEvict = func(id uint64) {
+		if sink := h.wal.Load(); sink != nil {
+			sink.appendUnsub(h.cur.Load().version, id)
+		}
+	}
 	h.standing.Store(reg)
 	return reg
 }
@@ -136,7 +145,21 @@ func (db *DB) SetStandingConfig(cfg StandingConfig) {
 // a Delta, in data-version order, with nothing lost between the
 // baseline and the stream. Safe from any goroutine and any clone.
 func (db *DB) Subscribe(req SubscribeRequest) (*Subscription, error) {
-	return db.registry().Subscribe(req)
+	sub, err := db.registry().Subscribe(req)
+	if err != nil {
+		return nil, err
+	}
+	// A durable database logs the registration so the subscription — and
+	// its resume cursor — survives a restart (the record's key is the
+	// subscription's start version; checkpoints carry the live table as
+	// well, and recovery dedups by id).
+	if sink := db.h.wal.Load(); sink != nil {
+		if err := sink.appendSub(sub.StartVersion(), standing.SubRecord{ID: sub.ID(), Req: req}); err != nil {
+			sub.Close()
+			return nil, fmt.Errorf("ringrpq: wal subscribe append: %w", err)
+		}
+	}
+	return sub, nil
 }
 
 // ResumeSubscription reattaches to a subscription after a disconnect
@@ -153,13 +176,23 @@ func (db *DB) ResumeSubscription(id, from uint64) (*Subscription, error) {
 }
 
 // Unsubscribe removes and terminates a subscription by id, reporting
-// whether it existed.
+// whether it existed. On a durable database the removal is logged, so
+// the subscription stays gone across restarts. (A Subscription.Close —
+// e.g. a service shutting down its tracked streams — is deliberately
+// not logged: a disconnected-but-not-unsubscribed client keeps its
+// resume cursor across a restart.)
 func (db *DB) Unsubscribe(id uint64) bool {
 	reg := db.h.standing.Load()
 	if reg == nil {
 		return false
 	}
-	return reg.Unsubscribe(id)
+	ok := reg.Unsubscribe(id)
+	if ok {
+		if sink := db.h.wal.Load(); sink != nil {
+			sink.appendUnsub(db.h.cur.Load().version, id)
+		}
+	}
+	return ok
 }
 
 // StandingStats snapshots the subscription registry's counters (zero

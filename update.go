@@ -140,6 +140,23 @@ type holder struct {
 	standingMu  sync.Mutex
 	standing    atomic.Pointer[standing.Registry]
 	standingCfg standing.Config
+
+	// wal, when set (OpenDurable), is the durability sink: Apply appends
+	// each batch under h.mu before publishing it, and the compactor
+	// checkpoints and truncates the log.
+	wal atomic.Pointer[walSink]
+}
+
+// compactStageHook, when set by a test, is called at compaction stage
+// boundaries ("base-selected", "rebuilt", "swapped", "checkpointed",
+// "truncated"). Every call site is outside h.mu, so a hook may apply
+// updates to interleave them with the stages.
+var compactStageHook func(stage string)
+
+func stageHook(stage string) {
+	if compactStageHook != nil {
+		compactStageHook(stage)
+	}
 }
 
 // newHolder publishes the initial snapshot.
@@ -243,13 +260,13 @@ func (db *DB) UpdateStats() UpdateStats {
 // it (see the service layer).
 func (db *DB) DataVersion() uint64 { return db.h.cur.Load().version }
 
-// resolveAdds interns and completes added triples; unknown predicates
-// fail the whole batch. Predicates are validated in a first pass
-// before any node is interned, so a rejected batch leaves the node
-// dictionary untouched (phantom nodes would otherwise surface as
-// spurious nullable self-pairs in later queries).
-func (db *DB) resolveAdds(adds []Triple) ([]overlay.Edge, error) {
-	np := db.g.NumPreds
+// predsOf validates added triples' predicates without touching the
+// node dictionary: a rejected batch must leave no trace, and a batch
+// must be known-valid before it is appended to the write-ahead log.
+// Unknown predicates fail the whole batch (phantom nodes from a
+// partially-resolved one would otherwise surface as spurious nullable
+// self-pairs in later queries).
+func (db *DB) predsOf(adds []Triple) ([]uint32, error) {
 	preds := make([]uint32, len(adds))
 	for i, t := range adds {
 		p, ok := db.g.Preds.Lookup(t.Predicate)
@@ -258,6 +275,16 @@ func (db *DB) resolveAdds(adds []Triple) ([]overlay.Edge, error) {
 		}
 		preds[i] = p
 	}
+	return preds, nil
+}
+
+// internAdds interns and completes added triples whose predicates were
+// validated by predsOf. Apply calls it under h.mu, after the batch's
+// WAL append succeeded: interning order then matches batch-version
+// order exactly, which is what makes recovery's replay re-assign the
+// same dictionary ids (Dict.Intern numbers names by first appearance).
+func (db *DB) internAdds(adds []Triple, preds []uint32) []overlay.Edge {
+	np := db.g.NumPreds
 	out := make([]overlay.Edge, 0, 2*len(adds))
 	for i, t := range adds {
 		p := preds[i]
@@ -267,7 +294,7 @@ func (db *DB) resolveAdds(adds []Triple) ([]overlay.Edge, error) {
 			overlay.Edge{S: s, P: p, O: o},
 			overlay.Edge{S: o, P: p + np, O: s})
 	}
-	return out, nil
+	return out
 }
 
 // resolveDels completes deleted triples; names never seen are no-ops.
@@ -308,15 +335,36 @@ func (db *DB) resolveDels(dels []Triple) []overlay.Edge {
 // compaction threshold a background rebuild is kicked off (see
 // SetCompactionThreshold and Flush).
 func (db *DB) Apply(adds, dels []Triple) (UpdateStats, error) {
-	addEdges, err := db.resolveAdds(adds)
+	preds, err := db.predsOf(adds)
 	if err != nil {
 		return db.UpdateStats(), err
 	}
-	delEdges := db.resolveDels(dels)
-
 	h := db.h
+	// Encode the WAL record outside the lock; the triples are the
+	// caller's and the encoding does not depend on holder state.
+	var rec []byte
+	if h.wal.Load() != nil {
+		rec = encodeBatchRecord(adds, dels)
+	}
+
 	h.mu.Lock()
 	cur := h.cur.Load()
+	var lsn uint64
+	sink := h.wal.Load()
+	if sink != nil {
+		if rec == nil {
+			rec = encodeBatchRecord(adds, dels)
+		}
+		lsn, err = sink.log.Append(cur.version+1, rec)
+		if err != nil {
+			// Nothing interned, nothing published: the batch never
+			// happened. The wedged log fails every later Apply too.
+			h.mu.Unlock()
+			return db.UpdateStats(), fmt.Errorf("ringrpq: wal append: %w", err)
+		}
+	}
+	addEdges := db.internAdds(adds, preds)
+	delEdges := db.resolveDels(dels)
 	ov := cur.ov.Apply(cur.version+1, addEdges, delEdges, cur.inStatic)
 	// Bound the replay log: batches are only ever replayed by a
 	// compaction whose base predates them, and the only base that can
@@ -345,6 +393,17 @@ func (db *DB) Apply(adds, dels []Triple) (UpdateStats, error) {
 		})
 	}
 	h.mu.Unlock()
+
+	if sink != nil && sink.ackSync {
+		// Ack-after-fsync: the batch is already visible in memory, but
+		// the caller's acknowledgement waits for durability. On failure
+		// the log is wedged, so every later Apply fails before
+		// publishing — the in-memory suffix past the last durable batch
+		// never grows beyond this one batch.
+		if err := sink.log.Sync(lsn); err != nil {
+			return db.UpdateStats(), fmt.Errorf("ringrpq: wal fsync: %w", err)
+		}
+	}
 
 	if t := h.effectiveThreshold(next.indexN()); t > 0 && ov.Weight() >= t {
 		if h.compacting.CompareAndSwap(false, true) {
@@ -411,7 +470,13 @@ func (db *DB) compactNow() {
 	if base.ov.Empty() {
 		return
 	}
-	numNodes := db.g.NumNodes()
+	stageHook("base-selected")
+	// Rebuild at the base snapshot's dictionary length, not the current
+	// one: the checkpoint written below pairs this ring with exactly the
+	// first numNodes dictionary entries, and every node the base's
+	// overlay references is below it. Nodes interned by batches that
+	// race the rebuild stay overlay-only until the next compaction.
+	numNodes := base.numNodes
 	t0 := time.Now()
 	var newR *ring.Ring
 	var newSet *ring.ShardSet
@@ -421,6 +486,7 @@ func (db *DB) compactNow() {
 		newR = rebuildSingle(base, numNodes, h.layout)
 	}
 	h.lastRebuildNS.Store(time.Since(t0).Nanoseconds())
+	stageHook("rebuilt")
 
 	inNew := func(e overlay.Edge) bool {
 		if newSet != nil {
@@ -436,14 +502,27 @@ func (db *DB) compactNow() {
 	t1 := time.Now()
 	h.mu.Lock()
 	latest := h.cur.Load()
+	sink := h.wal.Load()
+	if sink != nil {
+		// The swap consumes a version; log it so recovery's replay stays
+		// gapless. An append failure aborts the swap (the rebuilt ring is
+		// discarded; memory and log stay consistent).
+		if _, err := sink.log.Append(latest.version+1, encodeSwapRecord()); err != nil {
+			h.mu.Unlock()
+			return
+		}
+	}
 	// The residual needs no replay log of its own: any future
 	// compaction's base will already contain it consolidated.
 	residual := overlay.Replay(latest.ov.BatchesAfter(base.ov.Version()), inNew).WithBatchesAfter(^uint64(0))
 	next := &snapshot{
 		r: newR, set: newSet, ov: residual,
-		epoch:    latest.epoch + 1,
-		version:  latest.version + 1,
-		numNodes: numNodes,
+		epoch:   latest.epoch + 1,
+		version: latest.version + 1,
+		// Batches between base and latest may have grown the dictionary
+		// past the rebuilt ring; their edges live in the residual and the
+		// union engine sizes itself by the snapshot's numNodes.
+		numNodes: latest.numNodes,
 	}
 	h.publish(next)
 	// A swap changes no data, but subscriptions must observe the version
@@ -454,10 +533,28 @@ func (db *DB) compactNow() {
 	h.mu.Unlock()
 	h.lastSwapNS.Store(time.Since(t1).Nanoseconds())
 	h.compactions.Add(1)
+	stageHook("swapped")
 
 	// Old-ring selectivity statistics are garbage now; unchanged shards
 	// (shared pointers) keep theirs.
 	db.sel.Retain(next.rings())
+
+	if sink != nil {
+		// Checkpoint the rebuilt ring (all data ≤ base.version,
+		// consolidated) and drop the log segments it fully covers. A
+		// checkpoint failure is not fatal: the log still holds every
+		// batch since the previous checkpoint, so recovery just replays
+		// more.
+		if err := db.writeCheckpoint(sink, newR, newSet, base.version, numNodes); err != nil {
+			sink.checkpointErrs.Add(1)
+			return
+		}
+		sink.checkpoints.Add(1)
+		sink.lastCheckpoint.Store(base.version)
+		stageHook("checkpointed")
+		sink.log.TruncateBefore(base.version)
+		stageHook("truncated")
+	}
 }
 
 // rebuildSingle merges ring+overlay into a fresh single ring.
