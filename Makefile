@@ -3,11 +3,11 @@
 GO ?= go
 FUZZTIME ?= 20s
 
-.PHONY: all ci build vet test race crash bench bench-short bench-json fuzz clean
+.PHONY: all ci build vet test race crash bench bench-short bench-json fuzz lint-metrics clean
 
 all: ci
 
-ci: build vet test crash bench-short
+ci: build vet test crash bench-short lint-metrics
 
 build:
 	$(GO) build ./...
@@ -81,6 +81,13 @@ bench-json:
 	$(GO) run ./cmd/rpqbench -nodes 4000 -edges 20000 -preds 30 -queries 200 \
 		-timeout 5s -limit 100000 -subs BENCH_PR6.json
 	$(GO) run ./cmd/rpqbench -compiled BENCH_PR7.json
+
+# Metrics/stats coverage lint: every field of the service Stats
+# snapshot (including the standing/WAL/latency blocks) must have a
+# /metrics series and render in Stats.String(). The reflection-based
+# tests fail when a counter is added without its exposition.
+lint-metrics:
+	$(GO) test -count=1 -run 'TestMetricsCoverage|TestStatsStringCoversAllFields' ./internal/service/
 
 clean:
 	$(GO) clean ./...

@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/exec"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -164,43 +166,29 @@ func main() {
 		runShardComparison(g, qs, *shards, *timeout, *limit)
 	}
 
+	cfg := benchConfig{
+		Nodes: *nodes, Edges: *edges, Preds: *preds, Queries: *queries,
+		Seed: *seed, Timeout: timeout.String(), Limit: *limit,
+		Env: benchEnv(),
+	}
+
 	if *jsonOut != "" {
-		cfg := benchConfig{
-			Nodes: *nodes, Edges: *edges, Preds: *preds, Queries: *queries,
-			Seed: *seed, Timeout: timeout.String(), Limit: *limit,
-		}
 		runBatchComparison(g, qs, *timeout, *limit, *jsonOut, cfg)
 	}
 
 	if *patOut != "" {
-		cfg := benchConfig{
-			Nodes: *nodes, Edges: *edges, Preds: *preds, Queries: *queries,
-			Seed: *seed, Timeout: timeout.String(), Limit: *limit,
-		}
 		runPatternBench(g, *queries, *timeout, *limit, *patOut, cfg)
 	}
 
 	if *updOut != "" {
-		cfg := benchConfig{
-			Nodes: *nodes, Edges: *edges, Preds: *preds, Queries: *queries,
-			Seed: *seed, Timeout: timeout.String(), Limit: *limit,
-		}
 		runUpdateBench(g, qs, *timeout, *limit, *updOut, cfg)
 	}
 
 	if *subsOut != "" {
-		cfg := benchConfig{
-			Nodes: *nodes, Edges: *edges, Preds: *preds, Queries: *queries,
-			Seed: *seed, Timeout: timeout.String(), Limit: *limit,
-		}
 		runSubsBench(g, qs, *timeout, *subsOut, cfg)
 	}
 
 	if *cmpOut != "" {
-		cfg := benchConfig{
-			Nodes: *nodes, Edges: *edges, Preds: *preds, Queries: *queries,
-			Seed: *seed, Timeout: timeout.String(), Limit: *limit,
-		}
 		w := *workers
 		if w <= 0 {
 			w = 4
@@ -327,13 +315,54 @@ func runPatternBench(g *triples.Graph, total int, timeout time.Duration, limit i
 // benchConfig records the generation parameters in the JSON report so a
 // benchmark run is reproducible from the file alone.
 type benchConfig struct {
-	Nodes   int    `json:"nodes"`
-	Edges   int    `json:"edges"`
-	Preds   int    `json:"preds"`
-	Queries int    `json:"queries"`
-	Seed    int64  `json:"seed"`
-	Timeout string `json:"timeout"`
-	Limit   int    `json:"limit"`
+	Nodes   int     `json:"nodes"`
+	Edges   int     `json:"edges"`
+	Preds   int     `json:"preds"`
+	Queries int     `json:"queries"`
+	Seed    int64   `json:"seed"`
+	Timeout string  `json:"timeout"`
+	Limit   int     `json:"limit"`
+	Env     envInfo `json:"env"`
+}
+
+// envInfo stamps the machine and build a report came from, so numbers
+// from different hosts or commits are never compared blindly.
+type envInfo struct {
+	Time       string `json:"time"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	CPUModel   string `json:"cpu_model,omitempty"`
+	Commit     string `json:"commit,omitempty"`
+}
+
+// benchEnv gathers the environment stamp; the CPU model and git commit
+// are best-effort (absent on unsupported platforms or non-checkouts).
+func benchEnv() envInfo {
+	e := envInfo{
+		Time:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	if b, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(b), "\n") {
+			if name, ok := strings.CutPrefix(line, "model name"); ok {
+				if _, v, ok := strings.Cut(name, ":"); ok {
+					e.CPUModel = strings.TrimSpace(v)
+					break
+				}
+			}
+		}
+	}
+	if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		e.Commit = strings.TrimSpace(string(out))
+	}
+	return e
 }
 
 // modeStats summarises one evaluation mode over one workload subset.
@@ -670,7 +699,7 @@ func newPoolBackend(g *triples.Graph, r *ring.Ring) *poolBackend {
 
 func (b *poolBackend) Clone() service.Backend { return newPoolBackend(b.g, b.r) }
 
-func (b *poolBackend) Eval(subject string, node pathexpr.Node, object string, limit int, timeout time.Duration, emit func(service.Solution) bool) error {
+func (b *poolBackend) Eval(ctx context.Context, subject string, node pathexpr.Node, object string, limit int, timeout time.Duration, emit func(service.Solution) bool) error {
 	q := core.Query{Subject: core.Variable, Object: core.Variable, Expr: node}
 	if !strings.HasPrefix(subject, "?") {
 		id, ok := b.g.Nodes.Lookup(subject)

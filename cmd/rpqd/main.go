@@ -42,7 +42,18 @@
 //	                  instead; &id=N&from=V resumes after a disconnect)
 //	DELETE /subscribe ?id=N unsubscribes
 //	GET  /stats   service and index statistics
-//	GET  /healthz liveness probe
+//	GET  /healthz liveness probe (200 while the process serves)
+//	GET  /readyz  readiness probe: 503 with a reason once the service
+//	              is shutting down or the write-ahead log has wedged
+//	GET  /metrics Prometheus text exposition of every service counter,
+//	              including request/eval latency histograms
+//	GET  /debug/slowlog  recent slow queries as JSON (with -slow-query)
+//
+// Observability: -slow-query D logs any request slower than D (structured
+// slog line per query, plus the bounded in-memory ring behind
+// /debug/slowlog); "profile": true on /query, /select or /batch items
+// returns a span trace of that request's evaluation under "profile";
+// -debug-addr :6060 serves net/http/pprof on a separate listener.
 //
 // Empty subject/object fields are variables. An absent limit applies
 // the -limit default; an explicit 0 asks for unlimited results, and
@@ -80,6 +91,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux (served only on -debug-addr)
 	"os"
 	"os/signal"
 	"syscall"
@@ -110,6 +122,9 @@ func main() {
 		walDir     = flag.String("wal-dir", "", "durability directory (write-ahead log + checkpoints): updates survive restarts and crashes; after the first run -data/-index are only needed if the directory is empty")
 		fsyncPol   = flag.String("fsync", "always", "WAL fsync policy: always (ack after fsync), interval, never (with -wal-dir)")
 		fsyncIvl   = flag.Duration("fsync-interval", 0, "fsync period for -fsync=interval (0 = default 100ms)")
+		slowQuery  = flag.Duration("slow-query", 0, "log queries slower than this (0 = disabled); entries also appear on GET /debug/slowlog")
+		slowCap    = flag.Int("slow-log-capacity", 0, "slow-query entries retained in memory (0 = default 128; with -slow-query)")
+		debugAddr  = flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty = disabled)")
 	)
 	flag.Parse()
 	if *data == "" && *index == "" && *walDir == "" {
@@ -168,7 +183,21 @@ func main() {
 		ResultCacheBytes:   *resBytes,
 		GroupTraversals:    *group,
 		GroupMax:           *groupMax,
+		SlowQueryThreshold: *slowQuery,
+		SlowLogCapacity:    *slowCap,
 	})
+
+	if *debugAddr != "" {
+		// pprof lives on its own listener so profiling endpoints are
+		// never exposed on the service port. The blank net/http/pprof
+		// import registers its handlers on http.DefaultServeMux.
+		go func() {
+			fmt.Fprintf(os.Stderr, "rpqd: pprof on %s/debug/pprof/\n", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "rpqd: debug listener: %v\n", err)
+			}
+		}()
+	}
 
 	server := &http.Server{
 		Addr: *addr,

@@ -743,6 +743,11 @@ type WALStats struct {
 	Checkpoints           int64
 	CheckpointErrors      int64
 	LastCheckpointVersion uint64
+	// Wedged reports a latched log I/O failure: appends are refused and
+	// the daemon should fail its readiness probe. WedgeReason carries
+	// the latched error text.
+	Wedged      bool
+	WedgeReason string
 }
 
 // WALStats snapshots the durability counters.
@@ -752,10 +757,17 @@ func (db *DB) WALStats() WALStats {
 		return WALStats{}
 	}
 	ls := sink.log.Stats()
+	var wedged bool
+	var reason string
+	if err := sink.log.Err(); err != nil {
+		wedged, reason = true, err.Error()
+	}
 	return WALStats{
 		Enabled:               true,
 		Dir:                   sink.dir,
 		FsyncPolicy:           sink.policy,
+		Wedged:                wedged,
+		WedgeReason:           reason,
 		Appended:              ls.Appended,
 		AppendedBytes:         ls.AppendedBytes,
 		Fsyncs:                ls.Fsyncs,

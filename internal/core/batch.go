@@ -6,6 +6,7 @@ import (
 
 	"ringrpq/internal/glushkov"
 	"ringrpq/internal/lazy"
+	"ringrpq/internal/obs"
 	"ringrpq/internal/ring"
 	"ringrpq/internal/wavelet"
 )
@@ -38,15 +39,23 @@ func (e *Engine) bfsBatched(eng *glushkov.Engine, base uint64, emit EmitFunc) er
 			return err
 		}
 		items := e.frontierItems()
+		sp, visits0 := -1, 0
+		if e.trace != nil {
+			visits0 = e.stats.WaveletVisits
+			sp = e.trace.Begin(obs.SpanLevel)
+		}
+		var err error
 		if len(items) < batchCutoff {
 			for _, it := range items {
-				if err := e.step(eng, it.B, it.E, it.Mask, base, emit); err != nil {
-					return err
+				if err = e.step(eng, it.B, it.E, it.Mask, base, emit); err != nil {
+					break
 				}
 			}
-			continue
+		} else {
+			err = e.stepMany(eng, items, base, emit)
 		}
-		if err := e.stepMany(eng, items, base, emit); err != nil {
+		e.trace.EndVals(sp, int64(len(items)), int64(e.stats.WaveletVisits-visits0))
+		if err != nil {
 			return err
 		}
 	}

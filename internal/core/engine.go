@@ -26,6 +26,7 @@ import (
 
 	"ringrpq/internal/glushkov"
 	"ringrpq/internal/lazy"
+	"ringrpq/internal/obs"
 	"ringrpq/internal/pathexpr"
 	"ringrpq/internal/ring"
 	"ringrpq/internal/wavelet"
@@ -76,6 +77,11 @@ type Options struct {
 	// per-step multiword masks and a visited hash map, with none of the
 	// flat B[v]/D[v] wavelet-node pruning arrays or compiled steppers.
 	DisableCompiled bool
+	// Trace, when non-nil, records a traverse span with the evaluation's
+	// Stats plus one span per BFS level (frontier size, wavelet-node
+	// visits). Nil — the default — records nothing and costs one pointer
+	// test per level.
+	Trace *obs.Trace
 }
 
 // ErrTimeout reports that evaluation exceeded Options.Timeout.
@@ -142,6 +148,7 @@ type Engine struct {
 
 	// per-evaluation state
 	stats     Stats
+	trace     *obs.Trace
 	deadline  time.Time
 	steps     int
 	emit      EmitFunc
@@ -204,6 +211,7 @@ func (e *Engine) Eval(q Query, opts Options, emit EmitFunc) (Stats, error) {
 	e.batch = !opts.DisableBatching && !opts.DFS
 	e.eager = opts.CompileEager
 	e.noCompile = opts.DisableCompiled
+	e.trace = opts.Trace
 	if opts.Timeout > 0 {
 		e.deadline = time.Now().Add(opts.Timeout)
 	} else {
@@ -217,7 +225,10 @@ func (e *Engine) Eval(q Query, opts Options, emit EmitFunc) (Stats, error) {
 		return e.limit == 0 || e.stats.Results < e.limit
 	}
 
+	sp := e.trace.Begin(obs.SpanTraverse)
 	err := e.dispatch(q, opts)
+	e.trace.EndVals(sp, int64(e.stats.ProductNodes), int64(e.stats.ProductEdges),
+		int64(e.stats.WaveletVisits), int64(e.stats.Results))
 	if errors.Is(err, errLimit) {
 		err = nil
 	}

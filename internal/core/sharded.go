@@ -10,6 +10,7 @@ import (
 
 	"ringrpq/internal/glushkov"
 	"ringrpq/internal/lazy"
+	"ringrpq/internal/obs"
 	"ringrpq/internal/pathexpr"
 	"ringrpq/internal/ring"
 	"ringrpq/internal/wavelet"
@@ -75,6 +76,7 @@ type ShardedEngine struct {
 
 	// per-evaluation state (mirrors Engine)
 	stats     Stats
+	trace     *obs.Trace
 	deadline  time.Time
 	steps     int
 	emit      EmitFunc
@@ -131,6 +133,7 @@ func (e *ShardedEngine) Eval(q Query, opts Options, emit EmitFunc) (Stats, error
 	e.batch = !opts.DisableBatching
 	e.eager = opts.CompileEager
 	e.noCompile = opts.DisableCompiled
+	e.trace = opts.Trace
 	if opts.Timeout > 0 {
 		e.deadline = time.Now().Add(opts.Timeout)
 	} else {
@@ -144,7 +147,10 @@ func (e *ShardedEngine) Eval(q Query, opts Options, emit EmitFunc) (Stats, error
 		return e.limit == 0 || e.stats.Results < e.limit
 	}
 
+	sp := e.trace.Begin(obs.SpanTraverse)
 	err := e.coopDispatch(q)
+	e.trace.EndVals(sp, int64(e.stats.ProductNodes), int64(e.stats.ProductEdges),
+		int64(e.stats.WaveletVisits), int64(e.stats.Results))
 	if errors.Is(err, errLimit) {
 		err = nil
 	}
@@ -473,15 +479,32 @@ func (e *ShardedEngine) runCooperative(eng *glushkov.Engine, base uint64, report
 		if err := e.checkDeadline(); err != nil {
 			return err
 		}
+		sp, visits0 := -1, 0
+		if e.trace != nil {
+			visits0 = e.shardVisits()
+			sp = e.trace.Begin(obs.SpanLevel)
+		}
 		frontier := e.frontier
 		e.forEachWorker(func(w *shardWorker) {
 			w.runLevel(eng, frontier, base)
 		})
-		if err := e.collect(eng, base, report); err != nil {
+		err := e.collect(eng, base, report)
+		e.trace.EndVals(sp, int64(len(frontier)), int64(e.shardVisits()-visits0))
+		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// shardVisits sums the in-flight per-worker wavelet-visit counters
+// (folded into e.stats only at release time), for level-span deltas.
+func (e *ShardedEngine) shardVisits() int {
+	total := 0
+	for _, w := range e.workers {
+		total += w.stats.WaveletVisits
+	}
+	return total
 }
 
 // forEachWorker applies f to every shard worker, concurrently when the

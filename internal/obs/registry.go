@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry aggregates metric collectors and renders them in the
+// Prometheus text exposition format (version 0.0.4). Collectors are
+// called on every scrape, so they should snapshot live state.
+type Registry struct {
+	mu         sync.Mutex
+	collectors []func(*Exposition)
+}
+
+// Register adds a collector invoked per scrape.
+func (r *Registry) Register(fn func(*Exposition)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}
+
+// WriteTo renders one scrape of every registered collector.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	collectors := make([]func(*Exposition), len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.Unlock()
+
+	e := &Exposition{seen: make(map[string]bool)}
+	for _, fn := range collectors {
+		fn(e)
+	}
+	n, err := w.Write([]byte(e.b.String()))
+	return int64(n), err
+}
+
+// ServeHTTP makes the registry a GET /metrics handler.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet && req.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if req.Method == http.MethodHead {
+		return
+	}
+	r.WriteTo(w)
+}
+
+// Exposition accumulates one scrape's worth of series.
+type Exposition struct {
+	b    strings.Builder
+	seen map[string]bool
+}
+
+func (e *Exposition) header(name, help, typ string) {
+	if !e.seen[name] {
+		e.seen[name] = true
+		fmt.Fprintf(&e.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+}
+
+// Counter emits a monotonically-increasing series.
+func (e *Exposition) Counter(name, help string, v float64) {
+	e.header(name, help, "counter")
+	fmt.Fprintf(&e.b, "%s %s\n", name, formatFloat(v))
+}
+
+// Gauge emits a point-in-time series.
+func (e *Exposition) Gauge(name, help string, v float64) {
+	e.header(name, help, "gauge")
+	fmt.Fprintf(&e.b, "%s %s\n", name, formatFloat(v))
+}
+
+// Info emits a constant-1 gauge whose labels carry string facts
+// (build/version/policy style metrics).
+func (e *Exposition) Info(name, help string, labels map[string]string) {
+	e.header(name, help, "gauge")
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.b.WriteString(name)
+	e.b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			e.b.WriteByte(',')
+		}
+		fmt.Fprintf(&e.b, "%s=%q", k, labels[k])
+	}
+	e.b.WriteString("} 1\n")
+}
+
+// Histogram emits a snapshot as a Prometheus histogram in seconds:
+// cumulative <name>_bucket{le=...} series, _sum and _count.
+func (e *Exposition) Histogram(name, help string, s HistSnapshot) {
+	e.header(name, help, "histogram")
+	var cum uint64
+	for _, b := range s.Buckets() {
+		cum += b.Count
+		fmt.Fprintf(&e.b, "%s_bucket{le=%q} %d\n", name, formatFloat(float64(b.UpperNS)/1e9), cum)
+	}
+	fmt.Fprintf(&e.b, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+	fmt.Fprintf(&e.b, "%s_sum %s\n", name, formatFloat(float64(s.Sum)/1e9))
+	fmt.Fprintf(&e.b, "%s_count %d\n", name, s.Count)
+}
+
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

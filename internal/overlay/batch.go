@@ -7,6 +7,7 @@ import (
 
 	"ringrpq/internal/core"
 	"ringrpq/internal/glushkov"
+	"ringrpq/internal/obs"
 	"ringrpq/internal/wavelet"
 )
 
@@ -163,11 +164,21 @@ func (e *Engine) bfsBatched(eng *glushkov.Engine, emit core.EmitFunc) error {
 			return err
 		}
 		level := e.drainFrontier()
+		sp, visits0 := -1, 0
+		if e.trace != nil {
+			visits0 = e.stats.WaveletVisits
+			sp = e.trace.Begin(obs.SpanLevel)
+		}
 		if len(level) < batchCutoff {
+			var err error
 			for _, it := range level {
-				if err := e.expand(eng, it.node, it.d, emit); err != nil {
-					return err
+				if err = e.expand(eng, it.node, it.d, emit); err != nil {
+					break
 				}
+			}
+			e.trace.EndVals(sp, int64(len(level)), int64(e.stats.WaveletVisits-visits0))
+			if err != nil {
+				return err
 			}
 			continue
 		}
@@ -190,12 +201,15 @@ func (e *Engine) bfsBatched(eng *glushkov.Engine, emit core.EmitFunc) error {
 			var err error
 			e.lsItems, err = core.StepLevelMany(&lo, eng, items, e.lsItems, e.base)
 			if err != nil {
+				e.trace.EndVals(sp, int64(len(level)), int64(e.stats.WaveletVisits-visits0))
 				return err
 			}
 		}
 		// Overlay adds entering the frontier (both sorted by object: a
 		// linear merge instead of per-node binary searches).
-		if err := e.overlayLevel(eng, level, emit); err != nil {
+		err := e.overlayLevel(eng, level, emit)
+		e.trace.EndVals(sp, int64(len(level)), int64(e.stats.WaveletVisits-visits0))
+		if err != nil {
 			return err
 		}
 	}

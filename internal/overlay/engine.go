@@ -7,6 +7,7 @@ import (
 	"ringrpq/internal/core"
 	"ringrpq/internal/glushkov"
 	"ringrpq/internal/lazy"
+	"ringrpq/internal/obs"
 	"ringrpq/internal/pathexpr"
 	"ringrpq/internal/ring"
 	"ringrpq/internal/wavelet"
@@ -58,6 +59,7 @@ type Engine struct {
 
 	// per-evaluation state
 	stats     core.Stats
+	trace     *obs.Trace
 	deadline  time.Time
 	steps     int
 	limit     int
@@ -245,6 +247,7 @@ func (e *Engine) Eval(q core.Query, opts core.Options, emit core.EmitFunc) (core
 	e.limit = opts.Limit
 	e.base = 0
 	e.batch = !opts.DisableBatching && !opts.DFS
+	e.trace = opts.Trace
 	if opts.Timeout > 0 {
 		e.deadline = time.Now().Add(opts.Timeout)
 	} else {
@@ -259,6 +262,7 @@ func (e *Engine) Eval(q core.Query, opts core.Options, emit core.EmitFunc) (core
 		return e.limit == 0 || e.results < e.limit
 	}
 
+	sp := e.trace.Begin(obs.SpanTraverse)
 	var err error
 	switch {
 	case q.Subject == core.Variable && q.Object == core.Variable &&
@@ -273,6 +277,8 @@ func (e *Engine) Eval(q core.Query, opts core.Options, emit core.EmitFunc) (core
 	default:
 		err = e.evalBothVar(q.Expr, counted)
 	}
+	e.trace.EndVals(sp, int64(e.stats.ProductNodes), int64(e.stats.ProductEdges),
+		int64(e.stats.WaveletVisits), int64(e.stats.Results))
 	if errors.Is(err, errLimit) {
 		err = nil
 	}

@@ -6,6 +6,7 @@ import (
 
 	"ringrpq/internal/core"
 	"ringrpq/internal/ltj"
+	"ringrpq/internal/obs"
 	"ringrpq/internal/overlay"
 	"ringrpq/internal/pathexpr"
 	"ringrpq/internal/ring"
@@ -32,6 +33,9 @@ type Options struct {
 	// deadline captured at entry covering planning, the LTJ core and
 	// every RPQ step — a pattern never runs materially past 1× it.
 	Timeout time.Duration
+	// Trace, when non-nil, records plan / ltj_join / rpq_step spans
+	// (and, nested below them, the engines' traverse and level spans).
+	Trace *obs.Trace
 }
 
 // Binding is one result row: variable name (without '?') to the bound
@@ -257,7 +261,9 @@ func (x *Exec) Run(q *Query, opts Options, emit func(Binding) bool) error {
 	if err != nil {
 		return err
 	}
+	psp := opts.Trace.Begin(obs.SpanPlan)
 	pl, err := x.planFor(q, r, deadline, x.dirty())
+	opts.Trace.End(psp)
 	if err != nil {
 		return err
 	}
@@ -270,6 +276,7 @@ func (x *Exec) Run(q *Query, opts Options, emit func(Binding) bool) error {
 		row:      map[string]uint32{},
 		predVars: q.PredVars(),
 		deadline: deadline,
+		trace:    opts.Trace,
 	}
 
 	if len(pl.Triples) > 0 {
@@ -278,7 +285,9 @@ func (x *Exec) Run(q *Query, opts Options, emit func(Binding) bool) error {
 			return ErrTimeout
 		}
 		lopts := ltj.Options{Order: pl.Order, Timeout: rem}
+		jsp, rows := rt.trace.Begin(obs.SpanLTJ), int64(0)
 		err := ltj.JoinWith(r, pl.Triples, lopts, func(row ltj.Row) bool {
+			rows++
 			for k, v := range row {
 				rt.row[k] = v
 			}
@@ -288,6 +297,7 @@ func (x *Exec) Run(q *Query, opts Options, emit func(Binding) bool) error {
 			}
 			return cont
 		})
+		rt.trace.EndVals(jsp, rows)
 		if errors.Is(err, ltj.ErrTimeout) {
 			return ErrTimeout
 		}
@@ -313,6 +323,7 @@ type run struct {
 	deadline time.Time
 	ticks    int
 	failure  error
+	trace    *obs.Trace
 }
 
 // remaining converts the deadline into a per-call engine timeout; false
@@ -364,7 +375,7 @@ func (rt *run) steps(i int) bool {
 		return false
 	}
 	eng := rt.x.evaluatorFor(rt.r, i)
-	copts := core.Options{Timeout: rem}
+	copts := core.Options{Timeout: rem, Trace: rt.trace}
 
 	cq := core.Query{Subject: core.Variable, Object: core.Variable, Expr: s.Expr}
 	if sBound {
@@ -374,12 +385,13 @@ func (rt *run) steps(i int) bool {
 		cq.Object = oid
 	}
 
+	ssp := rt.trace.Begin(obs.SpanRPQStep)
 	cont := true
 	var err error
 	switch {
 	case sBound && oBound:
 		found := false
-		_, err = eng.Eval(cq, core.Options{Timeout: rem, Limit: 1}, func(uint32, uint32) bool {
+		_, err = eng.Eval(cq, core.Options{Timeout: rem, Limit: 1, Trace: rt.trace}, func(uint32, uint32) bool {
 			found = true
 			return false
 		})
@@ -415,6 +427,7 @@ func (rt *run) steps(i int) bool {
 			return cont
 		})
 	}
+	rt.trace.End(ssp)
 	if err != nil {
 		if errors.Is(err, core.ErrTimeout) {
 			rt.failure = ErrTimeout

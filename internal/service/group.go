@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ringrpq/internal/core"
+	"ringrpq/internal/obs"
 	"ringrpq/internal/pathexpr"
 )
 
@@ -83,34 +84,42 @@ func (s *Service) runGrouped(gb GroupBackend, b Backend, batch []*job) {
 	seen := make(map[string]*groupJobState, len(batch))
 	for _, j := range batch {
 		if j.pattern != nil {
-			j.done <- s.run(b, j)
+			res := s.run(b, j)
+			s.finish(j, &res)
+			j.done <- res
 			continue
 		}
 		// Preflight mirrors run(): context first, then the deadline
 		// anchored at submission (queue wait counts against the budget).
 		if err := j.ctx.Err(); err != nil {
 			s.countCtxErr(err)
-			j.done <- Result{Err: err}
+			res := Result{Err: err}
+			s.finish(j, &res)
+			j.done <- res
 			continue
 		}
-		s.queueWait.Add(time.Since(j.enqueued).Nanoseconds())
 		var timeout time.Duration
 		if !j.deadline.IsZero() {
 			timeout = time.Until(j.deadline)
 			if timeout <= 0 {
+				j.wait = time.Since(j.enqueued)
+				s.queueWait.Add(j.wait.Nanoseconds())
 				s.timeouts.Add(1)
 				s.completed.Add(1)
-				j.done <- Result{Err: core.ErrTimeout}
+				res := Result{Err: core.ErrTimeout}
+				s.finish(j, &res)
+				j.done <- res
 				continue
 			}
 		}
 		// Streamed jobs keep their own evaluation (their emit callback
-		// is their identity); everything else coalesces via the result
-		// cache key, which covers endpoints, canonical expression,
-		// count mode and limit. The set evaluates under the most
-		// generous member deadline: a shorter-deadline duplicate can
-		// only receive its full result sooner than it would alone.
-		if j.stream == nil {
+		// is their identity), and so do profiled jobs (their trace must
+		// describe exactly one evaluation); everything else coalesces
+		// via the result cache key, which covers endpoints, canonical
+		// expression, count mode and limit. The set evaluates under the
+		// most generous member deadline: a shorter-deadline duplicate
+		// can only receive its full result sooner than it would alone.
+		if j.stream == nil && j.trace == nil {
 			key := cacheKey(j.req, j.canon)
 			if p, ok := seen[key]; ok {
 				p.dups = append(p.dups, j)
@@ -130,8 +139,12 @@ func (s *Service) runGrouped(gb GroupBackend, b Backend, batch []*job) {
 		return
 	}
 	if len(members) == 1 && len(members[0].dups) == 0 {
-		// Nothing to share; keep run()'s exact code path.
-		members[0].j.done <- s.run(b, members[0].j)
+		// Nothing to share; keep run()'s exact code path (run stamps
+		// the queue wait and eval telemetry itself).
+		j := members[0].j
+		res := s.run(b, j)
+		s.finish(j, &res)
+		j.done <- res
 		return
 	}
 
@@ -165,18 +178,34 @@ func (s *Service) runGrouped(gb GroupBackend, b Backend, batch []*job) {
 		}
 	}
 
+	// Evaluation starts now: stamp every member's (and duplicate's)
+	// queue wait and open the shared-eval telemetry window.
+	for _, st := range members {
+		st.j.wait = time.Since(st.j.enqueued)
+		s.queueWait.Add(st.j.wait.Nanoseconds())
+		st.j.trace.Add(obs.SpanQueueWait, st.j.enqueued)
+		st.j.grouped = true
+		for _, d := range st.dups {
+			d.wait = time.Since(d.enqueued)
+			s.queueWait.Add(d.wait.Nanoseconds())
+			d.grouped = true
+		}
+	}
+
 	s.inflight.Add(int64(jobs))
 	if len(members) >= 2 {
 		s.grouped.Add(int64(jobs))
 	} else {
 		s.grouped.Add(int64(1 + len(members[0].dups)))
 	}
+	evalStart := time.Now()
 	errs := func() []error {
 		// Deferred so a panicking evaluation (recovered in
 		// runGroupedSafe) cannot leak the inflight count.
 		defer s.inflight.Add(int64(-jobs))
 		return gb.EvalGroup(reqs)
 	}()
+	evalDur := time.Since(evalStart)
 
 	for i, st := range members {
 		var err error
@@ -199,9 +228,19 @@ func (s *Service) runGrouped(gb GroupBackend, b Backend, batch []*job) {
 		}
 		s.completed.Add(int64(1 + len(st.dups)))
 		s.deduped.Add(int64(len(st.dups)))
+		st.j.evalDur = evalDur
+		st.j.trace.Add(obs.SpanEval, evalStart, int64(st.n))
+		s.finish(st.j, &res)
 		st.j.done <- res
 		for _, d := range st.dups {
-			d.done <- res
+			// Each duplicate gets its own telemetry finish on a copy
+			// (duplicates are never profiled — profiled jobs are not
+			// coalesced — so the copy carries no trace).
+			dres := res
+			dres.Trace = nil
+			d.evalDur = evalDur
+			s.finish(d, &dres)
+			d.done <- dres
 		}
 	}
 }

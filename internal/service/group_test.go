@@ -26,8 +26,8 @@ func (g *groupFake) Clone() Backend {
 	return &groupFake{f: g.f.Clone().(*fake), shared: g.shared}
 }
 
-func (g *groupFake) Eval(subject string, expr pathexpr.Node, object string, limit int, timeout time.Duration, emit func(Solution) bool) error {
-	return g.f.Eval(subject, expr, object, limit, timeout, emit)
+func (g *groupFake) Eval(_ context.Context, subject string, expr pathexpr.Node, object string, limit int, timeout time.Duration, emit func(Solution) bool) error {
+	return g.f.Eval(context.Background(), subject, expr, object, limit, timeout, emit)
 }
 
 func (g *groupFake) EvalGroup(reqs []GroupRequest) []error {
@@ -36,7 +36,7 @@ func (g *groupFake) EvalGroup(reqs []GroupRequest) []error {
 	g.shared.mu.Unlock()
 	errs := make([]error, len(reqs))
 	for i, r := range reqs {
-		errs[i] = g.f.Eval(r.Subject, r.Expr, r.Object, r.Limit, r.Timeout, r.Emit)
+		errs[i] = g.f.Eval(context.Background(), r.Subject, r.Expr, r.Object, r.Limit, r.Timeout, r.Emit)
 	}
 	return errs
 }

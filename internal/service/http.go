@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ringrpq/internal/core"
+	"ringrpq/internal/obs"
 )
 
 // HandlerConfig tunes the HTTP front-end.
@@ -38,6 +39,9 @@ type QueryJSON struct {
 	Limit   *int   `json:"limit,omitempty"`
 	Timeout string `json:"timeout,omitempty"`
 	Count   bool   `json:"count,omitempty"`
+	// Profile asks for a span trace of this request's evaluation,
+	// returned under "profile" in the response.
+	Profile bool `json:"profile,omitempty"`
 }
 
 // SolutionJSON is the wire form of a Solution.
@@ -67,6 +71,9 @@ type ResultJSON struct {
 	// the whole-batch elapsed_ms at the top level (individual timings
 	// are not observable from the fan-out) and omit this field.
 	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+	// Profile is the rendered span trace of a profiled request
+	// (QueryJSON.Profile); absent otherwise.
+	Profile *obs.Profile `json:"profile,omitempty"`
 }
 
 // BatchJSON is the wire form of a POST /batch body.
@@ -81,6 +88,8 @@ type SelectJSON struct {
 	Limit   *int   `json:"limit,omitempty"`
 	Timeout string `json:"timeout,omitempty"`
 	Count   bool   `json:"count,omitempty"`
+	// Profile asks for a span trace of this request's evaluation.
+	Profile bool `json:"profile,omitempty"`
 }
 
 // SelectResultJSON is the wire form of a /select response: the
@@ -89,14 +98,15 @@ type SelectJSON struct {
 // non-200 {"error": ...} responses; only timeouts reach a 200 body,
 // flagged with timed_out.
 type SelectResultJSON struct {
-	Vars         []string   `json:"vars"`
-	Rows         [][]string `json:"rows,omitempty"`
-	Count        int        `json:"count"`
-	Cached       bool       `json:"cached,omitempty"`
-	Truncated    bool       `json:"truncated,omitempty"`
-	TimedOut     bool       `json:"timed_out,omitempty"`
-	LimitReached bool       `json:"limit_reached,omitempty"`
-	ElapsedMS    float64    `json:"elapsed_ms,omitempty"`
+	Vars         []string     `json:"vars"`
+	Rows         [][]string   `json:"rows,omitempty"`
+	Count        int          `json:"count"`
+	Cached       bool         `json:"cached,omitempty"`
+	Truncated    bool         `json:"truncated,omitempty"`
+	TimedOut     bool         `json:"timed_out,omitempty"`
+	LimitReached bool         `json:"limit_reached,omitempty"`
+	ElapsedMS    float64      `json:"elapsed_ms,omitempty"`
+	Profile      *obs.Profile `json:"profile,omitempty"`
 }
 
 // UpdateTripleJSON is the wire form of one update triple.
@@ -136,7 +146,10 @@ type UpdateResultJSON struct {
 //	                 DecodeSubscribeRequest)
 //	DELETE /subscribe?id=N  terminate a subscription
 //	GET  /stats   service + index counters
-//	GET  /healthz liveness probe
+//	GET  /healthz liveness probe (always 200 while the process serves)
+//	GET  /readyz  readiness probe (503 once closed or the WAL wedges)
+//	GET  /metrics Prometheus text exposition of every service counter
+//	GET  /debug/slowlog  recent slow queries (JSON, newest first)
 func NewHandler(s *Service, cfg HandlerConfig) http.Handler {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 1024
@@ -154,6 +167,9 @@ func NewHandler(s *Service, cfg HandlerConfig) http.Handler {
 	mux.HandleFunc("DELETE /subscribe", h.unsubscribe)
 	mux.HandleFunc("GET /stats", h.stats)
 	mux.HandleFunc("GET /healthz", h.healthz)
+	mux.HandleFunc("GET /readyz", h.readyz)
+	mux.Handle("GET /metrics", s.Metrics())
+	mux.HandleFunc("GET /debug/slowlog", h.slowlog)
 	return mux
 }
 
@@ -179,7 +195,7 @@ func (h *handler) toRequest(q QueryJSON) (Request, error) {
 	}
 	req := Request{
 		Subject: q.Subject, Expr: q.Expr, Object: q.Object,
-		Count: q.Count, Limit: h.cfg.DefaultLimit,
+		Count: q.Count, Limit: h.cfg.DefaultLimit, Profile: q.Profile,
 	}
 	if q.Limit != nil {
 		if *q.Limit < 0 {
@@ -248,7 +264,7 @@ func (h *handler) toPatternRequest(q SelectJSON) (Request, error) {
 	if q.Query == "" {
 		return Request{}, errors.New("missing query")
 	}
-	req := Request{Pattern: q.Query, Count: q.Count, Limit: h.cfg.DefaultLimit}
+	req := Request{Pattern: q.Query, Count: q.Count, Limit: h.cfg.DefaultLimit, Profile: q.Profile}
 	if q.Limit != nil {
 		if *q.Limit < 0 {
 			return Request{}, errors.New("limit must be non-negative")
@@ -279,7 +295,8 @@ func (h *handler) selectPattern(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	res := h.s.Select(r.Context(), req)
+	ctx, tr, root := h.traceFor(r, req)
+	res := h.s.Select(ctx, req)
 	if status, ok := failureStatus(res.Err); ok {
 		writeError(w, status, res.Err)
 		return
@@ -296,6 +313,9 @@ func (h *handler) selectPattern(w http.ResponseWriter, r *http.Request) {
 		out.Truncated = true
 		out.TimedOut = true
 	}
+	if tr != nil {
+		out.Profile = h.renderProfile(tr, root, out)
+	}
 	writeJSON(w, resultStatus(res.Err), out)
 }
 
@@ -310,12 +330,45 @@ func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	res := h.s.do(r.Context(), req, nil)
+	ctx, tr, root := h.traceFor(r, req)
+	res := h.s.do(ctx, req, nil)
 	if status, ok := failureStatus(res.Err); ok {
 		writeError(w, status, res.Err)
 		return
 	}
-	writeJSON(w, resultStatus(res.Err), toJSON(req, res, time.Since(start)))
+	out := toJSON(req, res, time.Since(start))
+	if tr != nil {
+		out.Profile = h.renderProfile(tr, root, out)
+	}
+	writeJSON(w, resultStatus(res.Err), out)
+}
+
+// traceFor opens the root request span of a profiled request and
+// attaches the trace to the submission context; (ctx, nil, -1) when
+// the request is not profiled.
+func (h *handler) traceFor(r *http.Request, req Request) (context.Context, *obs.Trace, int) {
+	if !req.Profile {
+		return r.Context(), nil, -1
+	}
+	tr := obs.New()
+	root := tr.Begin(obs.SpanRequest)
+	return obs.NewContext(r.Context(), tr), tr, root
+}
+
+// renderProfile times a dry-run serialization of the response payload
+// (the real encode happens after the trace is sealed, so a span can
+// only observe a stand-in of identical size), closes the root span and
+// renders the trace.
+func (h *handler) renderProfile(tr *obs.Trace, root int, payload any) *obs.Profile {
+	ssp := tr.Begin(obs.SpanSerialize)
+	buf, err := json.Marshal(payload)
+	if err != nil {
+		tr.End(ssp)
+	} else {
+		tr.EndVals(ssp, int64(len(buf)))
+	}
+	tr.End(root)
+	return tr.Render()
 }
 
 // decodeBody decodes a size-bounded JSON request body, writing the
@@ -362,6 +415,11 @@ func (h *handler) batch(w http.ResponseWriter, r *http.Request) {
 	out := make([]ResultJSON, len(results))
 	for i, res := range results {
 		out[i] = toJSON(reqs[i], res, 0)
+		// Profiled batch items carry their own service-created trace
+		// (submit opens the root span, the worker closes it).
+		if res.Trace != nil {
+			out[i].Profile = res.Trace.Render()
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"results":    out,
@@ -397,4 +455,42 @@ func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 
 func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// readyz distinguishes "alive" from "able to serve": it fails once the
+// service is closed (draining for shutdown) or the write-ahead log has
+// wedged (appends are being refused, so updates would be lost).
+func (h *handler) readyz(w http.ResponseWriter, r *http.Request) {
+	if h.s.Closed() {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"status": "unavailable", "reason": "service closed"})
+		return
+	}
+	if ws := h.s.walStats(); ws.Wedged {
+		reason := "write-ahead log wedged"
+		if ws.WedgeReason != "" {
+			reason += ": " + ws.WedgeReason
+		}
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"status": "unavailable", "reason": reason})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// slowlog dumps the retained slow-query entries, newest first.
+func (h *handler) slowlog(w http.ResponseWriter, r *http.Request) {
+	sl := h.s.SlowLog()
+	if sl == nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"enabled": false, "entries": []obs.SlowEntry{},
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled":   true,
+		"threshold": sl.Threshold().String(),
+		"total":     sl.Total(),
+		"entries":   sl.Entries(),
+	})
 }

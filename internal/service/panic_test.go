@@ -26,7 +26,7 @@ type panicFake struct {
 
 func (f *panicFake) Clone() Backend { return f }
 
-func (f *panicFake) Eval(subject string, expr pathexpr.Node, object string, limit int, timeout time.Duration, emit func(Solution) bool) error {
+func (f *panicFake) Eval(_ context.Context, subject string, expr pathexpr.Node, object string, limit int, timeout time.Duration, emit func(Solution) bool) error {
 	switch subject {
 	case "boom":
 		panic("kaboom: injected evaluation panic")
@@ -81,7 +81,7 @@ func (g *groupPanicFake) EvalGroup(reqs []GroupRequest) []error {
 		}
 	}
 	for _, r := range reqs {
-		if err := g.Eval(r.Subject, r.Expr, r.Object, r.Limit, r.Timeout, r.Emit); err != nil {
+		if err := g.Eval(context.Background(), r.Subject, r.Expr, r.Object, r.Limit, r.Timeout, r.Emit); err != nil {
 			return make([]error, len(reqs))
 		}
 	}

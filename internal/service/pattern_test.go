@@ -32,11 +32,11 @@ func newPatternFake(rows int) *patternFake {
 
 func (f *patternFake) Clone() Backend { return &patternFake{shared: f.shared} }
 
-func (f *patternFake) Eval(subject string, expr pathexpr.Node, object string, limit int, timeout time.Duration, emit func(Solution) bool) error {
+func (f *patternFake) Eval(_ context.Context, subject string, expr pathexpr.Node, object string, limit int, timeout time.Duration, emit func(Solution) bool) error {
 	return nil
 }
 
-func (f *patternFake) EvalPattern(q *query.Query, limit int, timeout time.Duration, emit func([]string) bool) error {
+func (f *patternFake) EvalPattern(_ context.Context, q *query.Query, limit int, timeout time.Duration, emit func([]string) bool) error {
 	f.shared.evals.Add(1)
 	vars := q.OutVars()
 	for i := 0; i < f.shared.rows; i++ {

@@ -20,6 +20,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"reflect"
 	"runtime"
 	"strconv"
 	"strings"
@@ -28,6 +30,7 @@ import (
 	"time"
 
 	"ringrpq/internal/core"
+	"ringrpq/internal/obs"
 	"ringrpq/internal/pathexpr"
 	"ringrpq/internal/query"
 	"ringrpq/internal/standing"
@@ -51,7 +54,10 @@ type Backend interface {
 	// beginning with '?' are variables. A limit of 0 means unlimited; a
 	// timeout of 0 means none; exceeding the timeout returns
 	// core.ErrTimeout with the solutions emitted so far still valid.
-	Eval(subject string, expr pathexpr.Node, object string, limit int, timeout time.Duration, emit func(Solution) bool) error
+	// ctx carries request-scoped telemetry (an obs.Trace for profiled
+	// requests); cancellation is handled by the service's emit wrapper,
+	// so backends need not watch ctx.Done themselves.
+	Eval(ctx context.Context, subject string, expr pathexpr.Node, object string, limit int, timeout time.Duration, emit func(Solution) bool) error
 }
 
 // PatternBackend is optionally implemented by backends that can
@@ -60,7 +66,7 @@ type Backend interface {
 // q.OutVars()); limit caps rows and timeout mirrors Eval's contract.
 // Requests with Pattern set fail against backends without it.
 type PatternBackend interface {
-	EvalPattern(q *query.Query, limit int, timeout time.Duration, emit func(row []string) bool) error
+	EvalPattern(ctx context.Context, q *query.Query, limit int, timeout time.Duration, emit func(row []string) bool) error
 }
 
 // UpdateTriple is one update triple in string form.
@@ -83,7 +89,7 @@ type UpdateResult struct {
 // concurrent use — it goes to the shared snapshot holder, not through
 // the worker pool.
 type Updater interface {
-	ApplyUpdates(adds, dels []UpdateTriple) (UpdateResult, error)
+	ApplyUpdates(ctx context.Context, adds, dels []UpdateTriple) (UpdateResult, error)
 }
 
 // Versioned is optionally implemented by backends whose data can
@@ -133,6 +139,14 @@ type Config struct {
 	// masks of up to GroupMax queries ride one wavelet descent).
 	// Default 8.
 	GroupMax int
+	// SlowQueryThreshold enables the slow-query log: requests whose
+	// end-to-end time (queue wait included) reaches it are recorded in
+	// a bounded in-memory ring (GET /debug/slowlog) and mirrored to the
+	// default slog logger. 0 disables.
+	SlowQueryThreshold time.Duration
+	// SlowLogCapacity bounds the retained slow-query entries.
+	// Default 128.
+	SlowLogCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -179,6 +193,13 @@ type Request struct {
 	// Count asks for the solution count only; Result.Solutions (or
 	// Rows) stays nil.
 	Count bool
+	// Profile asks for a per-stage span trace of this request's
+	// processing (queue wait, cache probes, compile, evaluation with
+	// per-level traversal detail) in Result.Trace — an EXPLAIN ANALYZE
+	// for the ring. Profiled requests still read the result cache (the
+	// trace then shows the hit) but are excluded from cross-query
+	// coalescing so the trace describes exactly one evaluation.
+	Profile bool
 }
 
 // Result is the outcome of one Request.
@@ -199,6 +220,10 @@ type Result struct {
 	// Err is nil on success; core.ErrTimeout flags a truncated result
 	// (Solutions/N still hold what was found in time).
 	Err error
+	// Trace is the span trace of a profiled request (Request.Profile or
+	// an obs.Trace attached to the submission context); nil otherwise.
+	// Render it with Trace.Render. Never shared with the result cache.
+	Trace *obs.Trace
 }
 
 // ErrClosed reports a submission to a Service after Close.
@@ -262,12 +287,46 @@ type Stats struct {
 	ResultEntries   int
 	ResultBytes     int64
 	ResultEvictions int64
+	// SlowQueries counts requests that crossed the slow-query threshold
+	// (0 when the slow-query log is disabled).
+	SlowQueries int64
+	// Latency summarizes end-to-end request durations (queue wait +
+	// evaluation, measured at the worker) and EvalLatency the
+	// evaluation-only portion; both come from lock-free log-bucketed
+	// histograms, so p50/p95/p99 are available without a Prometheus
+	// scrape.
+	Latency     LatencySummary
+	EvalLatency LatencySummary
 	// Standing describes the standing-query subsystem (zero when the
 	// backend has no subscription support).
 	Standing StandingStats
 	// WAL describes the durability layer (Enabled false when the backend
 	// has no write-ahead log).
 	WAL WALStats
+}
+
+// LatencySummary condenses one latency histogram for /stats.
+type LatencySummary struct {
+	Count  int64
+	P50MS  float64
+	P90MS  float64
+	P95MS  float64
+	P99MS  float64
+	MaxMS  float64
+	MeanMS float64
+}
+
+func summarize(s obs.HistSnapshot) LatencySummary {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return LatencySummary{
+		Count:  int64(s.Count),
+		P50MS:  ms(s.Quantile(0.50)),
+		P90MS:  ms(s.Quantile(0.90)),
+		P95MS:  ms(s.Quantile(0.95)),
+		P99MS:  ms(s.Quantile(0.99)),
+		MaxMS:  ms(time.Duration(s.Max)),
+		MeanMS: ms(s.Mean()),
+	}
 }
 
 // WALStats mirrors the backend's durability counters for Stats (see
@@ -286,6 +345,8 @@ type WALStats struct {
 	Checkpoints           int64
 	CheckpointErrors      int64
 	LastCheckpointVersion uint64
+	Wedged                bool
+	WedgeReason           string
 }
 
 // WALStatser is optionally implemented by backends with a write-ahead
@@ -321,6 +382,15 @@ type Service struct {
 	resMu   sync.Mutex
 	results *lruCache
 
+	// slow is the bounded slow-query ring (nil when disabled); latE2E
+	// and latEval are the end-to-end and evaluation-only latency
+	// histograms, fed at the workers. metrics renders all of it (plus
+	// every Stats field) as Prometheus text for GET /metrics.
+	slow    *obs.SlowLog
+	latE2E  obs.Histogram
+	latEval obs.Histogram
+	metrics obs.Registry
+
 	requests  atomic.Int64
 	updates   atomic.Int64
 	queueWait atomic.Int64
@@ -355,6 +425,17 @@ type job struct {
 	enqueued time.Time
 	stream   func(Solution) bool
 	done     chan Result
+
+	// trace is non-nil for profiled jobs; root is the index of the
+	// service-created request span (-1 when the caller owns the root,
+	// e.g. the HTTP handler, which closes it after serialization).
+	trace *obs.Trace
+	root  int
+	// wait and evalDur are filled at the worker for the latency
+	// histograms and the slow-query log.
+	wait    time.Duration
+	evalDur time.Duration
+	grouped bool
 }
 
 // cachedResult is one result-cache entry, pinned to the data version
@@ -375,7 +456,9 @@ func New(backend Backend, cfg Config) *Service {
 		exprs:    newExprCache(cfg.ExprCacheEntries),
 		patterns: newPatternCache(cfg.ExprCacheEntries),
 		results:  newLRUCache(cfg.ResultCacheEntries, cfg.ResultCacheBytes),
+		slow:     obs.NewSlowLog(cfg.SlowQueryThreshold, cfg.SlowLogCapacity, slog.Default()),
 	}
+	s.registerMetrics()
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker(backend.Clone())
@@ -474,6 +557,16 @@ func (s *Service) submit(ctx context.Context, req Request, stream func(Solution)
 	if req.Timeout < 0 {
 		req.Timeout = 0
 	}
+	// A profiled request records into the trace attached to ctx (the
+	// HTTP handler's, which owns the root span) or, absent one, into a
+	// fresh trace whose root span the worker closes.
+	tr := obs.FromContext(ctx)
+	root := -1
+	if tr == nil && req.Profile {
+		tr = obs.New()
+		root = tr.Begin(obs.SpanRequest)
+		ctx = obs.NewContext(ctx, tr)
+	}
 	var (
 		node  pathexpr.Node
 		pat   *query.Query
@@ -484,9 +577,13 @@ func (s *Service) submit(ctx context.Context, req Request, stream func(Solution)
 		if stream != nil {
 			return Result{Err: errors.New("service: pattern requests cannot be streamed")}, nil
 		}
+		csp := tr.Begin(obs.SpanCompile)
 		canon, pat, err = s.patterns.Compile(req.Pattern)
+		tr.End(csp)
 	} else {
+		csp := tr.Begin(obs.SpanCompile)
 		canon, node, err = s.exprs.Compile(req.Expr)
+		tr.End(csp)
 	}
 	if err != nil {
 		s.errs.Add(1)
@@ -497,26 +594,31 @@ func (s *Service) submit(ctx context.Context, req Request, stream func(Solution)
 	var key string
 	if stream == nil && s.results.enabled() {
 		key = cacheKey(req, canon)
+		rsp := tr.Begin(obs.SpanResultCache)
 		s.resMu.Lock()
 		v, ok := s.results.Get(key)
 		s.resMu.Unlock()
 		if ok {
 			if e := v.(cachedResult); e.version == version {
+				tr.EndVals(rsp, 1)
+				tr.End(root)
 				s.hits.Add(1)
 				res := e.res
 				res.Cached = true
+				res.Trace = tr
 				return res, nil
 			}
 			// Computed against superseded data: a live update or a
 			// compaction swap invalidated it.
 			ok = false
 		}
+		tr.EndVals(rsp, 0)
 		if !ok {
 			s.misses.Add(1)
 		}
 	}
 
-	j := &job{ctx: ctx, req: req, node: node, pattern: pat, key: key, canon: canon, version: version, stream: stream, done: make(chan Result, 1)}
+	j := &job{ctx: ctx, req: req, node: node, pattern: pat, key: key, canon: canon, version: version, stream: stream, done: make(chan Result, 1), trace: tr, root: root}
 	// Anchor the evaluation deadline now: time spent queued counts
 	// against the request's budget (the context-deadline clamp is kept).
 	t := req.Timeout
@@ -600,8 +702,60 @@ func (s *Service) worker(b Backend) {
 		if !ok {
 			b = nil
 		}
+		s.finish(j, &res)
 		j.done <- res
 	}
+}
+
+// finish stamps end-to-end telemetry for one answered job: the latency
+// histograms, the slow-query log, and the job's trace (closing the
+// service-owned root span and attaching the trace to the result so the
+// caller can render it). Cache hits never reach here — submit answers
+// them directly.
+func (s *Service) finish(j *job, res *Result) {
+	total := time.Since(j.enqueued)
+	s.latE2E.Observe(total)
+	if j.evalDur > 0 {
+		s.latEval.Observe(j.evalDur)
+	}
+	if s.slow != nil && total >= s.slow.Threshold() {
+		s.recordSlow(j, res, total)
+	}
+	if j.trace != nil {
+		j.trace.End(j.root)
+		res.Trace = j.trace
+	}
+}
+
+// recordSlow files one slow-query log entry for an answered job.
+func (s *Service) recordSlow(j *job, res *Result, total time.Duration) {
+	timedOut := errors.Is(res.Err, core.ErrTimeout)
+	e := obs.SlowEntry{
+		Time:      time.Now(),
+		Subject:   j.req.Subject,
+		Object:    j.req.Object,
+		Expr:      j.req.Expr,
+		Pattern:   j.req.Pattern,
+		Total:     total,
+		QueueWait: j.wait,
+		Eval:      j.evalDur,
+		Results:   res.N,
+		Truncated: timedOut,
+		TimedOut:  timedOut,
+		Grouped:   j.grouped,
+	}
+	switch {
+	case j.req.Pattern != "":
+		e.Kind = "select"
+	case j.req.Count:
+		e.Kind = "count"
+	default:
+		e.Kind = "query"
+	}
+	if res.Err != nil {
+		e.Err = res.Err.Error()
+	}
+	s.slow.Record(e)
 }
 
 // runSafe evaluates one job, converting a panic into an ErrInternal
@@ -650,7 +804,9 @@ func (s *Service) run(b Backend, j *job) Result {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 	defer s.completed.Add(1)
-	s.queueWait.Add(time.Since(j.enqueued).Nanoseconds())
+	j.wait = time.Since(j.enqueued)
+	s.queueWait.Add(j.wait.Nanoseconds())
+	j.trace.Add(obs.SpanQueueWait, j.enqueued)
 
 	var timeout time.Duration
 	if !j.deadline.IsZero() {
@@ -691,7 +847,10 @@ func (s *Service) run(b Backend, j *job) Result {
 		}
 		return true
 	}
-	err := b.Eval(j.req.Subject, j.node, j.req.Object, j.req.Limit, timeout, emit)
+	esp, evalStart := j.trace.Begin(obs.SpanEval), time.Now()
+	err := b.Eval(j.ctx, j.req.Subject, j.node, j.req.Object, j.req.Limit, timeout, emit)
+	j.evalDur = time.Since(evalStart)
+	j.trace.EndVals(esp, int64(n))
 	res := Result{Solutions: sols, N: n, Err: err}
 	switch {
 	case stopped == errStopped:
@@ -733,7 +892,10 @@ func (s *Service) runPattern(b Backend, j *job, timeout time.Duration) Result {
 		}
 		return true
 	}
-	err := pb.EvalPattern(j.pattern, j.req.Limit, timeout, emit)
+	esp, evalStart := j.trace.Begin(obs.SpanEval), time.Now()
+	err := pb.EvalPattern(j.ctx, j.pattern, j.req.Limit, timeout, emit)
+	j.evalDur = time.Since(evalStart)
+	j.trace.EndVals(esp, int64(n))
 	res := Result{Vars: j.pattern.OutVars(), Rows: rows, N: n, Err: err}
 	switch {
 	case stopped != nil:
@@ -825,7 +987,7 @@ func (s *Service) Update(ctx context.Context, adds, dels []UpdateTriple) (Update
 	if !ok {
 		return UpdateResult{}, errNoUpdates
 	}
-	res, err := u.ApplyUpdates(adds, dels)
+	res, err := u.ApplyUpdates(ctx, adds, dels)
 	if err == nil {
 		s.updates.Add(1)
 	}
@@ -869,6 +1031,9 @@ func (s *Service) Stats() Stats {
 		ResultEvictions: rEvict,
 		Standing:        s.standingStats(),
 		WAL:             s.walStats(),
+		SlowQueries:     int64(s.slow.Total()),
+		Latency:         summarize(s.latE2E.Snapshot()),
+		EvalLatency:     summarize(s.latEval.Snapshot()),
 	}
 }
 
@@ -881,11 +1046,53 @@ func (s *Service) walStats() WALStats {
 	return WALStats{}
 }
 
-// String renders a brief stats summary.
+// String renders the complete stats snapshot as name=value pairs. The
+// reflection walk includes every field — nested Standing/WAL/latency
+// blocks under dotted prefixes — so a counter added to Stats can never
+// be silently missing here (service_test asserts each field renders).
 func (st Stats) String() string {
-	return fmt.Sprintf("service{workers=%d queue=%d/%d req=%d hits=%d misses=%d timeouts=%d errors=%d inflight=%d subs=%d(lagged=%d) deltas=%d replay=%d}",
-		st.Workers, st.QueueLen, st.QueueCap, st.Requests, st.Hits, st.Misses, st.Timeouts, st.Errors, st.Inflight,
-		st.Standing.Active, st.Standing.Lagged, st.Standing.Deltas, st.Standing.ReplayLogBatches)
+	var b strings.Builder
+	b.WriteString("service{")
+	writeStatsFields(&b, reflect.ValueOf(st), "")
+	b.WriteString("}")
+	return b.String()
+}
+
+// writeStatsFields appends one `prefix.name=value` pair per exported
+// field of v, recursing into nested structs.
+func writeStatsFields(b *strings.Builder, v reflect.Value, prefix string) {
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f, fv := t.Field(i), v.Field(i)
+		name := prefix + snake(f.Name)
+		if fv.Kind() == reflect.Struct {
+			writeStatsFields(b, fv, name+".")
+			continue
+		}
+		if b.Len() > len("service{") {
+			b.WriteByte(' ')
+		}
+		switch fv.Kind() {
+		case reflect.Float64:
+			fmt.Fprintf(b, "%s=%.3f", name, fv.Float())
+		case reflect.String:
+			fmt.Fprintf(b, "%s=%q", name, fv.String())
+		default:
+			fmt.Fprintf(b, "%s=%v", name, fv.Interface())
+		}
+	}
+}
+
+// SlowLog returns the service's slow-query log, nil when disabled
+// (Config.SlowQueryThreshold unset).
+func (s *Service) SlowLog() *obs.SlowLog { return s.slow }
+
+// Closed reports whether Close has begun; the readiness endpoint uses
+// it to fail fast during shutdown.
+func (s *Service) Closed() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closed
 }
 
 // Close stops accepting requests, drains the queue (queued jobs still

@@ -37,7 +37,7 @@ func newFake(solutions int) *fake {
 
 func (f *fake) Clone() Backend { return &fake{shared: f.shared} }
 
-func (f *fake) Eval(subject string, expr pathexpr.Node, object string, limit int, timeout time.Duration, emit func(Solution) bool) error {
+func (f *fake) Eval(_ context.Context, subject string, expr pathexpr.Node, object string, limit int, timeout time.Duration, emit func(Solution) bool) error {
 	if f.busy.Swap(true) {
 		panic("fake backend used concurrently")
 	}

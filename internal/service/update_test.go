@@ -63,7 +63,7 @@ type partialFake struct{ evals atomic.Int64 }
 
 func (f *partialFake) Clone() Backend { return f }
 
-func (f *partialFake) Eval(subject string, expr pathexpr.Node, object string, limit int, timeout time.Duration, emit func(Solution) bool) error {
+func (f *partialFake) Eval(_ context.Context, subject string, expr pathexpr.Node, object string, limit int, timeout time.Duration, emit func(Solution) bool) error {
 	f.evals.Add(1)
 	n := 5
 	var fail error
@@ -124,12 +124,12 @@ type versionedFake struct {
 func (f *versionedFake) Clone() Backend      { return f }
 func (f *versionedFake) DataVersion() uint64 { return f.version.Load() }
 
-func (f *versionedFake) Eval(subject string, expr pathexpr.Node, object string, limit int, timeout time.Duration, emit func(Solution) bool) error {
+func (f *versionedFake) Eval(_ context.Context, subject string, expr pathexpr.Node, object string, limit int, timeout time.Duration, emit func(Solution) bool) error {
 	emit(Solution{Subject: fmt.Sprintf("m%d", f.marker.Load()), Object: "o"})
 	return nil
 }
 
-func (f *versionedFake) ApplyUpdates(adds, dels []UpdateTriple) (UpdateResult, error) {
+func (f *versionedFake) ApplyUpdates(_ context.Context, adds, dels []UpdateTriple) (UpdateResult, error) {
 	f.marker.Add(int64(len(adds) + len(dels)))
 	v := f.version.Add(1)
 	return UpdateResult{Version: v}, nil

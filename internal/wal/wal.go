@@ -594,6 +594,16 @@ func (l *Log) Stats() Stats {
 	}
 }
 
+// Err returns the latched wedge error, if any: once an append or sync
+// hits an I/O failure the log refuses further writes and this reports
+// why. A nil result means the log is healthy (readiness probes key off
+// this).
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.wedged
+}
+
 // Close flushes, fsyncs and closes the log. Later Appends fail with
 // ErrClosed.
 func (l *Log) Close() error {

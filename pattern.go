@@ -103,7 +103,7 @@ func (db *DB) queryPattern(node *query.Query, o core.Options, emit func(Binding)
 // already-pinned snapshot (the standing-query host evaluates on a
 // batch's two snapshots rather than whatever is current).
 func (db *DB) queryPatternOn(snap *snapshot, node *query.Query, o core.Options, emit func(Binding) bool) error {
-	return db.patternFor(snap).Run(node, query.Options{Limit: o.Limit, Timeout: o.Timeout}, emit)
+	return db.patternFor(snap).Run(node, query.Options{Limit: o.Limit, Timeout: o.Timeout, Trace: o.Trace}, emit)
 }
 
 // options folds QueryOptions into a core.Options value.

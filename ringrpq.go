@@ -68,6 +68,7 @@ import (
 	"time"
 
 	"ringrpq/internal/core"
+	"ringrpq/internal/obs"
 	"ringrpq/internal/overlay"
 	"ringrpq/internal/pathexpr"
 	"ringrpq/internal/query"
@@ -446,14 +447,16 @@ func (b dbBackend) Clone() service.Backend {
 	return dbBackend{db: b.db.Clone()}
 }
 
-func (b dbBackend) Eval(subject string, node pathexpr.Node, object string, limit int, timeout time.Duration, emit func(Solution) bool) error {
-	return b.db.queryNode(subject, node, object, core.Options{Limit: limit, Timeout: timeout}, emit)
+func (b dbBackend) Eval(ctx context.Context, subject string, node pathexpr.Node, object string, limit int, timeout time.Duration, emit func(Solution) bool) error {
+	o := core.Options{Limit: limit, Timeout: timeout, Trace: obs.FromContext(ctx)}
+	return b.db.queryNode(subject, node, object, o, emit)
 }
 
 // EvalPattern implements service.PatternBackend, so Services over a DB
 // serve graph patterns (Select, POST /select).
-func (b dbBackend) EvalPattern(q *query.Query, limit int, timeout time.Duration, emit func([]string) bool) error {
-	return b.db.selectFunc(q, core.Options{Limit: limit, Timeout: timeout}, emit)
+func (b dbBackend) EvalPattern(ctx context.Context, q *query.Query, limit int, timeout time.Duration, emit func([]string) bool) error {
+	o := core.Options{Limit: limit, Timeout: timeout, Trace: obs.FromContext(ctx)}
+	return b.db.selectFunc(q, o, emit)
 }
 
 // EvalGroup implements service.GroupBackend: several 2RPQs evaluate
@@ -519,7 +522,7 @@ func (b dbBackend) EvalGroup(reqs []service.GroupRequest) []error {
 // ApplyUpdates implements service.Updater: Services over a DB accept
 // live updates (Update, POST /update). Safe for concurrent use — the
 // batch goes to the shared snapshot holder, not through the pool.
-func (b dbBackend) ApplyUpdates(adds, dels []service.UpdateTriple) (service.UpdateResult, error) {
+func (b dbBackend) ApplyUpdates(ctx context.Context, adds, dels []service.UpdateTriple) (service.UpdateResult, error) {
 	conv := func(ts []service.UpdateTriple) []Triple {
 		out := make([]Triple, len(ts))
 		for i, t := range ts {
@@ -527,7 +530,7 @@ func (b dbBackend) ApplyUpdates(adds, dels []service.UpdateTriple) (service.Upda
 		}
 		return out
 	}
-	st, err := b.db.Apply(conv(adds), conv(dels))
+	st, err := b.db.ApplyContext(ctx, conv(adds), conv(dels))
 	return service.UpdateResult{
 		OverlayEdges: st.OverlayEdges,
 		Tombstones:   st.Tombstones,
@@ -591,6 +594,8 @@ func (b dbBackend) WALStats() service.WALStats {
 		Checkpoints:           st.Checkpoints,
 		CheckpointErrors:      st.CheckpointErrors,
 		LastCheckpointVersion: st.LastCheckpointVersion,
+		Wedged:                st.Wedged,
+		WedgeReason:           st.WedgeReason,
 	}
 }
 

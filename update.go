@@ -9,12 +9,14 @@ package ringrpq
 // worker clone — is never torn by a concurrent Apply or swap.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ringrpq/internal/obs"
 	"ringrpq/internal/overlay"
 	"ringrpq/internal/ring"
 	"ringrpq/internal/standing"
@@ -335,6 +337,14 @@ func (db *DB) resolveDels(dels []Triple) []overlay.Edge {
 // compaction threshold a background rebuild is kicked off (see
 // SetCompactionThreshold and Flush).
 func (db *DB) Apply(adds, dels []Triple) (UpdateStats, error) {
+	return db.ApplyContext(context.Background(), adds, dels)
+}
+
+// ApplyContext is Apply with a context carrying an optional obs.Trace:
+// profiled updates record wal_append, standing_notify and wal_fsync
+// spans. The context does not cancel the apply (batches are atomic).
+func (db *DB) ApplyContext(ctx context.Context, adds, dels []Triple) (UpdateStats, error) {
+	tr := obs.FromContext(ctx)
 	preds, err := db.predsOf(adds)
 	if err != nil {
 		return db.UpdateStats(), err
@@ -355,7 +365,9 @@ func (db *DB) Apply(adds, dels []Triple) (UpdateStats, error) {
 		if rec == nil {
 			rec = encodeBatchRecord(adds, dels)
 		}
+		asp := tr.Begin(obs.SpanWALAppend)
 		lsn, err = sink.log.Append(cur.version+1, rec)
+		tr.EndVals(asp, int64(len(rec)))
 		if err != nil {
 			// Nothing interned, nothing published: the batch never
 			// happened. The wedged log fails every later Apply too.
@@ -386,11 +398,13 @@ func (db *DB) Apply(adds, dels []Triple) (UpdateStats, error) {
 	if reg := h.standing.Load(); reg != nil && reg.Active() {
 		cur.refs.Add(1)
 		next.refs.Add(1)
+		nsp := tr.Begin(obs.SpanStandingNotify)
 		reg.Notify(standing.Batch{
 			Version: next.version,
 			Adds:    addEdges, Dels: delEdges,
 			Old: cur, New: next,
 		})
+		tr.End(nsp)
 	}
 	h.mu.Unlock()
 
@@ -400,7 +414,10 @@ func (db *DB) Apply(adds, dels []Triple) (UpdateStats, error) {
 		// the log is wedged, so every later Apply fails before
 		// publishing — the in-memory suffix past the last durable batch
 		// never grows beyond this one batch.
-		if err := sink.log.Sync(lsn); err != nil {
+		fsp := tr.Begin(obs.SpanWALFsync)
+		err := sink.log.Sync(lsn)
+		tr.End(fsp)
+		if err != nil {
 			return db.UpdateStats(), fmt.Errorf("ringrpq: wal fsync: %w", err)
 		}
 	}
