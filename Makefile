@@ -3,11 +3,11 @@
 GO ?= go
 FUZZTIME ?= 20s
 
-.PHONY: all ci build vet test race crash bench bench-short bench-json fuzz lint-metrics clean
+.PHONY: all ci build vet test race crash bench bench-short bench-json fuzz lint lint-metrics clean
 
 all: ci
 
-ci: build vet test crash bench-short lint-metrics
+ci: build vet test crash bench-short lint lint-metrics
 
 build:
 	$(GO) build ./...
@@ -24,9 +24,10 @@ test:
 # selectivity caches), the live-update overlay (snapshot swap vs
 # concurrent readers/writers), the standing-subscription registry, and
 # the root-package stress tests (including the subscription
-# close-under-update stress and the standing differential harness).
+# close-under-update stress and the standing differential harness),
+# plus the wavelet descent kernels the noalloc annotations cover.
 race:
-	$(GO) test -race ./internal/service/ ./internal/core/ ./internal/ltj/ ./internal/query/ ./internal/overlay/ ./internal/standing/ ./internal/wal/ .
+	$(GO) test -race ./internal/service/ ./internal/core/ ./internal/ltj/ ./internal/query/ ./internal/overlay/ ./internal/standing/ ./internal/wal/ ./internal/wavelet/ .
 	$(GO) test -race -run 'Stress|Clone|Sharded|Update|Subscribe|Standing|Group|Compiled|Durable|Panic|WAL' .
 
 # Crash-recovery property pass: the fault-injection harness kills the
@@ -81,6 +82,13 @@ bench-json:
 	$(GO) run ./cmd/rpqbench -nodes 4000 -edges 20000 -preds 30 -queries 200 \
 		-timeout 5s -limit 100000 -subs BENCH_PR6.json
 	$(GO) run ./cmd/rpqbench -compiled BENCH_PR7.json
+
+# Repo-invariant static analysis (internal/lint + cmd/rpqlint):
+# ctxfirst, spanend, deadlineloop, locksend, walerr and noalloc over
+# the whole tree. Zero dependencies; fails on any unsuppressed
+# violation. See README "Static analysis" for the suppression syntax.
+lint:
+	$(GO) run ./cmd/rpqlint ./...
 
 # Metrics/stats coverage lint: every field of the service Stats
 # snapshot (including the standing/WAL/latency blocks) must have a

@@ -11,6 +11,7 @@
 package ringrpq
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -186,6 +187,7 @@ func BenchmarkAblationFastPaths(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			q := joinish[i%len(joinish)]
 			_, err := eng.Eval(
+				context.Background(),
 				core.Query{Subject: core.Variable, Expr: q.Expr, Object: core.Variable},
 				core.Options{Limit: bench.limit, Timeout: bench.timeout, DisableFastPaths: disable},
 				func(uint32, uint32) bool { return true })
@@ -215,6 +217,7 @@ func BenchmarkAblationNodeMarks(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			q := recursive[i%len(recursive)]
 			_, err := eng.Eval(
+				context.Background(),
 				core.Query{Subject: core.Variable, Expr: q.Expr, Object: core.Variable},
 				core.Options{Limit: bench.limit, Timeout: bench.timeout,
 					DisableFastPaths: true, DisableNodeMarks: disable},

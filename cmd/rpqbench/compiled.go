@@ -108,7 +108,7 @@ func runCompiledComparison(g *triples.Graph, qs []workload.Query, timeout time.D
 		for rep := 0; rep < reps; rep++ {
 			n := 0
 			t0 := time.Now()
-			_, err := eng.Eval(cq, opts, func(uint32, uint32) bool { n++; return true })
+			_, err := eng.Eval(context.Background(), cq, opts, func(uint32, uint32) bool { n++; return true })
 			d := time.Since(t0)
 			if errors.Is(err, core.ErrTimeout) {
 				return outcome{timedOut: true}

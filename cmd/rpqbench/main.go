@@ -458,7 +458,7 @@ func runBatchComparison(g *triples.Graph, qs []workload.Query, timeout time.Dura
 		for rep := 0; rep < reps; rep++ {
 			n := 0
 			t0 := time.Now()
-			_, err := eng.Eval(cq, opts, func(uint32, uint32) bool { n++; return true })
+			_, err := eng.Eval(context.Background(), cq, opts, func(uint32, uint32) bool { n++; return true })
 			d := time.Since(t0)
 			if errors.Is(err, core.ErrTimeout) {
 				return outcome{timedOut: true}
@@ -615,7 +615,7 @@ func runShardComparison(g *triples.Graph, qs []workload.Query, k int, timeout ti
 			oid = int64(id)
 		}
 		t0 := time.Now()
-		_, err := e.Eval(core.Query{Subject: sid, Expr: q.Expr, Object: oid},
+		_, err := e.Eval(context.Background(), core.Query{Subject: sid, Expr: q.Expr, Object: oid},
 			core.Options{Limit: limit, Timeout: timeout},
 			func(uint32, uint32) bool { n++; return true })
 		if errors.Is(err, core.ErrTimeout) {
@@ -715,7 +715,7 @@ func (b *poolBackend) Eval(ctx context.Context, subject string, node pathexpr.No
 		}
 		q.Object = int64(id)
 	}
-	_, err := b.e.Eval(q, core.Options{Limit: limit, Timeout: timeout}, func(s, o uint32) bool {
+	_, err := b.e.Eval(context.Background(), q, core.Options{Limit: limit, Timeout: timeout}, func(s, o uint32) bool {
 		return emit(service.Solution{Subject: b.g.Nodes.Name(s), Object: b.g.Nodes.Name(o)})
 	})
 	return err

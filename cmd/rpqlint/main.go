@@ -1,0 +1,54 @@
+// Command rpqlint runs the repository's static-analysis suite
+// (internal/lint) over the given package patterns and reports
+// violations as `file:line: analyzer: message`, exiting non-zero if
+// any survive //lint:ignore suppression.
+//
+// Usage:
+//
+//	rpqlint [packages]     # default ./...
+//	rpqlint -list          # list analyzers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ringrpq/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rpqlint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpqlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(wd, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpqlint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(analyzers, pkgs)
+	for _, d := range diags {
+		fmt.Println(d.Relativize(wd))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rpqlint: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

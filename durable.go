@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"io/fs"
 	"math"
 	"os"
 	"path/filepath"
@@ -118,7 +119,8 @@ func (s *walSink) appendSub(version uint64, rec standing.SubRecord) error {
 // can be unsubscribed again.
 func (s *walSink) appendUnsub(version uint64, id uint64) {
 	if lsn, err := s.log.Append(version, encodeUnsubRecord(id)); err == nil && s.ackSync {
-		s.log.Sync(lsn) //nolint:errcheck // see above
+		//lint:ignore walerr unsub records are best-effort by design (see doc comment): losing one only re-registers a subscription nobody resumes
+		s.log.Sync(lsn)
 	}
 }
 
@@ -428,7 +430,9 @@ func (db *DB) writeCheckpoint(sink *walSink, newR *ring.Ring, newSet *ring.Shard
 			}
 		}
 		if removed {
-			sink.fs.SyncDir(sink.dir) //nolint:errcheck
+			if err := sink.fs.SyncDir(sink.dir); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -607,7 +611,9 @@ func openDurable(cfg WALConfig, build func() (*DB, error), fsys wal.FS) (*DB, er
 		return nil, fmt.Errorf("ringrpq: durable: %w", err)
 	}
 	// A leftover temp file is a checkpoint that never made it.
-	fsys.Remove(filepath.Join(cfg.Dir, ckptTempName)) //nolint:errcheck
+	if err := fsys.Remove(filepath.Join(cfg.Dir, ckptTempName)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("ringrpq: durable: %w", err)
+	}
 
 	entries, err := fsys.ReadDir(cfg.Dir)
 	if err != nil {

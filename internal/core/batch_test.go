@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -80,7 +81,7 @@ func TestBatchingLimit(t *testing.T) {
 		t.Skipf("graph too sparse (%d results)", len(full))
 	}
 	n := 0
-	st, err := e.Eval(q, Options{DisableFastPaths: true, Limit: 4}, func(s, o uint32) bool {
+	st, err := e.Eval(context.Background(), q, Options{DisableFastPaths: true, Limit: 4}, func(s, o uint32) bool {
 		n++
 		return true
 	})
@@ -100,11 +101,11 @@ func TestBatchingWaveletVisitsNotWorse(t *testing.T) {
 	e := newEngine(g, ring.WaveletMatrix)
 	for _, src := range []string{"(pa|pb)+", "pa*", "(pa/pb)+"} {
 		q := Query{Subject: Variable, Expr: pathexpr.MustParse(src), Object: Variable}
-		bst, err := e.Eval(q, Options{DisableFastPaths: true}, func(s, o uint32) bool { return true })
+		bst, err := e.Eval(context.Background(), q, Options{DisableFastPaths: true}, func(s, o uint32) bool { return true })
 		if err != nil {
 			t.Fatal(err)
 		}
-		ust, err := e.Eval(q, Options{DisableFastPaths: true, DisableBatching: true}, func(s, o uint32) bool { return true })
+		ust, err := e.Eval(context.Background(), q, Options{DisableFastPaths: true, DisableBatching: true}, func(s, o uint32) bool { return true })
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -182,7 +183,7 @@ func BenchmarkBatchedBFS(b *testing.B) {
 		b.Run(mode.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				for _, q := range queries {
-					e.Eval(q, mode.opts, func(s, o uint32) bool { return true })
+					e.Eval(context.Background(), q, mode.opts, func(s, o uint32) bool { return true })
 				}
 			}
 		})

@@ -21,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -198,10 +199,38 @@ func (e *Engine) WorkingSizeBytes() int {
 	return e.bNode.SizeBytes() + e.dNode.SizeBytes()
 }
 
+// FoldContext merges ctx-carried request state into opts: an unset
+// Trace is filled from the context (obs.FromContext), and a context
+// deadline earlier than Options.Timeout tightens it. Engines call it
+// once per evaluation, so ctx costs nothing on the traversal hot path;
+// cancellation between results remains the caller's job (the service's
+// emit wrapper polls ctx.Err).
+func FoldContext(ctx context.Context, opts Options) Options {
+	if ctx == nil {
+		return opts
+	}
+	if opts.Trace == nil {
+		opts.Trace = obs.FromContext(ctx)
+	}
+	if d, ok := ctx.Deadline(); ok {
+		rem := time.Until(d)
+		if rem <= 0 {
+			rem = time.Nanosecond // already expired: the first probe fires
+		}
+		if opts.Timeout == 0 || rem < opts.Timeout {
+			opts.Timeout = rem
+		}
+	}
+	return opts
+}
+
 // Eval evaluates q, calling emit for every result pair. Pairs are
 // distinct (set semantics). It returns the work statistics and ErrTimeout
 // if the timeout fired (results emitted so far are valid but incomplete).
-func (e *Engine) Eval(q Query, opts Options, emit EmitFunc) (Stats, error) {
+// ctx is consulted once at entry (FoldContext): it may carry an obs.Trace
+// and tighten the deadline, but is not polled during the traversal.
+func (e *Engine) Eval(ctx context.Context, q Query, opts Options, emit EmitFunc) (Stats, error) {
+	opts = FoldContext(ctx, opts)
 	e.stats = Stats{}
 	e.steps = 0
 	e.failure = nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -23,7 +24,7 @@ func newEngine(g *triples.Graph, layout ring.Layout) *Engine {
 func collect(t *testing.T, e *Engine, q Query, opts Options) []enginetest.Pair {
 	t.Helper()
 	var out []enginetest.Pair
-	_, err := e.Eval(q, opts, func(s, o uint32) bool {
+	_, err := e.Eval(context.Background(), q, opts, func(s, o uint32) bool {
 		out = append(out, enginetest.Pair{S: s, O: o})
 		return true
 	})
@@ -237,7 +238,7 @@ func TestLimit(t *testing.T) {
 	e := newEngine(g, ring.WaveletMatrix)
 	q := Query{Subject: Variable, Expr: pathexpr.MustParse("pa*"), Object: Variable}
 	var count int
-	stats, err := e.Eval(q, Options{Limit: 7}, func(s, o uint32) bool {
+	stats, err := e.Eval(context.Background(), q, Options{Limit: 7}, func(s, o uint32) bool {
 		count++
 		return true
 	})
@@ -254,7 +255,7 @@ func TestEmitFalseStops(t *testing.T) {
 	e := newEngine(g, ring.WaveletMatrix)
 	q := Query{Subject: Variable, Expr: pathexpr.MustParse("pa|pb"), Object: Variable}
 	count := 0
-	if _, err := e.Eval(q, Options{}, func(s, o uint32) bool {
+	if _, err := e.Eval(context.Background(), q, Options{}, func(s, o uint32) bool {
 		count++
 		return count < 3
 	}); err != nil {
@@ -270,7 +271,7 @@ func TestTimeout(t *testing.T) {
 	g := enginetest.RandomGraph(9, 200, 2, 4000)
 	e := newEngine(g, ring.WaveletMatrix)
 	q := Query{Subject: Variable, Expr: pathexpr.MustParse("(pa|pb)*"), Object: Variable}
-	_, err := e.Eval(q, Options{Timeout: 1}, func(s, o uint32) bool { return true })
+	_, err := e.Eval(context.Background(), q, Options{Timeout: 1}, func(s, o uint32) bool { return true })
 	if err != ErrTimeout {
 		t.Fatalf("err=%v, want ErrTimeout", err)
 	}
@@ -308,11 +309,11 @@ func TestTimeoutProbedInInnerLoops(t *testing.T) {
 			eval func() error
 		}{
 			{"engine/" + m.name, func() error {
-				_, err := e.Eval(q, m.opts, func(s, o uint32) bool { return true })
+				_, err := e.Eval(context.Background(), q, m.opts, func(s, o uint32) bool { return true })
 				return err
 			}},
 			{"sharded/" + m.name, func() error {
-				_, err := sharded.Eval(q, m.opts, func(s, o uint32) bool { return true })
+				_, err := sharded.Eval(context.Background(), q, m.opts, func(s, o uint32) bool { return true })
 				return err
 			}},
 		} {
@@ -337,7 +338,7 @@ func TestTimeoutInterruptsNullablePrefix(t *testing.T) {
 	e := newEngine(g, ring.WaveletMatrix)
 	q := Query{Subject: Variable, Expr: pathexpr.MustParse("pa*"), Object: Variable}
 	emitted := 0
-	_, err := e.Eval(q, Options{Timeout: time.Nanosecond, DisableFastPaths: true},
+	_, err := e.Eval(context.Background(), q, Options{Timeout: time.Nanosecond, DisableFastPaths: true},
 		func(s, o uint32) bool { emitted++; return true })
 	if err != ErrTimeout {
 		t.Fatalf("err=%v, want ErrTimeout", err)
@@ -355,7 +356,7 @@ func TestSetSemantics(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		expr := enginetest.RandomExpr(rng, 3, 3)
 		seen := map[enginetest.Pair]bool{}
-		_, err := e.Eval(Query{Subject: Variable, Expr: expr, Object: Variable}, Options{},
+		_, err := e.Eval(context.Background(), Query{Subject: Variable, Expr: expr, Object: Variable}, Options{},
 			func(s, o uint32) bool {
 				p := enginetest.Pair{S: s, O: o}
 				if seen[p] {
@@ -405,7 +406,7 @@ func TestWorkBoundedByProductSubgraph(t *testing.T) {
 	g := b.Build()
 	e := newEngine(g, ring.WaveletMatrix)
 	tail := mustID(t, g, nodeName(n))
-	stats, err := e.Eval(Query{
+	stats, err := e.Eval(context.Background(), Query{
 		Subject: Variable,
 		Expr:    pathexpr.MustParse("p+"),
 		Object:  tail,
@@ -459,7 +460,7 @@ func BenchmarkVVQueries(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := Query{Subject: Variable, Expr: exprs[i%len(exprs)], Object: Variable}
-		e.Eval(q, Options{}, func(s, o uint32) bool { return true })
+		e.Eval(context.Background(), q, Options{}, func(s, o uint32) bool { return true })
 	}
 }
 
@@ -470,7 +471,7 @@ func BenchmarkCVQueries(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := Query{Subject: Variable, Expr: expr, Object: int64(i % 2000)}
-		e.Eval(q, Options{}, func(s, o uint32) bool { return true })
+		e.Eval(context.Background(), q, Options{}, func(s, o uint32) bool { return true })
 	}
 }
 
@@ -514,7 +515,7 @@ func TestNegatedSetsRandom(t *testing.T) {
 func TestStatsPopulated(t *testing.T) {
 	g := enginetest.Metro()
 	e := newEngine(g, ring.WaveletMatrix)
-	stats, err := e.Eval(Query{
+	stats, err := e.Eval(context.Background(), Query{
 		Subject: Variable,
 		Expr:    pathexpr.MustParse("(l1|l2|l5)+"),
 		Object:  mustID(t, g, "SA"),
@@ -544,7 +545,7 @@ func TestLocality(t *testing.T) {
 	g := b.Build()
 	e := newEngine(g, ring.WaveletMatrix)
 	i3 := mustID(t, g, "i3")
-	stats, err := e.Eval(Query{
+	stats, err := e.Eval(context.Background(), Query{
 		Subject: Variable,
 		Expr:    pathexpr.MustParse("p+"),
 		Object:  i3,
@@ -588,7 +589,7 @@ func TestPaperFig6BFSOrder(t *testing.T) {
 	g := enginetest.Metro()
 	e := newEngine(g, ring.WaveletMatrix)
 	var order []string
-	_, err := e.Eval(Query{
+	_, err := e.Eval(context.Background(), Query{
 		Subject: Variable,
 		Expr:    pathexpr.MustParse("^bus/l5+"),
 		Object:  mustID(t, g, "Baq"),

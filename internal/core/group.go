@@ -2,6 +2,7 @@ package core
 
 import (
 	"cmp"
+	"context"
 	"errors"
 	"slices"
 	"time"
@@ -99,7 +100,7 @@ func (e *Engine) EvalGroup(qs []*GroupQuery) {
 		if m, ok := e.groupable(gq); ok {
 			members = append(members, m)
 		} else {
-			gq.Stats, gq.Err = e.Eval(gq.Query, gq.Opts, gq.Emit)
+			gq.Stats, gq.Err = e.Eval(context.Background(), gq.Query, gq.Opts, gq.Emit)
 		}
 	}
 	switch len(members) {
@@ -108,7 +109,7 @@ func (e *Engine) EvalGroup(qs []*GroupQuery) {
 	case 1:
 		// A group of one gains nothing; run the plain evaluation.
 		gq := members[0].gq
-		gq.Stats, gq.Err = e.Eval(gq.Query, gq.Opts, gq.Emit)
+		gq.Stats, gq.Err = e.Eval(context.Background(), gq.Query, gq.Opts, gq.Emit)
 		return
 	}
 	g := &TraversalGroup{e: e, members: members}

@@ -33,21 +33,17 @@ type pairPage struct {
 	bits  [pairPageWords]uint64
 }
 
-// add inserts (s, o) and reports whether it was absent.
+// add inserts (s, o) and reports whether it was absent. The steady
+// state (page-cache or directory hit) allocates nothing; first-touch
+// page allocation lives in the cold lookupPage helper.
+//
+//ringrpq:noalloc
 func (ps *pairSet) add(s, o uint32) bool {
 	key := uint64(s)<<32 | uint64(o)
 	id := key >> pairPageBits
 	pg := ps.last
 	if pg == nil || ps.lastID != id {
-		if ps.pages == nil {
-			ps.pages = make(map[uint64]*pairPage)
-		}
-		pg = ps.pages[id]
-		if pg == nil {
-			pg = &pairPage{epoch: ps.epoch}
-			ps.pages[id] = pg
-		}
-		ps.last, ps.lastID = pg, id
+		pg = ps.lookupPage(id)
 	}
 	if pg.epoch != ps.epoch {
 		pg.epoch = ps.epoch
@@ -62,9 +58,26 @@ func (ps *pairSet) add(s, o uint32) bool {
 	return true
 }
 
+// lookupPage returns the page holding id, allocating the directory
+// and the page on first touch, and primes the one-entry cache.
+func (ps *pairSet) lookupPage(id uint64) *pairPage {
+	if ps.pages == nil {
+		ps.pages = make(map[uint64]*pairPage)
+	}
+	pg := ps.pages[id]
+	if pg == nil {
+		pg = &pairPage{epoch: ps.epoch}
+		ps.pages[id] = pg
+	}
+	ps.last, ps.lastID = pg, id
+	return pg
+}
+
 // reset invalidates every page in O(1). On epoch wraparound (or an
 // oversized directory) the pages are dropped instead, so stale epochs
 // can never collide with live ones.
+//
+//ringrpq:noalloc
 func (ps *pairSet) reset() {
 	ps.last, ps.lastID = nil, 0
 	ps.epoch++
@@ -81,7 +94,11 @@ func (ps *pairSet) reset() {
 type PairSet struct{ ps pairSet }
 
 // Add inserts (s, o) and reports whether it was absent.
+//
+//ringrpq:noalloc
 func (p *PairSet) Add(s, o uint32) bool { return p.ps.add(s, o) }
 
 // Reset forgets all pairs in O(1).
+//
+//ringrpq:noalloc
 func (p *PairSet) Reset() { p.ps.reset() }

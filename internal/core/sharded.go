@@ -2,6 +2,7 @@ package core
 
 import (
 	"cmp"
+	"context"
 	"errors"
 	"runtime"
 	"slices"
@@ -18,9 +19,12 @@ import (
 
 // Evaluator is the query-evaluation capability shared by the
 // single-ring Engine and the ShardedEngine; the public DB selects one
-// at build/load time.
+// at build/load time. Eval takes the request context first (the repo's
+// ctx-first convention, enforced by rpqlint's ctxfirst analyzer): ctx
+// may carry an obs.Trace and a deadline, folded into Options once at
+// entry via FoldContext.
 type Evaluator interface {
-	Eval(q Query, opts Options, emit EmitFunc) (Stats, error)
+	Eval(ctx context.Context, q Query, opts Options, emit EmitFunc) (Stats, error)
 }
 
 // ShardedEngine evaluates 2RPQs over a ring.ShardSet.
@@ -122,10 +126,11 @@ func (e *ShardedEngine) WorkingSizeBytes() int {
 // remain valid). Result order is unspecified and generally differs
 // from the unsharded engine's; the result set does not. Options.DFS is
 // ignored (the cooperative traversal is inherently level-ordered).
-func (e *ShardedEngine) Eval(q Query, opts Options, emit EmitFunc) (Stats, error) {
+func (e *ShardedEngine) Eval(ctx context.Context, q Query, opts Options, emit EmitFunc) (Stats, error) {
 	if shard, ok := e.route(q.Expr); ok {
-		return e.engineFor(shard).Eval(q, opts, emit)
+		return e.engineFor(shard).Eval(ctx, q, opts, emit)
 	}
+	opts = FoldContext(ctx, opts)
 	e.stats = Stats{}
 	e.steps = 0
 	e.limit = opts.Limit

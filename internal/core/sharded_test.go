@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -21,7 +22,7 @@ func idsOf(g *triples.Graph) glushkov.SymbolIDs {
 func evalPairs(t *testing.T, ev Evaluator, q Query, opts Options) []enginetest.Pair {
 	t.Helper()
 	var out []enginetest.Pair
-	_, err := ev.Eval(q, opts, func(s, o uint32) bool {
+	_, err := ev.Eval(context.Background(), q, opts, func(s, o uint32) bool {
 		out = append(out, enginetest.Pair{S: s, O: o})
 		return true
 	})
@@ -258,7 +259,7 @@ func TestShardedLimitAndTimeout(t *testing.T) {
 	sharded := NewShardedEngine(set, idsOf(g))
 	q := Query{Subject: Variable, Expr: pathexpr.MustParse("(pa|pb|pc)+"), Object: Variable}
 
-	full, err := sharded.Eval(q, Options{}, func(s, o uint32) bool { return true })
+	full, err := sharded.Eval(context.Background(), q, Options{}, func(s, o uint32) bool { return true })
 	if err != nil {
 		t.Fatalf("full eval: %v", err)
 	}
@@ -266,7 +267,7 @@ func TestShardedLimitAndTimeout(t *testing.T) {
 		t.Skipf("graph too sparse for a limit test (%d results)", full.Results)
 	}
 	n := 0
-	st, err := sharded.Eval(q, Options{Limit: 3}, func(s, o uint32) bool { n++; return true })
+	st, err := sharded.Eval(context.Background(), q, Options{Limit: 3}, func(s, o uint32) bool { n++; return true })
 	if err != nil {
 		t.Fatalf("limited eval: %v", err)
 	}
@@ -274,7 +275,7 @@ func TestShardedLimitAndTimeout(t *testing.T) {
 		t.Fatalf("limit 3 delivered %d results (stats %d)", n, st.Results)
 	}
 
-	_, err = sharded.Eval(q, Options{Timeout: -time.Nanosecond}, func(s, o uint32) bool {
+	_, err = sharded.Eval(context.Background(), q, Options{Timeout: -time.Nanosecond}, func(s, o uint32) bool {
 		time.Sleep(time.Millisecond)
 		return true
 	})

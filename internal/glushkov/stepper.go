@@ -24,9 +24,13 @@ type Stepper interface {
 }
 
 // PredMask implements Stepper on the interpreter (alias of BFor).
+//
+//ringrpq:noalloc
 func (e *Engine) PredMask(c uint32) uint64 { return e.BFor(c) }
 
 // StepBack implements Stepper on the interpreter (alias of Trev).
+//
+//ringrpq:noalloc
 func (e *Engine) StepBack(x uint64) uint64 { return e.Trev(x) }
 
 // Kind implements Stepper on the interpreter.
@@ -42,6 +46,7 @@ const maxDenseAlphabet = 1 << 22
 // a map probe plus the class fold.
 type predTable []uint64
 
+//ringrpq:noalloc
 func (b predTable) PredMask(c uint32) uint64 {
 	if int(c) < len(b) {
 		return b[c]
@@ -57,6 +62,7 @@ type tableStepper struct {
 	mask uint64
 }
 
+//ringrpq:noalloc
 func (t *tableStepper) StepBack(x uint64) uint64 { return t.trev[x&t.mask] }
 func (t *tableStepper) Kind() string             { return "table" }
 
@@ -68,6 +74,7 @@ type chunkedStepper struct {
 	d    uint
 }
 
+//ringrpq:noalloc
 func (t *chunkedStepper) StepBack(x uint64) uint64 {
 	var r uint64
 	mask := uint64(1)<<t.d - 1
@@ -87,6 +94,7 @@ type chainStepper struct {
 	m    int
 }
 
+//ringrpq:noalloc
 func (c *chainStepper) StepBack(x uint64) uint64 { return x >> 1 & c.mask }
 func (c *chainStepper) Kind() string {
 	if c.m == 1 {
@@ -102,6 +110,7 @@ type altStepper struct {
 	predTable
 }
 
+//ringrpq:noalloc
 func (a *altStepper) StepBack(x uint64) uint64 {
 	if x&^1 != 0 {
 		return 1

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -85,6 +86,7 @@ func (s *Ring) Run(q workload.Query, limit int, timeout time.Duration) (int, boo
 	}
 	n := 0
 	_, err := s.engine.Eval(
+		context.Background(),
 		core.Query{Subject: sid, Expr: q.Expr, Object: oid},
 		core.Options{Limit: limit, Timeout: timeout},
 		func(uint32, uint32) bool { n++; return true })

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// deadlineLoopPkgs are the traversal hot packages (by import-path
+// suffix) where unbounded loops over descent primitives must carry a
+// deadline probe. glushkov is deliberately excluded: steppers are
+// straight-line per-step kernels and the probes live in their callers.
+var deadlineLoopPkgs = []string{
+	"internal/core",
+	"internal/overlay",
+	"internal/ltj",
+}
+
+// descendPrimitives are the step/descend kernel entry points: a loop
+// that (transitively, within the package) calls one of these walks the
+// product graph and can run for an unbounded number of iterations.
+var descendPrimitives = map[string]bool{
+	"StepBack":     true,
+	"PredMask":     true,
+	"TraverseMany": true,
+	"Descend":      true,
+	"Step":         true,
+}
+
+// deadlineProbes are the recognized probe spellings: the engines'
+// amortized checkDeadline methods and the field-stored probe hooks
+// (check/Check) they install into LTJ and overlay state.
+var deadlineProbes = map[string]bool{
+	"checkDeadline": true,
+	"CheckDeadline": true,
+	"check":         true,
+	"Check":         true,
+	"probe":         true,
+}
+
+// DeadlineLoop enforces the PR 7 deadline discipline: in the traversal
+// and join hot packages, any loop that reaches a step/descend
+// primitive must also reach a deadline probe — in the loop body, or at
+// least somewhere in the innermost enclosing function (the engines'
+// probes are amortized with steps%64 clock reads, so one probe call
+// site per leaf callback satisfies the budget discipline). Reachability
+// is a same-package call-graph fixpoint; cross-package calls other
+// than the primitives themselves are not expanded.
+var DeadlineLoop = &Analyzer{
+	Name: "deadlineloop",
+	Doc:  "traversal loops in hot packages contain a deadline/ctx probe",
+	Run:  runDeadlineLoop,
+}
+
+func runDeadlineLoop(p *Pass) {
+	target := false
+	for _, suffix := range deadlineLoopPkgs {
+		if hasPathSuffix(p.Pkg.Path(), suffix) {
+			target = true
+			break
+		}
+	}
+	if !target {
+		return
+	}
+
+	// Same-package call-graph fixpoint: which local functions reach a
+	// primitive, and which reach a probe.
+	reachPrim := map[string]bool{}
+	reachProbe := map[string]bool{}
+	bodies := map[string]*ast.BlockStmt{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				bodies[fd.Name.Name] = fd.Body
+			}
+		}
+	}
+	directPrim := func(call *ast.CallExpr) bool { return descendPrimitives[calleeName(call)] }
+	directProbe := func(call *ast.CallExpr) bool { return deadlineProbes[calleeName(call)] }
+	for changed := true; changed; {
+		changed = false
+		for name, body := range bodies {
+			if reachPrim[name] && reachProbe[name] {
+				continue
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeName(call)
+				if !reachPrim[name] && (directPrim(call) || reachPrim[callee]) {
+					reachPrim[name] = true
+					changed = true
+				}
+				if !reachProbe[name] && (directProbe(call) || reachProbe[callee]) {
+					reachProbe[name] = true
+					changed = true
+				}
+				return true
+			})
+		}
+	}
+
+	// Check every loop: if its body reaches a primitive, a probe must
+	// be reachable from the loop body or from the innermost enclosing
+	// function body.
+	reaches := func(n ast.Node) (prim, probe bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeName(call)
+			if directPrim(call) || reachPrim[callee] {
+				prim = true
+			}
+			if directProbe(call) || reachProbe[callee] {
+				probe = true
+			}
+			return true
+		})
+		return prim, probe
+	}
+	funcDecls(p.Files, func(node ast.Node, body *ast.BlockStmt) {
+		_, fnProbe := reaches(body)
+		inspectShallow(node, body, func(n ast.Node) {
+			var lbody *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				lbody = loop.Body
+			case *ast.RangeStmt:
+				lbody = loop.Body
+			default:
+				return
+			}
+			prim, probe := reaches(lbody)
+			if prim && !probe && !fnProbe {
+				p.Reportf(n.Pos(), "loop calls step/descend primitives without a deadline probe; call checkDeadline (or a probe-bearing helper) in the loop body")
+			}
+		})
+	})
+}

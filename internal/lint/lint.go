@@ -1,0 +1,193 @@
+// Package lint is a zero-dependency static-analysis framework for the
+// ringrpq repository. It loads packages via `go list -export -json`
+// (so type-checking uses the toolchain's own export data and needs no
+// third-party loader), runs a fixed suite of repo-specific analyzers,
+// and reports diagnostics as `file:line: analyzer: message`.
+//
+// Diagnostics can be suppressed with a written justification:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// placed on the flagged line or on the line immediately above it. The
+// reason is mandatory — a directive without one suppresses nothing and
+// is itself reported, so every suppression in the tree documents why
+// the invariant does not apply at that site.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// An Analyzer checks one repository invariant over a type-checked
+// package. Analyzers are purely intra-package (plus whatever their
+// imports expose through export data) and must be side-effect free.
+type Analyzer struct {
+	Name string // short lowercase identifier, used in output and //lint:ignore
+	Doc  string // one-line description of the invariant
+	Run  func(p *Pass)
+}
+
+// A Pass is one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the canonical
+// `file:line: analyzer: message` form. File paths are made relative to
+// dir when possible so CI output is stable across checkouts.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// Relativize rewrites the diagnostic's file path relative to dir.
+func (d Diagnostic) Relativize(dir string) Diagnostic {
+	if rel, err := filepath.Rel(dir, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		d.Pos.Filename = rel
+	}
+	return d
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+	pos      token.Pos
+	used     bool
+}
+
+// Run executes every analyzer over every package and returns the
+// surviving diagnostics, sorted by position. Suppressed diagnostics
+// are dropped; malformed or unused //lint:ignore directives are
+// reported as diagnostics of the pseudo-analyzer "lint".
+func Run(analyzers []*Analyzer, pkgs []*CheckedPackage) []Diagnostic {
+	var all []Diagnostic
+	var directives []*ignoreDirective
+	for _, cp := range pkgs {
+		directives = append(directives, collectIgnores(cp)...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     cp.Fset,
+				Files:    cp.Files,
+				Pkg:      cp.Pkg,
+				Info:     cp.Info,
+				diags:    &all,
+			}
+			a.Run(pass)
+		}
+	}
+
+	byKey := make(map[string][]*ignoreDirective)
+	for _, d := range directives {
+		if d.analyzer == "" || d.reason == "" {
+			all = append(all, Diagnostic{
+				Pos:      token.Position{Filename: d.file, Line: d.line},
+				Analyzer: "lint",
+				Message:  "malformed //lint:ignore directive: want //lint:ignore <analyzer> <reason>",
+			})
+			continue
+		}
+		// A directive suppresses matching diagnostics on its own line
+		// and on the line below (the usual "comment above the
+		// statement" placement).
+		for _, line := range []int{d.line, d.line + 1} {
+			byKey[fmt.Sprintf("%s:%d:%s", d.file, line, d.analyzer)] = append(
+				byKey[fmt.Sprintf("%s:%d:%s", d.file, line, d.analyzer)], d)
+		}
+	}
+
+	kept := all[:0]
+	for _, d := range all {
+		key := fmt.Sprintf("%s:%d:%s", d.Pos.Filename, d.Pos.Line, d.Analyzer)
+		if ds := byKey[key]; len(ds) > 0 {
+			for _, dir := range ds {
+				dir.used = true
+			}
+			continue
+		}
+		kept = append(kept, d)
+	}
+
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}
+
+// collectIgnores parses //lint:ignore directives out of a package's
+// comments.
+func collectIgnores(cp *CheckedPackage) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, f := range cp.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:ignore"))
+				pos := cp.Fset.Position(c.Pos())
+				d := &ignoreDirective{file: pos.Filename, line: pos.Line, pos: c.Pos()}
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					d.analyzer = rest[:i]
+					d.reason = strings.TrimSpace(rest[i+1:])
+				} else {
+					d.analyzer = rest
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// All returns the full analyzer suite in deterministic order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		CtxFirst,
+		SpanEnd,
+		DeadlineLoop,
+		LockSend,
+		WalErr,
+		NoAlloc,
+	}
+}

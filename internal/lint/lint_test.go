@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// moduleRoot locates the repo root so testdata packages can import
+// real repo packages (internal/obs, internal/wal, ...) through the
+// toolchain's export data.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(out))
+}
+
+var (
+	exportsOnce sync.Once
+	exportsMap  map[string]string
+	exportsErr  error
+)
+
+// repoExports builds (once) the import path → export data map for the
+// whole module and its dependency closure.
+func repoExports(t *testing.T) map[string]string {
+	t.Helper()
+	exportsOnce.Do(func() {
+		exportsMap, exportsErr = listExports(moduleRoot(t), "./...")
+	})
+	if exportsErr != nil {
+		t.Fatalf("listing exports: %v", exportsErr)
+	}
+	return exportsMap
+}
+
+// wantRE matches one `// want "rx" "rx"...` comment.
+var (
+	wantRE  = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	quoteRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+)
+
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	hit  bool
+}
+
+// runGolden type-checks one testdata package under the given import
+// path, runs a single analyzer over it, and matches the surviving
+// diagnostics against // want comments line by line.
+func runGolden(t *testing.T, a *Analyzer, dir, importPath string) {
+	t.Helper()
+	exports := repoExports(t)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	sort.Strings(goFiles)
+	if len(goFiles) == 0 {
+		t.Fatalf("no Go files in %s", dir)
+	}
+
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, exports)
+	cp, err := checkPackage(fset, imp, importPath, dir, goFiles)
+	if err != nil {
+		t.Fatalf("typechecking testdata: %v", err)
+	}
+
+	var wants []*expectation
+	for _, name := range goFiles {
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			qs := quoteRE.FindAllStringSubmatch(m[1], -1)
+			if len(qs) == 0 {
+				t.Fatalf("%s:%d: malformed want comment", path, i+1)
+			}
+			for _, q := range qs {
+				rx, err := regexp.Compile(q[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp: %v", path, i+1, err)
+				}
+				wants = append(wants, &expectation{file: path, line: i + 1, rx: rx})
+			}
+		}
+	}
+
+	diags := Run([]*Analyzer{a}, []*CheckedPackage{cp})
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.line != d.Pos.Line || filepath.Base(w.file) != filepath.Base(d.Pos.Filename) {
+				continue
+			}
+			if w.rx.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}
+
+func goldenDir(t *testing.T, name string) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(wd, "testdata", "src", name)
+}
+
+func TestCtxFirstGolden(t *testing.T) {
+	runGolden(t, CtxFirst, goldenDir(t, "ctxfirst"), "test/ctxfirst")
+}
+
+func TestSpanEndGolden(t *testing.T) {
+	runGolden(t, SpanEnd, goldenDir(t, "spanend"), "test/spanend")
+}
+
+func TestDeadlineLoopGolden(t *testing.T) {
+	// The analyzer only fires in the traversal hot packages, so the
+	// testdata package is checked under a hot-package import path.
+	runGolden(t, DeadlineLoop, goldenDir(t, "deadlineloop"), "test/internal/ltj")
+}
+
+func TestDeadlineLoopSkipsColdPackages(t *testing.T) {
+	// The same package under a non-hot path must produce nothing.
+	exports := repoExports(t)
+	dir := goldenDir(t, "deadlineloop")
+	fset := token.NewFileSet()
+	cp, err := checkPackage(fset, ExportImporter(fset, exports), "test/coldpkg", dir, []string{"a.go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run([]*Analyzer{DeadlineLoop}, []*CheckedPackage{cp}); len(diags) != 0 {
+		t.Fatalf("deadlineloop fired outside hot packages: %v", diags)
+	}
+}
+
+func TestLockSendGolden(t *testing.T) {
+	runGolden(t, LockSend, goldenDir(t, "locksend"), "test/locksend")
+}
+
+func TestWalErrGolden(t *testing.T) {
+	runGolden(t, WalErr, goldenDir(t, "walerr"), "test/walerr")
+}
+
+func TestNoAllocGolden(t *testing.T) {
+	runGolden(t, NoAlloc, goldenDir(t, "noalloc"), "test/noalloc")
+}
+
+// TestMalformedIgnoreDirective checks that a reason-less //lint:ignore
+// suppresses nothing and is itself reported.
+func TestMalformedIgnoreDirective(t *testing.T) {
+	exports := repoExports(t)
+	dir := goldenDir(t, "badignore")
+	fset := token.NewFileSet()
+	cp, err := checkPackage(fset, ExportImporter(fset, exports), "test/badignore", dir, []string{"a.go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Analyzer{WalErr}, []*CheckedPackage{cp})
+	if len(diags) != 2 {
+		t.Fatalf("want 2 diagnostics (malformed directive + unsuppressed walerr), got %d: %v", len(diags), diags)
+	}
+	var sawMalformed, sawWalerr bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "lint":
+			sawMalformed = strings.Contains(d.Message, "malformed")
+		case "walerr":
+			sawWalerr = true
+		}
+	}
+	if !sawMalformed || !sawWalerr {
+		t.Fatalf("missing expected diagnostics: %v", diags)
+	}
+}
+
+// TestRepoClean is the e2e guard: the full analyzer suite over the
+// whole repository must come back clean, i.e. `rpqlint ./...` exits 0.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	pkgs, err := Load(moduleRoot(t), "./...")
+	if err != nil {
+		t.Fatalf("loading repo: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	diags := Run(All(), pkgs)
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("rpqlint found %d violation(s) on the tree; fix them or suppress with //lint:ignore <analyzer> <reason>", len(diags))
+	}
+}
+
+// TestDiagnosticFormat pins the output contract other tooling greps
+// for: file:line: analyzer: message.
+func TestDiagnosticFormat(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "x/y.go", Line: 7},
+		Analyzer: "walerr",
+		Message:  "boom",
+	}
+	if got, want := d.String(), "x/y.go:7: walerr: boom"; got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}

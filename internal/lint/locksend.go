@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockSend enforces the publish-lock / standing-notify discipline from
+// PR 6/8: while a sync.Mutex or sync.RWMutex acquired in the current
+// function is held, the function must not perform a channel send or a
+// blocking select — a full subscriber queue would stall every writer
+// behind the lock. Deliver after Unlock, or use a non-blocking select
+// with a default case (the Sub.signal pattern).
+//
+// The analysis is intra-procedural and lexical: locks are tracked per
+// receiver expression ("h.mu"), branch bodies see a copy of the held
+// set, deferred Unlocks hold to function end, and function literals
+// start with an empty set (they run later, under their own rules).
+var LockSend = &Analyzer{
+	Name: "locksend",
+	Doc:  "no channel send or blocking select while holding a mutex acquired in the same function",
+	Run:  runLockSend,
+}
+
+func runLockSend(p *Pass) {
+	funcDecls(p.Files, func(node ast.Node, body *ast.BlockStmt) {
+		checkLockSend(p, body, map[string]bool{})
+	})
+}
+
+// checkLockSend walks one block with the given held-lock set. Nested
+// blocks (branches, loops) get a copy so their Lock/Unlock effects
+// stay local to the branch.
+func checkLockSend(p *Pass, block *ast.BlockStmt, held map[string]bool) {
+	for _, stmt := range block.List {
+		walkLockSendStmt(p, stmt, held)
+	}
+}
+
+func walkLockSendStmt(p *Pass, stmt ast.Stmt, held map[string]bool) {
+	switch st := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			applyLockCall(p, call, held, false)
+		}
+	case *ast.DeferStmt:
+		applyLockCall(p, st.Call, held, true)
+	case *ast.SendStmt:
+		reportIfHeld(p, st.Pos(), held, "channel send")
+	case *ast.SelectStmt:
+		blocking := true
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+				blocking = false // default case present
+			}
+		}
+		if blocking {
+			reportIfHeld(p, st.Pos(), held, "blocking select")
+		}
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				sub := copyHeld(held)
+				for _, s := range cc.Body {
+					walkLockSendStmt(p, s, sub)
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		checkLockSend(p, st, copyHeld(held))
+	case *ast.IfStmt:
+		if st.Init != nil {
+			walkLockSendStmt(p, st.Init, held)
+		}
+		checkLockSend(p, st.Body, copyHeld(held))
+		if st.Else != nil {
+			walkLockSendStmt(p, st.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			walkLockSendStmt(p, st.Init, held)
+		}
+		checkLockSend(p, st.Body, copyHeld(held))
+	case *ast.RangeStmt:
+		checkLockSend(p, st.Body, copyHeld(held))
+	case *ast.SwitchStmt:
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				sub := copyHeld(held)
+				for _, s := range cc.Body {
+					walkLockSendStmt(p, s, sub)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				sub := copyHeld(held)
+				for _, s := range cc.Body {
+					walkLockSendStmt(p, s, sub)
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		walkLockSendStmt(p, st.Stmt, held)
+	case *ast.GoStmt:
+		// The goroutine body runs concurrently with its own empty
+		// held set; the `go` statement itself does not block.
+	}
+}
+
+func reportIfHeld(p *Pass, pos token.Pos, held map[string]bool, what string) {
+	if len(held) == 0 {
+		return
+	}
+	lock := ""
+	for k := range held {
+		if lock == "" || k < lock {
+			lock = k
+		}
+	}
+	p.Reportf(pos, "%s while holding %s; deliver after Unlock or use a select with a default case", what, lock)
+}
+
+// applyLockCall updates the held set for Lock/Unlock calls on
+// sync.Mutex / sync.RWMutex values.
+func applyLockCall(p *Pass, call *ast.CallExpr, held map[string]bool, deferred bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	method := sel.Sel.Name
+	switch method {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return
+	}
+	if !isSyncMutexRecv(p, sel.X) {
+		return
+	}
+	key := types.ExprString(sel.X)
+	switch method {
+	case "Lock", "RLock":
+		if !deferred {
+			held[key] = true
+		}
+	case "Unlock", "RUnlock":
+		if deferred {
+			// defer x.Unlock(): held until function end — keep held.
+			return
+		}
+		delete(held, key)
+	}
+}
+
+// isSyncMutexRecv reports whether expr's type is sync.Mutex or
+// sync.RWMutex (possibly via pointer).
+func isSyncMutexRecv(p *Pass, expr ast.Expr) bool {
+	tv, ok := p.Info.Types[expr]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if pkgPathOf(obj) != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// noallocDirective marks a function as allocation-free; the analyzer
+// is the static complement of the 0 allocs/op benchmark guard on
+// BenchmarkCompiledStepperSteadyState.
+const noallocDirective = "//ringrpq:noalloc"
+
+// NoAlloc checks functions annotated //ringrpq:noalloc for constructs
+// that allocate: make/new, append, pointer and map/slice composite
+// literals, closures, string concatenation, string<->[]byte
+// conversions, and concrete-to-interface boxing at call, return, and
+// assignment boundaries. The check is per-function (callees are not
+// expanded): annotate the whole hot path, and split cold slow paths
+// into unannotated helpers.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "functions annotated //ringrpq:noalloc contain no allocating constructs",
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasNoallocDirective(fd) {
+				continue
+			}
+			checkNoAlloc(p, fd)
+		}
+	}
+}
+
+func hasNoallocDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), noallocDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkNoAlloc(p *Pass, fd *ast.FuncDecl) {
+	report := func(pos token.Pos, what string) {
+		p.Reportf(pos, "%s in //ringrpq:noalloc function %s", what, fd.Name.Name)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			switch {
+			case isBuiltin(p.Info, e, "make"):
+				report(e.Pos(), "make")
+			case isBuiltin(p.Info, e, "new"):
+				report(e.Pos(), "new")
+			case isBuiltin(p.Info, e, "append"):
+				report(e.Pos(), "append")
+			case isStringByteConversion(p, e):
+				report(e.Pos(), "string<->[]byte conversion")
+			default:
+				checkCallBoxing(p, e, report)
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					report(e.Pos(), "pointer composite literal")
+				}
+			}
+		case *ast.CompositeLit:
+			tv, ok := p.Info.Types[e]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice:
+				report(e.Pos(), "slice composite literal")
+			case *types.Map:
+				report(e.Pos(), "map composite literal")
+			}
+		case *ast.FuncLit:
+			report(e.Pos(), "closure")
+			return false
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD && isStringExpr(p, e.X) && isStringExpr(p, e.Y) {
+				report(e.Pos(), "string concatenation")
+			}
+		case *ast.AssignStmt:
+			for i := range e.Lhs {
+				if i >= len(e.Rhs) {
+					break
+				}
+				checkBoxing(p, e.Lhs[i], e.Rhs[i], report)
+			}
+		case *ast.ReturnStmt:
+			checkReturnBoxing(p, fd, e, report)
+		case *ast.GoStmt:
+			report(e.Pos(), "go statement")
+		}
+		return true
+	})
+}
+
+// isStringByteConversion detects string([]byte) and []byte(string)
+// conversions, both of which copy.
+func isStringByteConversion(p *Pass, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return false
+	}
+	dst := tv.Type.Underlying()
+	argTV, ok := p.Info.Types[call.Args[0]]
+	if !ok {
+		return false
+	}
+	src := argTV.Type.Underlying()
+	return (isStringType(dst) && isByteSlice(src)) || (isByteSlice(dst) && isStringType(src))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func isStringExpr(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && isStringType(tv.Type.Underlying())
+}
+
+// checkCallBoxing flags concrete values passed to interface-typed
+// parameters (including variadic ...any), which box on the heap.
+func checkCallBoxing(p *Pass, call *ast.CallExpr, report func(token.Pos, string)) {
+	fn := calleeFunc(p.Info, call)
+	if fn == nil {
+		return
+	}
+	sig := fn.Signature()
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		} else if i < params.Len() {
+			pt = params.At(i).Type()
+		} else {
+			continue
+		}
+		if boxesToInterface(p, pt, arg) {
+			report(arg.Pos(), "interface boxing at call argument")
+		}
+	}
+}
+
+func checkBoxing(p *Pass, lhs, rhs ast.Expr, report func(token.Pos, string)) {
+	ltv, ok := p.Info.Types[lhs]
+	if !ok {
+		return
+	}
+	if boxesToInterface(p, ltv.Type, rhs) {
+		report(rhs.Pos(), "interface boxing at assignment")
+	}
+}
+
+func checkReturnBoxing(p *Pass, fd *ast.FuncDecl, ret *ast.ReturnStmt, report func(token.Pos, string)) {
+	obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	results := obj.Signature().Results()
+	if results.Len() != len(ret.Results) {
+		return
+	}
+	for i, r := range ret.Results {
+		if boxesToInterface(p, results.At(i).Type(), r) {
+			report(r.Pos(), "interface boxing at return")
+		}
+	}
+}
+
+// boxesToInterface reports whether assigning expr to a destination of
+// type dst converts a concrete non-nil value to an interface.
+func boxesToInterface(p *Pass, dst types.Type, expr ast.Expr) bool {
+	if dst == nil {
+		return false
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	tv, ok := p.Info.Types[expr]
+	if !ok {
+		return false
+	}
+	if tv.IsNil() {
+		return false
+	}
+	if _, ok := tv.Type.Underlying().(*types.Interface); ok {
+		return false // interface-to-interface, no box
+	}
+	return true
+}

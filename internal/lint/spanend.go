@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// SpanEnd enforces the obs span discipline from PR 9: a span handle
+// obtained from Trace.Begin must be closed with End/EndVals in the
+// same function, and not leak past an early return unless the End is
+// deferred. Handles that escape the function — returned, stored into a
+// struct/slice/map, or passed to another call — are assumed to be
+// closed by their new owner and are skipped (the service layer's job
+// structs carry root spans this way).
+//
+// The check is intra-procedural and lexical: an early return between
+// Begin and the first non-deferred End is flagged even if some path
+// analysis could prove it unreachable. Use defer, or suppress with a
+// written justification.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc:  "obs span Begin calls are paired with End/EndVals on all paths",
+	Run:  runSpanEnd,
+}
+
+func runSpanEnd(p *Pass) {
+	funcDecls(p.Files, func(node ast.Node, body *ast.BlockStmt) {
+		checkSpansIn(p, node, body)
+	})
+}
+
+type spanUse struct {
+	beginPos token.Pos
+	name     string
+	ends     []token.Pos // non-deferred End/EndVals call positions
+	deferred bool        // at least one deferred End/EndVals
+	escapes  bool
+}
+
+// checkSpansIn analyzes one function body. Nested function literals
+// are skipped here; funcDecls visits them independently.
+func checkSpansIn(p *Pass, fn ast.Node, body *ast.BlockStmt) {
+	spans := map[string]*spanUse{} // local handle name → use
+
+	inspectShallow(fn, body, func(n ast.Node) {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			// idx := tr.Begin(kind) — a new local span handle.
+			if len(st.Rhs) != 1 || len(st.Lhs) != 1 {
+				return
+			}
+			call, ok := st.Rhs[0].(*ast.CallExpr)
+			if !ok || !isObsCall(p, call, "Begin") {
+				return
+			}
+			id, ok := st.Lhs[0].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				p.Reportf(call.Pos(), "span handle from Begin is discarded; store it and call End/EndVals")
+				return
+			}
+			spans[id.Name] = &spanUse{beginPos: call.Pos(), name: id.Name}
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if isObsCall(p, call, "Begin") {
+					p.Reportf(call.Pos(), "span handle from Begin is discarded; store it and call End/EndVals")
+					return
+				}
+				recordEnd(p, spans, call, false)
+			}
+		case *ast.DeferStmt:
+			if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+				// defer func() { tr.End(idx) }() — treat Ends inside
+				// the deferred literal as deferred Ends.
+				ast.Inspect(lit.Body, func(n ast.Node) bool {
+					if c, ok := n.(*ast.CallExpr); ok {
+						recordEnd(p, spans, c, true)
+					}
+					return true
+				})
+			} else {
+				recordEnd(p, spans, st.Call, true)
+			}
+		case *ast.CallExpr:
+			// A handle passed to any call other than End/EndVals
+			// escapes to the callee.
+			if isObsCall(p, st, "End") || isObsCall(p, st, "EndVals") {
+				return
+			}
+			for _, arg := range st.Args {
+				markEscape(spans, arg)
+			}
+		case *ast.ReturnStmt:
+			for _, r := range st.Results {
+				markEscape(spans, r)
+			}
+		case *ast.CompositeLit:
+			for _, el := range st.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					markEscape(spans, kv.Value)
+				} else {
+					markEscape(spans, el)
+				}
+			}
+		case *ast.SendStmt:
+			markEscape(spans, st.Value)
+		}
+	})
+
+	// A handle captured by a (non-deferred) closure is owned by that
+	// closure's lifetime — treat it as escaping.
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if su := spans[id.Name]; su != nil {
+					su.escapes = true
+				}
+			}
+			return true
+		})
+		return false
+	})
+
+	for _, su := range spans {
+		if su.escapes || su.deferred {
+			continue
+		}
+		if len(su.ends) == 0 {
+			p.Reportf(su.beginPos, "span %s is begun but never ended in this function", su.name)
+			continue
+		}
+		firstEnd := su.ends[0]
+		for _, e := range su.ends[1:] {
+			if e < firstEnd {
+				firstEnd = e
+			}
+		}
+		// An early return lexically between Begin and the first End
+		// leaks the span on that path.
+		inspectShallow(fn, body, func(n ast.Node) {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return
+			}
+			if ret.Pos() > su.beginPos && ret.Pos() < firstEnd {
+				p.Reportf(ret.Pos(), "return leaks span %s begun earlier; End it before returning or use defer", su.name)
+			}
+		})
+	}
+}
+
+// recordEnd notes an End/EndVals call on a tracked handle. Assignment
+// via st.X handled by caller.
+func recordEnd(p *Pass, spans map[string]*spanUse, call *ast.CallExpr, deferred bool) {
+	if !isObsCall(p, call, "End") && !isObsCall(p, call, "EndVals") {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if su := spans[id.Name]; su != nil {
+		if deferred {
+			su.deferred = true
+		} else {
+			su.ends = append(su.ends, call.Pos())
+		}
+	}
+}
+
+// markEscape marks a tracked handle as escaping if expr is that bare
+// identifier.
+func markEscape(spans map[string]*spanUse, expr ast.Expr) {
+	if id, ok := ast.Unparen(expr).(*ast.Ident); ok {
+		if su := spans[id.Name]; su != nil {
+			su.escapes = true
+		}
+	}
+}
+
+// isObsCall reports whether call invokes a method with the given name
+// whose receiver type is declared in internal/obs.
+func isObsCall(p *Pass, call *ast.CallExpr, name string) bool {
+	if calleeName(call) != name {
+		return false
+	}
+	f := calleeFunc(p.Info, call)
+	return f != nil && hasPathSuffix(pkgPathOf(f), "internal/obs")
+}
+
+// inspectShallow walks the statements of body without descending into
+// nested function literals (they are analyzed as their own functions).
+func inspectShallow(fn ast.Node, body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		visit(n)
+		return true
+	})
+}

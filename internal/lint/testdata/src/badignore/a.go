@@ -1,0 +1,12 @@
+// Package badignoredata checks that a //lint:ignore directive without
+// a reason suppresses nothing and is itself reported.
+package badignoredata
+
+type file struct{}
+
+func (file) Sync() error { return nil }
+
+func dropsWithBadDirective(f file) {
+	//lint:ignore walerr
+	f.Sync()
+}

@@ -1,0 +1,45 @@
+// Package ctxfirstdata exercises the ctxfirst analyzer.
+package ctxfirstdata
+
+import "context"
+
+// Evaluator is a seam interface whose Eval lacks a leading context.
+type Evaluator interface {
+	Eval(q int, emit func(uint32, uint32) bool) error // want "must take context.Context as its first parameter"
+}
+
+// Backend is a correct seam interface: ctx comes first.
+type Backend interface {
+	Eval(ctx context.Context, q int) error
+}
+
+// Updater is a suppressed violation: the directive names the analyzer
+// and gives a reason, so nothing is reported.
+type Updater interface {
+	//lint:ignore ctxfirst frozen wire-compat shim; new code uses Backend
+	ApplyUpdates(adds []int) error
+}
+
+// NotASeam shares a method name but not a seam name: ignored.
+type NotASeam interface {
+	Eval(q int) error
+}
+
+// GoodImpl implements Backend with ctx first everywhere.
+type GoodImpl struct{}
+
+func (GoodImpl) Eval(ctx context.Context, q int) error { return nil }
+
+// BadImpl implements Backend but misplaces ctx on another exported
+// method.
+type BadImpl struct{}
+
+func (BadImpl) Eval(ctx context.Context, q int) error { return nil }
+
+func (BadImpl) Describe(name string, ctx context.Context) {} // want "must come first"
+
+// unexported helpers with trailing ctx on non-implementations are not
+// the analyzer's business.
+type plain struct{}
+
+func (plain) run(name string, ctx context.Context) { _ = ctx }

@@ -1,0 +1,91 @@
+// Package deadlineloopdata exercises the deadlineloop analyzer. The
+// golden test checks it under a hot-package import path (test/internal/ltj);
+// a second test re-checks it under a cold path and expects silence.
+package deadlineloopdata
+
+type stepper struct{ mask uint64 }
+
+// StepBack and PredMask spell the descend-primitive names the analyzer
+// recognizes.
+func (s *stepper) StepBack(x uint64) uint64       { return x >> 1 & s.mask }
+func (s *stepper) PredMask(c uint32) uint64       { return uint64(c) }
+func (s *stepper) checkDeadline() error           { return nil }
+func (s *stepper) helperWithProbe() error         { return s.checkDeadline() }
+func (s *stepper) helperWithPrim(x uint64) uint64 { return s.StepBack(x) }
+
+// unprobed walks the product graph with no deadline probe anywhere in
+// the function.
+func unprobed(s *stepper, frontier []uint64) uint64 {
+	var acc uint64
+	for _, x := range frontier { // want "without a deadline probe"
+		acc |= s.StepBack(x) & s.PredMask(uint32(x))
+	}
+	return acc
+}
+
+// probedInLoop checks the deadline inside the loop body: fine.
+func probedInLoop(s *stepper, frontier []uint64) uint64 {
+	var acc uint64
+	for _, x := range frontier {
+		if err := s.checkDeadline(); err != nil {
+			return acc
+		}
+		acc |= s.StepBack(x)
+	}
+	return acc
+}
+
+// probedInFunction probes once per callback invocation; the analyzer
+// accepts a probe anywhere in the innermost enclosing function
+// (engine probes are amortized).
+func probedInFunction(s *stepper, frontier []uint64) uint64 {
+	var acc uint64
+	if err := s.checkDeadline(); err != nil {
+		return 0
+	}
+	for _, x := range frontier {
+		acc |= s.StepBack(x)
+	}
+	return acc
+}
+
+// transitive reaches a primitive through a same-package helper: still
+// flagged without a probe.
+func transitive(s *stepper, frontier []uint64) uint64 {
+	var acc uint64
+	for _, x := range frontier { // want "without a deadline probe"
+		acc |= s.helperWithPrim(x)
+	}
+	return acc
+}
+
+// transitiveProbe reaches a probe through a same-package helper: fine.
+func transitiveProbe(s *stepper, frontier []uint64) uint64 {
+	var acc uint64
+	for _, x := range frontier {
+		if err := s.helperWithProbe(); err != nil {
+			return acc
+		}
+		acc |= s.StepBack(x)
+	}
+	return acc
+}
+
+// plainLoop touches no primitives; never flagged.
+func plainLoop(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// suppressed documents why this bounded loop needs no probe.
+func suppressed(s *stepper, eight [8]uint64) uint64 {
+	var acc uint64
+	//lint:ignore deadlineloop fixed 8-iteration unrolled kernel, bounded by construction
+	for _, x := range eight {
+		acc |= s.StepBack(x)
+	}
+	return acc
+}

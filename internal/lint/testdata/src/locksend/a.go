@@ -1,0 +1,94 @@
+// Package locksenddata exercises the locksend analyzer.
+package locksenddata
+
+import "sync"
+
+type hub struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	ch   chan int
+	stop chan struct{}
+}
+
+// sendWhileLocked is the core violation: a send that can block while
+// every other writer queues behind h.mu.
+func (h *hub) sendWhileLocked(v int) {
+	h.mu.Lock()
+	h.ch <- v // want "channel send while holding h.mu"
+	h.mu.Unlock()
+}
+
+// sendAfterUnlock releases first: fine.
+func (h *hub) sendAfterUnlock(v int) {
+	h.mu.Lock()
+	h.mu.Unlock()
+	h.ch <- v
+}
+
+// deferredUnlockSend holds to function end via defer, so the send is
+// still under the lock.
+func (h *hub) deferredUnlockSend(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ch <- v // want "channel send while holding h.mu"
+}
+
+// nonBlockingSignal is the Sub.signal pattern: select with default
+// cannot block, so it is allowed under the lock.
+func (h *hub) nonBlockingSignal(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select {
+	case h.ch <- v:
+	default:
+	}
+}
+
+// blockingSelect has no default: flagged.
+func (h *hub) blockingSelect(v int) {
+	h.rw.RLock()
+	defer h.rw.RUnlock()
+	select { // want "blocking select while holding h.rw"
+	case h.ch <- v:
+	case <-h.stop:
+	}
+}
+
+// branchLocal: the lock taken and released inside the branch does not
+// leak to the send after it.
+func (h *hub) branchLocal(v int, cond bool) {
+	if cond {
+		h.mu.Lock()
+		h.mu.Unlock()
+	}
+	h.ch <- v
+}
+
+// unlockInBranchThenSend releases inside the branch before sending:
+// fine within that branch.
+func (h *hub) unlockInBranchThenSend(v int, cond bool) {
+	h.mu.Lock()
+	if cond {
+		h.mu.Unlock()
+		h.ch <- v
+		return
+	}
+	h.mu.Unlock()
+}
+
+// goroutineBody starts fresh: the literal runs with no inherited lock.
+func (h *hub) goroutineBody(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	go func() {
+		h.ch <- v
+	}()
+}
+
+// suppressed documents why this send is safe under the lock.
+func (h *hub) suppressed(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	//lint:ignore locksend h.ch is buffered to the subscriber count and drained by the owner of h.mu
+	h.ch <- v
+}

@@ -1,0 +1,89 @@
+// Package noallocdata exercises the noalloc analyzer.
+package noallocdata
+
+type pair struct{ s, o uint32 }
+
+type sink interface{ accept(v any) }
+
+// hot is annotated and clean: value struct literals, array literals,
+// shifts and slicing allocate nothing.
+//
+//ringrpq:noalloc
+func hot(xs []uint64, x uint64) uint64 {
+	var tmp [4]uint64
+	p := pair{s: uint32(x), o: uint32(x >> 32)}
+	tmp[0] = uint64(p.s)
+	for _, v := range xs[:min(len(xs), 4)] {
+		tmp[1] |= v
+	}
+	return tmp[0] | tmp[1]
+}
+
+// makes allocates via make.
+//
+//ringrpq:noalloc
+func makes(n int) []uint64 {
+	return make([]uint64, n) // want "make in //ringrpq:noalloc function makes"
+}
+
+// appends grows a slice.
+//
+//ringrpq:noalloc
+func appends(xs []uint64, x uint64) []uint64 {
+	return append(xs, x) // want "append in"
+}
+
+// boxes converts a concrete value to an interface at a call boundary.
+//
+//ringrpq:noalloc
+func boxes(s sink, v uint64) {
+	s.accept(v) // want "interface boxing at call argument"
+}
+
+// closes captures a variable in a closure.
+//
+//ringrpq:noalloc
+func closes(x uint64) func() uint64 {
+	return func() uint64 { return x } // want "closure"
+}
+
+// concats builds a string.
+//
+//ringrpq:noalloc
+func concats(a, b string) string {
+	return a + b // want "string concatenation"
+}
+
+// converts copies between string and []byte.
+//
+//ringrpq:noalloc
+func converts(b []byte) string {
+	return string(b) // want "conversion"
+}
+
+// ptrLit heap-allocates a composite literal.
+//
+//ringrpq:noalloc
+func ptrLit() *pair {
+	return &pair{} // want "pointer composite literal"
+}
+
+// sliceLit allocates backing storage.
+//
+//ringrpq:noalloc
+func sliceLit() []uint64 {
+	return []uint64{1, 2} // want "slice composite literal"
+}
+
+// unannotated may allocate freely.
+func unannotated(n int) []uint64 {
+	return append(make([]uint64, 0, n), 1)
+}
+
+// suppressed keeps the annotation but documents one cold construct.
+//
+//ringrpq:noalloc
+func suppressed(n int) []uint64 {
+	//lint:ignore noalloc first-touch growth only; steady state reuses the returned buffer
+	return make([]uint64, n)
+}

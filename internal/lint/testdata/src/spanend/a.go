@@ -1,0 +1,71 @@
+// Package spanenddata exercises the spanend analyzer against the real
+// obs.Trace API.
+package spanenddata
+
+import "ringrpq/internal/obs"
+
+// leaky begins a span and returns without ever ending it.
+func leaky(tr *obs.Trace) {
+	idx := tr.Begin(obs.SpanEval) // want "begun but never ended"
+	_ = idx
+}
+
+// earlyReturn ends the span on the fall-through path only: the
+// conditional return leaks it.
+func earlyReturn(tr *obs.Trace, fail bool) error {
+	idx := tr.Begin(obs.SpanEval)
+	if fail {
+		return errFail // want "return leaks span idx"
+	}
+	tr.End(idx)
+	return nil
+}
+
+// deferred is the canonical correct form: End on every path via defer.
+func deferred(tr *obs.Trace) {
+	idx := tr.Begin(obs.SpanEval)
+	defer tr.End(idx)
+	work()
+}
+
+// deferredLit ends inside a deferred closure; also fine.
+func deferredLit(tr *obs.Trace) {
+	idx := tr.Begin(obs.SpanEval)
+	defer func() { tr.EndVals(idx, 1) }()
+	work()
+}
+
+// straightLine ends before any return; fine without defer.
+func straightLine(tr *obs.Trace) {
+	idx := tr.Begin(obs.SpanEval)
+	work()
+	tr.EndVals(idx, 2)
+}
+
+// escapes hands the handle to a struct; ownership moves with it.
+type job struct{ root int }
+
+func escapes(tr *obs.Trace) *job {
+	root := tr.Begin(obs.SpanEval)
+	return &job{root: root}
+}
+
+// discarded drops the handle on the floor.
+func discarded(tr *obs.Trace) {
+	tr.Begin(obs.SpanEval) // want "span handle from Begin is discarded"
+}
+
+// suppressed leaks deliberately, with a documented reason.
+func suppressed(tr *obs.Trace) {
+	//lint:ignore spanend span intentionally left open for the process lifetime in this fixture
+	idx := tr.Begin(obs.SpanEval)
+	_ = idx
+}
+
+var errFail = errSentinel{}
+
+type errSentinel struct{}
+
+func (errSentinel) Error() string { return "fail" }
+
+func work() {}

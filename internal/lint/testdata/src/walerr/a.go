@@ -1,0 +1,63 @@
+// Package walerrdata exercises the walerr analyzer, against both the
+// real internal/wal package and name-matched fsync/rename sites.
+package walerrdata
+
+import "ringrpq/internal/wal"
+
+type file struct{}
+
+func (file) Sync() error                 { return nil }
+func (file) Rename(a, b string) error    { return nil }
+func (file) SyncDir(dir string) error    { return nil }
+func (file) Close() error                { return nil }
+func (file) Write(b []byte) (int, error) { return len(b), nil }
+
+// dropsWalError discards an error from an internal/wal method.
+func dropsWalError(l *wal.Log) {
+	l.Sync(l.LastLSN()) // want "error from Sync is discarded"
+}
+
+// dropsTruncate discards through a statement call.
+func dropsTruncate(l *wal.Log) {
+	l.TruncateBefore(7) // want "error from TruncateBefore is discarded"
+}
+
+// blankWalError launders the error through the blank identifier.
+func blankWalError(l *wal.Log, payload []byte) {
+	_, _ = l.Append(1, payload) // want "assigned to _"
+}
+
+// handled is the correct form.
+func handled(l *wal.Log) error {
+	return l.Sync(l.LastLSN())
+}
+
+// dropsFsync hits the name-matched sites on a non-wal type.
+func dropsFsync(f file, dir string) {
+	f.Sync()           // want "error from Sync is discarded"
+	f.SyncDir(dir)     // want "error from SyncDir is discarded"
+	f.Rename(dir, dir) // want "error from Rename is discarded"
+}
+
+// deferredSync drops the error behind defer.
+func deferredSync(f file) {
+	defer f.Sync() // want "deferred"
+}
+
+// closeIsExempt: Close discards are idiomatic cleanup and out of
+// scope.
+func closeIsExempt(f file) {
+	f.Close()
+}
+
+// writeNotMatched: Write is not a durability call site by name, and
+// file is not from internal/wal.
+func writeNotMatched(f file, b []byte) {
+	f.Write(b)
+}
+
+// suppressed documents a deliberate best-effort sync.
+func suppressed(l *wal.Log) {
+	//lint:ignore walerr best-effort background sync; failures latch inside Sync and surface on the next Append
+	l.Sync(l.LastLSN())
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// walErrNames are durability call sites recognized by name in addition
+// to anything from internal/wal: fsync, directory sync, and atomic
+// rename are exactly the operations whose failures latch the WAL wedge
+// or break crash-atomicity, so their errors are never droppable.
+var walErrNames = map[string]bool{
+	"Sync":    true,
+	"SyncDir": true,
+	"Rename":  true,
+	"Fsync":   true,
+}
+
+// WalErr enforces the PR 8 durability discipline: error results from
+// internal/wal calls and from fsync/rename/dirsync call sites must not
+// be discarded — not as a bare expression statement, not via the blank
+// identifier, not behind go/defer. A sync failure that is dropped on
+// the floor silently un-latches the crash-safety story the WAL exists
+// to provide.
+//
+// Close is deliberately out of scope: error-path cleanup closes and
+// deferred closes of read-only files are idiomatic discards, and
+// happy-path durability is enforced through the Sync/SyncDir/Rename
+// sites this analyzer does check.
+var WalErr = &Analyzer{
+	Name: "walerr",
+	Doc:  "no discarded error results from internal/wal and fsync/rename/dirsync call sites",
+	Run:  runWalErr,
+}
+
+func runWalErr(p *Pass) {
+	check := func(call *ast.CallExpr, how string) {
+		if !isWalCall(p, call) || !resultsIncludeError(p.Info, call) {
+			return
+		}
+		p.Reportf(call.Pos(), "error from %s is discarded%s; WAL/fsync/rename errors must be handled", calleeName(call), how)
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					check(call, "")
+				}
+			case *ast.GoStmt:
+				check(st.Call, " (go statement)")
+			case *ast.DeferStmt:
+				check(st.Call, " (deferred)")
+			case *ast.AssignStmt:
+				// _ = f() / v, _ = f(): flag when every error result
+				// position is assigned to blank. With one RHS call and
+				// any blank LHS we approximate: blank anywhere + call
+				// has error → check which position. Keep it simple and
+				// strict: a call whose error lands in `_` is a discard.
+				if len(st.Rhs) != 1 {
+					return true
+				}
+				call, ok := st.Rhs[0].(*ast.CallExpr)
+				if !ok || !isWalCall(p, call) || !resultsIncludeError(p.Info, call) {
+					return true
+				}
+				if errAssignedToBlank(p, st, call) {
+					p.Reportf(call.Pos(), "error from %s is assigned to _; WAL/fsync/rename errors must be handled", calleeName(call))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// errAssignedToBlank reports whether the error result of call is bound
+// to the blank identifier in st.
+func errAssignedToBlank(p *Pass, st *ast.AssignStmt, call *ast.CallExpr) bool {
+	fn := calleeFunc(p.Info, call)
+	if fn == nil {
+		return false
+	}
+	results := fn.Signature().Results()
+	if results.Len() != len(st.Lhs) {
+		// Single-value context or count mismatch: fall back to "any
+		// blank LHS" when the call's sole result is the error.
+		if results.Len() == 1 && len(st.Lhs) == 1 {
+			id, ok := st.Lhs[0].(*ast.Ident)
+			return ok && id.Name == "_"
+		}
+		return false
+	}
+	for i := 0; i < results.Len(); i++ {
+		if !isErrorType(results.At(i).Type()) {
+			continue
+		}
+		if id, ok := st.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			return true
+		}
+	}
+	return false
+}
+
+// isWalCall reports whether the call targets internal/wal or a
+// recognized fsync/rename/dirsync name. Close is exempt (see the
+// analyzer doc).
+func isWalCall(p *Pass, call *ast.CallExpr) bool {
+	name := calleeName(call)
+	if walErrNames[name] {
+		return true
+	}
+	if name == "Close" {
+		return false
+	}
+	f := calleeFunc(p.Info, call)
+	return f != nil && hasPathSuffix(pkgPathOf(f), "internal/wal")
+}

@@ -1,6 +1,7 @@
 package overlay
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -230,14 +231,15 @@ func (e *Engine) canDelegate(a *glushkov.Automaton) bool {
 // pairs, Options.Limit/Timeout honoured, ErrTimeout with valid partial
 // results. Options.DFS/DisableBatching/DisableFastPaths are accepted
 // and ignored (the union traversal has one mode).
-func (e *Engine) Eval(q core.Query, opts core.Options, emit core.EmitFunc) (core.Stats, error) {
+func (e *Engine) Eval(ctx context.Context, q core.Query, opts core.Options, emit core.EmitFunc) (core.Stats, error) {
 	if e.ov == nil || e.ov.Empty() {
-		return e.static.Eval(q, opts, emit)
+		return e.static.Eval(ctx, q, opts, emit)
 	}
+	opts = core.FoldContext(ctx, opts)
 	e.eager = opts.CompileEager
 	e.noCompile = opts.DisableCompiled
 	if c := e.compile(q.Expr); e.canDelegate(c.a) {
-		return e.static.Eval(q, opts, emit)
+		return e.static.Eval(ctx, q, opts, emit)
 	}
 
 	e.stats = core.Stats{}

@@ -1,6 +1,7 @@
 package overlay
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -85,7 +86,7 @@ func runAll(b *testing.B, ev core.Evaluator, qs []core.Query) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
 		for _, q := range qs {
-			if _, err := ev.Eval(q, core.Options{Limit: 100000}, func(uint32, uint32) bool { return true }); err != nil {
+			if _, err := ev.Eval(context.Background(), q, core.Options{Limit: 100000}, func(uint32, uint32) bool { return true }); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,6 +1,7 @@
 package overlay
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -188,7 +189,7 @@ func runCase(t *testing.T, sc *scenario, eng *Engine, subject int64, expr pathex
 		{CompileEager: true, DisableBatching: true},
 	} {
 		var got []enginetest.Pair
-		_, err := eng.Eval(core.Query{Subject: subject, Expr: expr, Object: object}, opts, func(s, o uint32) bool {
+		_, err := eng.Eval(context.Background(), core.Query{Subject: subject, Expr: expr, Object: object}, opts, func(s, o uint32) bool {
 			got = append(got, enginetest.Pair{S: s, O: o})
 			return true
 		})
@@ -257,9 +258,9 @@ type countingEval struct {
 	calls int
 }
 
-func (c *countingEval) Eval(q core.Query, opts core.Options, emit core.EmitFunc) (core.Stats, error) {
+func (c *countingEval) Eval(ctx context.Context, q core.Query, opts core.Options, emit core.EmitFunc) (core.Stats, error) {
 	c.calls++
-	return c.inner.Eval(q, opts, emit)
+	return c.inner.Eval(ctx, q, opts, emit)
 }
 
 // TestUnionEngineDelegates checks whole-query delegation: queries over
@@ -283,20 +284,20 @@ func TestUnionEngineDelegates(t *testing.T) {
 	eng.SetSnapshot(ov, g.NumNodes())
 
 	drop := func(uint32, uint32) bool { return true }
-	if _, err := eng.Eval(core.Query{Subject: core.Variable, Expr: pathexpr.MustParse("pa+"), Object: core.Variable}, core.Options{}, drop); err != nil {
+	if _, err := eng.Eval(context.Background(), core.Query{Subject: core.Variable, Expr: pathexpr.MustParse("pa+"), Object: core.Variable}, core.Options{}, drop); err != nil {
 		t.Fatal(err)
 	}
 	if counted.calls != 1 {
 		t.Fatalf("query over untouched pa should delegate (calls=%d)", counted.calls)
 	}
-	if _, err := eng.Eval(core.Query{Subject: core.Variable, Expr: pathexpr.MustParse("pb/pa?"), Object: core.Variable}, core.Options{}, drop); err != nil {
+	if _, err := eng.Eval(context.Background(), core.Query{Subject: core.Variable, Expr: pathexpr.MustParse("pb/pa?"), Object: core.Variable}, core.Options{}, drop); err != nil {
 		t.Fatal(err)
 	}
 	if counted.calls != 1 {
 		t.Fatalf("query over touched pb must not delegate (calls=%d)", counted.calls)
 	}
 	// Nullable expressions delegate too while no new nodes exist.
-	if _, err := eng.Eval(core.Query{Subject: core.Variable, Expr: pathexpr.MustParse("pa*"), Object: core.Variable}, core.Options{}, drop); err != nil {
+	if _, err := eng.Eval(context.Background(), core.Query{Subject: core.Variable, Expr: pathexpr.MustParse("pa*"), Object: core.Variable}, core.Options{}, drop); err != nil {
 		t.Fatal(err)
 	}
 	if counted.calls != 2 {
@@ -309,7 +310,7 @@ func TestUnionEngineLimitTimeout(t *testing.T) {
 	sc, eng := buildScenario(t, 11, 14, 4, 50, 1, 1, ring.WaveletMatrix)
 	expr := pathexpr.Star{X: pathexpr.Sym{Name: "pa"}}
 	n := 0
-	_, err := eng.Eval(core.Query{Subject: core.Variable, Expr: expr, Object: core.Variable},
+	_, err := eng.Eval(context.Background(), core.Query{Subject: core.Variable, Expr: expr, Object: core.Variable},
 		core.Options{Limit: 5}, func(s, o uint32) bool { n++; return true })
 	if err != nil || n != 5 {
 		t.Fatalf("limit run: n=%d err=%v, want 5 results", n, err)
@@ -331,7 +332,7 @@ func TestUnionEngineTimeoutProbedInInnerLoops(t *testing.T) {
 		{Timeout: time.Nanosecond, DisableCompiled: true},
 	} {
 		start := time.Now()
-		_, err := eng.Eval(q, opts, func(s, o uint32) bool { return true })
+		_, err := eng.Eval(context.Background(), q, opts, func(s, o uint32) bool { return true })
 		elapsed := time.Since(start)
 		if err != core.ErrTimeout {
 			t.Fatalf("opts=%+v: err=%v, want ErrTimeout", opts, err)

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -391,7 +392,7 @@ func (rt *run) steps(i int) bool {
 	switch {
 	case sBound && oBound:
 		found := false
-		_, err = eng.Eval(cq, core.Options{Timeout: rem, Limit: 1, Trace: rt.trace}, func(uint32, uint32) bool {
+		_, err = eng.Eval(context.Background(), cq, core.Options{Timeout: rem, Limit: 1, Trace: rt.trace}, func(uint32, uint32) bool {
 			found = true
 			return false
 		})
@@ -400,7 +401,7 @@ func (rt *run) steps(i int) bool {
 		}
 	case !sBound && !oBound && s.SVar == s.OVar && s.SVar != "":
 		// Same unbound variable on both ends: only v→v loops bind it.
-		_, err = eng.Eval(cq, copts, func(a, b uint32) bool {
+		_, err = eng.Eval(context.Background(), cq, copts, func(a, b uint32) bool {
 			if a != b {
 				return true
 			}
@@ -410,7 +411,7 @@ func (rt *run) steps(i int) bool {
 			return cont
 		})
 	default:
-		_, err = eng.Eval(cq, copts, func(a, b uint32) bool {
+		_, err = eng.Eval(context.Background(), cq, copts, func(a, b uint32) bool {
 			if !sBound && s.SVar != "" {
 				rt.row[s.SVar] = a
 			}

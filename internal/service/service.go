@@ -637,6 +637,7 @@ func (s *Service) submit(ctx context.Context, req Request, stream func(Solution)
 		s.mu.RUnlock()
 		return Result{Err: ErrClosed}, nil
 	}
+	//lint:ignore locksend the closed-check and enqueue must be atomic vs Close (which takes the write lock); the ctx case bounds the wait
 	select {
 	case s.queue <- j:
 		s.mu.RUnlock()

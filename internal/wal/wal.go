@@ -537,7 +537,7 @@ func (l *Log) tick() {
 		case <-l.stop:
 			return
 		case <-t.C:
-			// Errors latch in syncErr/wedged; the next Append surfaces them.
+			//lint:ignore walerr sync failures latch in syncErr/wedged and surface on the next Append; tick has no caller to report to
 			l.Sync(l.LastLSN())
 		}
 	}

@@ -244,6 +244,8 @@ func (m *Matrix) traverse(level int, prefix uint32, b, e int, visit Visit) {
 // descent (see Seq.TraverseMany). Each level maps the surviving items
 // through two rank queries per item — shared top-level nodes are visited
 // once for the whole batch instead of once per item.
+//
+//ringrpq:noalloc
 func (m *Matrix) TraverseMany(items []RangeMask, visit VisitMany) {
 	live := clampRangeMasks(items, m.n)
 	if len(live) == 0 {
@@ -254,6 +256,7 @@ func (m *Matrix) TraverseMany(items []RangeMask, visit VisitMany) {
 	putArena(arena)
 }
 
+//ringrpq:noalloc
 func (m *Matrix) traverseMany(level int, prefix uint32, items []RangeMask, arena *[]RangeMask, visit VisitMany) {
 	if len(items) == 0 {
 		return

@@ -249,6 +249,8 @@ func (t *Tree) traverse(id int, lo, hi uint32, b, e int, visit Visit) {
 
 // TraverseMany walks the nodes covering every item range in a single
 // descent (see Seq.TraverseMany).
+//
+//ringrpq:noalloc
 func (t *Tree) TraverseMany(items []RangeMask, visit VisitMany) {
 	live := clampRangeMasks(items, t.n)
 	if len(live) == 0 {
@@ -259,6 +261,7 @@ func (t *Tree) TraverseMany(items []RangeMask, visit VisitMany) {
 	putArena(arena)
 }
 
+//ringrpq:noalloc
 func (t *Tree) traverseMany(id int, lo, hi uint32, items []RangeMask, arena *[]RangeMask, visit VisitMany) {
 	if len(items) == 0 {
 		return

@@ -284,12 +284,14 @@ func (db *DB) QueryFunc(subject, expr, object string, emit func(Solution) bool, 
 	for _, opt := range opts {
 		opt(&options)
 	}
-	return db.queryNode(subject, node, object, options, emit)
+	return db.queryNode(context.Background(), subject, node, object, options, emit)
 }
 
 // queryNode is QueryFunc over a pre-parsed expression (the entry point
 // used by Service workers, which share parsed ASTs across requests).
-func (db *DB) queryNode(subject string, node pathexpr.Node, object string, options core.Options, emit func(Solution) bool) error {
+// ctx reaches the engine (core.FoldContext): it may carry an obs.Trace
+// and tighten the evaluation deadline.
+func (db *DB) queryNode(ctx context.Context, subject string, node pathexpr.Node, object string, options core.Options, emit func(Solution) bool) error {
 	q := core.Query{Subject: core.Variable, Object: core.Variable, Expr: node}
 	if !isVariable(subject) {
 		id, ok := db.g.Nodes.Lookup(subject)
@@ -307,7 +309,7 @@ func (db *DB) queryNode(subject string, node pathexpr.Node, object string, optio
 	}
 	snap := db.h.acquire()
 	defer db.h.release(snap)
-	_, err := db.evaluatorFor(snap).Eval(q, options, func(s, o uint32) bool {
+	_, err := db.evaluatorFor(snap).Eval(ctx, q, options, func(s, o uint32) bool {
 		return emit(Solution{
 			Subject: db.g.Nodes.Name(s),
 			Object:  db.g.Nodes.Name(o),
@@ -448,8 +450,8 @@ func (b dbBackend) Clone() service.Backend {
 }
 
 func (b dbBackend) Eval(ctx context.Context, subject string, node pathexpr.Node, object string, limit int, timeout time.Duration, emit func(Solution) bool) error {
-	o := core.Options{Limit: limit, Timeout: timeout, Trace: obs.FromContext(ctx)}
-	return b.db.queryNode(subject, node, object, o, emit)
+	o := core.Options{Limit: limit, Timeout: timeout}
+	return b.db.queryNode(ctx, subject, node, object, o, emit)
 }
 
 // EvalPattern implements service.PatternBackend, so Services over a DB
@@ -510,7 +512,7 @@ func (b dbBackend) EvalGroup(reqs []service.GroupRequest) []error {
 		eng.EvalGroup(gqs)
 	} else {
 		for _, gq := range gqs {
-			gq.Stats, gq.Err = ev.Eval(gq.Query, gq.Opts, gq.Emit)
+			gq.Stats, gq.Err = ev.Eval(context.Background(), gq.Query, gq.Opts, gq.Emit)
 		}
 	}
 	for k, gq := range gqs {

@@ -10,6 +10,7 @@ package ringrpq
 // exact diff between consecutive snapshots.
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -80,7 +81,7 @@ func (h standingHost) Release(s standing.Snapshot) { h.db.h.release(s.(*snapshot
 func (h standingHost) NumNodes(s standing.Snapshot) int { return s.(*snapshot).numNodes }
 
 func (h standingHost) EvalRPQ(s standing.Snapshot, q standing.RPQ, opts standing.EvalOptions, emit func(subj, obj uint32) bool) error {
-	_, err := h.db.evaluatorFor(s.(*snapshot)).Eval(q, opts, emit)
+	_, err := h.db.evaluatorFor(s.(*snapshot)).Eval(context.Background(), q, opts, emit)
 	return err
 }
 
